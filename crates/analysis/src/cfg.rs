@@ -1,0 +1,274 @@
+//! Control-flow graphs for structured units.
+//!
+//! One node per statement plus distinguished entry and exit nodes. A `DO`
+//! statement is its loop's header: it has a zero-trip edge to the loop's
+//! continuation and an edge into the body; the body's last statements feed
+//! the back edge to the header. `RETURN`/`STOP` jump straight to exit.
+
+use ped_fortran::{Block, ProgramUnit, StmtId, StmtKind};
+use std::collections::HashMap;
+
+/// Dense CFG node identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Index into per-node vectors.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Control-flow graph of one program unit.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// `stmt[n]` is the statement of node `n` (`None` for entry/exit).
+    pub stmt: Vec<Option<StmtId>>,
+    /// Successor adjacency.
+    pub succs: Vec<Vec<NodeId>>,
+    /// Predecessor adjacency.
+    pub preds: Vec<Vec<NodeId>>,
+    /// Entry node (always `NodeId(0)`).
+    pub entry: NodeId,
+    /// Exit node (always `NodeId(1)`).
+    pub exit: NodeId,
+    node_of_stmt: HashMap<StmtId, NodeId>,
+}
+
+impl Cfg {
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.stmt.len()
+    }
+
+    /// True if the graph has no statement nodes.
+    pub fn is_empty(&self) -> bool {
+        self.len() <= 2
+    }
+
+    /// The node of a statement. Panics if the statement is not in this unit's
+    /// body tree (e.g. a tombstoned statement).
+    pub fn node(&self, s: StmtId) -> NodeId {
+        self.node_of_stmt[&s]
+    }
+
+    /// The node of a statement, if it is in the graph.
+    pub fn node_opt(&self, s: StmtId) -> Option<NodeId> {
+        self.node_of_stmt.get(&s).copied()
+    }
+
+    /// Build the CFG of a unit.
+    pub fn build(unit: &ProgramUnit) -> Cfg {
+        let mut b = Builder {
+            unit,
+            cfg: Cfg {
+                stmt: vec![None, None],
+                succs: vec![Vec::new(), Vec::new()],
+                preds: vec![Vec::new(), Vec::new()],
+                entry: NodeId(0),
+                exit: NodeId(1),
+                node_of_stmt: HashMap::new(),
+            },
+        };
+        let (first, lasts) = b.build_block(&unit.body);
+        let entry = b.cfg.entry;
+        let exit = b.cfg.exit;
+        match first {
+            Some(f) => b.edge(entry, f),
+            None => b.edge(entry, exit),
+        }
+        for l in lasts {
+            b.edge(l, exit);
+        }
+        b.cfg
+    }
+
+    /// Reverse-postorder of nodes from entry (forward problems iterate this).
+    pub fn rpo(&self) -> Vec<NodeId> {
+        let mut visited = vec![false; self.len()];
+        let mut post = Vec::with_capacity(self.len());
+        // Iterative DFS with explicit stack.
+        let mut stack: Vec<(NodeId, usize)> = vec![(self.entry, 0)];
+        visited[self.entry.index()] = true;
+        while let Some(&mut (n, ref mut i)) = stack.last_mut() {
+            if *i < self.succs[n.index()].len() {
+                let s = self.succs[n.index()][*i];
+                *i += 1;
+                if !visited[s.index()] {
+                    visited[s.index()] = true;
+                    stack.push((s, 0));
+                }
+            } else {
+                post.push(n);
+                stack.pop();
+            }
+        }
+        post.reverse();
+        post
+    }
+}
+
+struct Builder<'a> {
+    unit: &'a ProgramUnit,
+    cfg: Cfg,
+}
+
+impl<'a> Builder<'a> {
+    fn add_node(&mut self, s: StmtId) -> NodeId {
+        let id = NodeId(self.cfg.stmt.len() as u32);
+        self.cfg.stmt.push(Some(s));
+        self.cfg.succs.push(Vec::new());
+        self.cfg.preds.push(Vec::new());
+        self.cfg.node_of_stmt.insert(s, id);
+        id
+    }
+
+    fn edge(&mut self, from: NodeId, to: NodeId) {
+        if !self.cfg.succs[from.index()].contains(&to) {
+            self.cfg.succs[from.index()].push(to);
+            self.cfg.preds[to.index()].push(from);
+        }
+    }
+
+    /// Returns (first node of the block, the nodes that fall through to
+    /// whatever follows the block). `first == None` for an empty block.
+    fn build_block(&mut self, block: &Block) -> (Option<NodeId>, Vec<NodeId>) {
+        let mut first = None;
+        let mut pending: Vec<NodeId> = Vec::new();
+        for &sid in block {
+            if matches!(self.unit.stmt(sid).kind, StmtKind::Removed) {
+                continue;
+            }
+            let (f, lasts) = self.build_stmt(sid);
+            for p in pending {
+                self.edge(p, f);
+            }
+            pending = lasts;
+            if first.is_none() {
+                first = Some(f);
+            }
+        }
+        (first, pending)
+    }
+
+    /// Returns (node representing the statement, fall-through nodes).
+    fn build_stmt(&mut self, sid: StmtId) -> (NodeId, Vec<NodeId>) {
+        let n = self.add_node(sid);
+        match &self.unit.stmt(sid).kind {
+            StmtKind::Do(d) => {
+                let (bf, blasts) = self.build_block(&d.body);
+                match bf {
+                    Some(bf) => {
+                        self.edge(n, bf);
+                        for l in blasts {
+                            self.edge(l, n); // back edge to header
+                        }
+                    }
+                    None => {
+                        // Empty body: the header iterates on itself.
+                        self.edge(n, n);
+                    }
+                }
+                // Zero-trip / loop-exit edge: falls through the header.
+                (n, vec![n])
+            }
+            StmtKind::If { arms, else_block } => {
+                let mut lasts = Vec::new();
+                for (_, blk) in arms {
+                    let (bf, blasts) = self.build_block(blk);
+                    match bf {
+                        Some(bf) => {
+                            self.edge(n, bf);
+                            lasts.extend(blasts);
+                        }
+                        None => lasts.push(n),
+                    }
+                }
+                match else_block {
+                    Some(blk) => {
+                        let (bf, blasts) = self.build_block(blk);
+                        match bf {
+                            Some(bf) => {
+                                self.edge(n, bf);
+                                lasts.extend(blasts);
+                            }
+                            None => lasts.push(n),
+                        }
+                    }
+                    None => lasts.push(n), // condition false falls through
+                }
+                (n, lasts)
+            }
+            StmtKind::Return | StmtKind::Stop => {
+                let exit = self.cfg.exit;
+                self.edge(n, exit);
+                (n, Vec::new())
+            }
+            _ => (n, vec![n]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ped_fortran::parse_program;
+
+    fn unit(src: &str) -> ProgramUnit {
+        parse_program(src).unwrap().units.remove(0)
+    }
+
+    #[test]
+    fn straight_line() {
+        let u = unit("program t\nx = 1.0\ny = 2.0\nend\n");
+        let c = Cfg::build(&u);
+        assert_eq!(c.len(), 4);
+        let n0 = c.node(u.body[0]);
+        let n1 = c.node(u.body[1]);
+        assert_eq!(c.succs[c.entry.index()], vec![n0]);
+        assert_eq!(c.succs[n0.index()], vec![n1]);
+        assert_eq!(c.succs[n1.index()], vec![c.exit]);
+    }
+
+    #[test]
+    fn loop_has_back_edge_and_exit_edge() {
+        let u = unit("program t\nreal a(10)\ndo i = 1, 10\na(i) = 0.0\nenddo\nend\n");
+        let c = Cfg::build(&u);
+        let hdr = c.node(u.body[0]);
+        let body = match &u.stmt(u.body[0]).kind {
+            StmtKind::Do(d) => c.node(d.body[0]),
+            _ => unreachable!(),
+        };
+        assert!(c.succs[hdr.index()].contains(&body));
+        assert!(c.succs[hdr.index()].contains(&c.exit));
+        assert!(c.succs[body.index()].contains(&hdr));
+    }
+
+    #[test]
+    fn if_without_else_falls_through() {
+        let u = unit("program t\nif (x .gt. 0.0) then\ny = 1.0\nendif\nz = 2.0\nend\n");
+        let c = Cfg::build(&u);
+        let iff = c.node(u.body[0]);
+        let z = c.node(u.body[1]);
+        assert!(c.succs[iff.index()].contains(&z), "false branch must fall through");
+        assert_eq!(c.succs[iff.index()].len(), 2);
+    }
+
+    #[test]
+    fn return_goes_to_exit() {
+        let u = unit("subroutine s()\nif (x .gt. 0.0) then\nreturn\nendif\nx = 1.0\nend\n");
+        let c = Cfg::build(&u);
+        let ids = ped_fortran::visit::stmts_recursive(&u, &u.body);
+        let ret = ids.iter().copied().find(|&s| u.stmt(s).kind == StmtKind::Return).unwrap();
+        assert_eq!(c.succs[c.node(ret).index()], vec![c.exit]);
+    }
+
+    #[test]
+    fn rpo_starts_at_entry() {
+        let u = unit("program t\ndo i = 1, 3\nx = 1.0\nenddo\nend\n");
+        let c = Cfg::build(&u);
+        let order = c.rpo();
+        assert_eq!(order[0], c.entry);
+        assert_eq!(order.len(), c.len());
+    }
+}

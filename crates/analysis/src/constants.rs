@@ -1,0 +1,339 @@
+//! Scalar constant propagation.
+//!
+//! "Analysis of interprocedural and intraprocedural constants … improves the
+//! precision of its dependence analysis." This module computes, for every
+//! statement, the set of integer/real scalars known to hold a constant at
+//! that point. The interprocedural half (constants inherited from callers)
+//! is layered on by `ped-interproc`, which seeds [`ConstEnv::compute_seeded`]
+//! with known dummy-argument values.
+
+use crate::cfg::{Cfg, NodeId};
+use ped_fortran::symbols::Const;
+use ped_fortran::visit::{stmt_accesses, AccessKind};
+use ped_fortran::{BinOp, Expr, ProgramUnit, StmtId, StmtKind, SymId, UnOp};
+use std::collections::HashMap;
+
+/// Map from scalar symbol to its known constant value.
+pub type Facts = HashMap<SymId, Const>;
+
+/// Constant-propagation solution for one unit.
+#[derive(Debug, Clone)]
+pub struct ConstEnv {
+    /// Facts that hold on entry to each statement.
+    facts_in: HashMap<StmtId, Facts>,
+}
+
+impl ConstEnv {
+    /// Propagate constants with no external seed.
+    pub fn compute(unit: &ProgramUnit, cfg: &Cfg) -> ConstEnv {
+        Self::compute_seeded(unit, cfg, &Facts::new())
+    }
+
+    /// Propagate constants, seeding the entry with externally-known facts
+    /// (interprocedural constants for dummy arguments / COMMON members).
+    pub fn compute_seeded(unit: &ProgramUnit, cfg: &Cfg, seed: &Facts) -> ConstEnv {
+        // PARAMETER constants hold everywhere and are handled directly in
+        // `eval`; the lattice tracks assignable scalars only.
+        let n = cfg.len();
+        // `None` = unvisited (⊤); `Some(facts)` = known facts (absence of a
+        // key means ⊥ — the variable may vary).
+        let mut inn: Vec<Option<Facts>> = vec![None; n];
+        let mut out: Vec<Option<Facts>> = vec![None; n];
+        inn[cfg.entry.index()] = Some(seed.clone());
+
+        let order = cfg.rpo();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &node in &order {
+                let i = node.index();
+                // Meet over predecessors (plus the seeded entry fact).
+                if !cfg.preds[i].is_empty() {
+                    let mut acc: Option<Facts> = if node == cfg.entry {
+                        Some(seed.clone())
+                    } else {
+                        None
+                    };
+                    for &p in &cfg.preds[i] {
+                        if let Some(pf) = &out[p.index()] {
+                            acc = Some(match acc {
+                                None => pf.clone(),
+                                Some(a) => meet(&a, pf),
+                            });
+                        }
+                    }
+                    if acc.is_some() && acc != inn[i] {
+                        inn[i] = acc;
+                    }
+                }
+                let Some(facts) = inn[i].clone() else { continue };
+                let new_out = Some(transfer(unit, cfg, node, facts));
+                if new_out != out[i] {
+                    out[i] = new_out;
+                    changed = true;
+                }
+            }
+        }
+
+        let mut facts_in = HashMap::new();
+        for (i, stmt) in cfg.stmt.iter().enumerate() {
+            if let (Some(sid), Some(f)) = (stmt, inn[i].clone()) {
+                facts_in.insert(*sid, f);
+            }
+        }
+        ConstEnv { facts_in }
+    }
+
+    /// Facts on entry to a statement (empty if unreachable).
+    pub fn at(&self, stmt: StmtId) -> &Facts {
+        static EMPTY: std::sync::OnceLock<Facts> = std::sync::OnceLock::new();
+        self.facts_in.get(&stmt).unwrap_or_else(|| EMPTY.get_or_init(Facts::new))
+    }
+
+    /// Evaluate an expression to an integer constant at a statement.
+    pub fn int_at(&self, unit: &ProgramUnit, stmt: StmtId, e: &Expr) -> Option<i64> {
+        match eval(unit, self.at(stmt), e)? {
+            Const::Int(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Meet two fact maps: keep only agreeing constants.
+fn meet(a: &Facts, b: &Facts) -> Facts {
+    let mut out = Facts::new();
+    for (k, v) in a {
+        if b.get(k) == Some(v) {
+            out.insert(*k, *v);
+        }
+    }
+    out
+}
+
+/// Transfer function of one statement.
+fn transfer(unit: &ProgramUnit, cfg: &Cfg, node: NodeId, mut facts: Facts) -> Facts {
+    let Some(sid) = cfg.stmt[node.index()] else { return facts };
+    match &unit.stmt(sid).kind {
+        StmtKind::Assign { lhs, rhs } => {
+            if let ped_fortran::LValue::Var(s) = lhs {
+                match eval(unit, &facts, rhs) {
+                    Some(v) => {
+                        facts.insert(*s, v);
+                    }
+                    None => {
+                        facts.remove(s);
+                    }
+                }
+            }
+        }
+        StmtKind::Do(d) => {
+            // The loop variable varies; at the header we cannot assume a
+            // constant (precise per-iteration values are the dependence
+            // tester's job, not constant propagation's).
+            facts.remove(&d.var);
+        }
+        StmtKind::Call { .. } => {
+            // Kill every actual argument that could be written, plus all
+            // COMMON members (refined by interprocedural MOD analysis at the
+            // ped-core layer, which re-seeds this analysis).
+            for acc in stmt_accesses(unit, sid) {
+                if acc.kind == AccessKind::CallArg {
+                    facts.remove(&acc.sym);
+                }
+            }
+            facts.retain(|s, _| unit.symbols.sym(*s).common.is_none());
+        }
+        _ => {}
+    }
+    facts
+}
+
+/// Evaluate an expression given facts; `None` when not a known constant.
+pub fn eval(unit: &ProgramUnit, facts: &Facts, e: &Expr) -> Option<Const> {
+    match e {
+        Expr::Int(v) => Some(Const::Int(*v)),
+        Expr::Real(v) | Expr::Double(v) => Some(Const::Real(*v)),
+        Expr::Logical(b) => Some(Const::Logical(*b)),
+        Expr::Var(s) => unit.symbols.sym(*s).param.or_else(|| facts.get(s).copied()),
+        Expr::Un { op: UnOp::Neg, e } => match eval(unit, facts, e)? {
+            Const::Int(v) => Some(Const::Int(v.checked_neg()?)),
+            Const::Real(v) => Some(Const::Real(-v)),
+            Const::Logical(_) => None,
+        },
+        Expr::Un { op: UnOp::Not, e } => match eval(unit, facts, e)? {
+            Const::Logical(b) => Some(Const::Logical(!b)),
+            _ => None,
+        },
+        Expr::Bin { op, l, r } => {
+            let l = eval(unit, facts, l)?;
+            let r = eval(unit, facts, r)?;
+            eval_bin(*op, l, r)
+        }
+        Expr::Intrinsic { op, args } => {
+            use ped_fortran::ast::Intrinsic as I;
+            let vals: Option<Vec<Const>> =
+                args.iter().map(|a| eval(unit, facts, a)).collect();
+            let vals = vals?;
+            match (op, vals.as_slice()) {
+                (I::Abs, [Const::Int(v)]) => Some(Const::Int(v.checked_abs()?)),
+                (I::Abs, [Const::Real(v)]) => Some(Const::Real(v.abs())),
+                (I::Mod, [Const::Int(a), Const::Int(b)]) if *b != 0 => {
+                    Some(Const::Int(a % b))
+                }
+                (I::Min, vs) if vs.iter().all(|v| matches!(v, Const::Int(_))) => {
+                    vs.iter().filter_map(|v| v.as_int()).min().map(Const::Int)
+                }
+                (I::Max, vs) if vs.iter().all(|v| matches!(v, Const::Int(_))) => {
+                    vs.iter().filter_map(|v| v.as_int()).max().map(Const::Int)
+                }
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
+fn eval_bin(op: BinOp, l: Const, r: Const) -> Option<Const> {
+    use Const::*;
+    match (l, r) {
+        (Int(a), Int(b)) => match op {
+            BinOp::Add => a.checked_add(b).map(Int),
+            BinOp::Sub => a.checked_sub(b).map(Int),
+            BinOp::Mul => a.checked_mul(b).map(Int),
+            BinOp::Div => a.checked_div(b).map(Int),
+            BinOp::Pow => u32::try_from(b).ok().and_then(|p| a.checked_pow(p)).map(Int),
+            BinOp::Lt => Some(Logical(a < b)),
+            BinOp::Le => Some(Logical(a <= b)),
+            BinOp::Gt => Some(Logical(a > b)),
+            BinOp::Ge => Some(Logical(a >= b)),
+            BinOp::Eq => Some(Logical(a == b)),
+            BinOp::Ne => Some(Logical(a != b)),
+            _ => None,
+        },
+        (Real(a), Real(b)) => arith_real(op, a, b),
+        (Real(a), Int(b)) => arith_real(op, a, b as f64),
+        (Int(a), Real(b)) => arith_real(op, a as f64, b),
+        (Logical(a), Logical(b)) => match op {
+            BinOp::And => Some(Logical(a && b)),
+            BinOp::Or => Some(Logical(a || b)),
+            BinOp::Eq => Some(Logical(a == b)),
+            BinOp::Ne => Some(Logical(a != b)),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+fn arith_real(op: BinOp, a: f64, b: f64) -> Option<Const> {
+    use Const::*;
+    match op {
+        BinOp::Add => Some(Real(a + b)),
+        BinOp::Sub => Some(Real(a - b)),
+        BinOp::Mul => Some(Real(a * b)),
+        BinOp::Div => Some(Real(a / b)),
+        BinOp::Pow => Some(Real(a.powf(b))),
+        BinOp::Lt => Some(Logical(a < b)),
+        BinOp::Le => Some(Logical(a <= b)),
+        BinOp::Gt => Some(Logical(a > b)),
+        BinOp::Ge => Some(Logical(a >= b)),
+        BinOp::Eq => Some(Logical(a == b)),
+        BinOp::Ne => Some(Logical(a != b)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ped_fortran::parse_program;
+
+    fn setup(src: &str) -> (ProgramUnit, Cfg, ConstEnv) {
+        let u = parse_program(src).unwrap().units.remove(0);
+        let cfg = Cfg::build(&u);
+        let env = ConstEnv::compute(&u, &cfg);
+        (u, cfg, env)
+    }
+
+    #[test]
+    fn straight_line_constant() {
+        let (u, _, env) = setup("program t\nn = 100\nm = n + 1\nk = m * 2\nend\n");
+        let n = u.symbols.lookup("n").unwrap();
+        let m = u.symbols.lookup("m").unwrap();
+        assert_eq!(env.at(u.body[1]).get(&n), Some(&Const::Int(100)));
+        assert_eq!(env.at(u.body[2]).get(&m), Some(&Const::Int(101)));
+    }
+
+    #[test]
+    fn parameter_is_constant_via_eval() {
+        let (u, _, env) = setup("program t\ninteger n\nparameter (n = 50)\nm = n\nend\n");
+        let m_stmt = u.body[0];
+        let n = u.symbols.lookup("n").unwrap();
+        assert_eq!(env.int_at(&u, m_stmt, &Expr::Var(n)), Some(50));
+    }
+
+    #[test]
+    fn branch_disagreement_loses_constant() {
+        let (u, _, env) = setup(
+            "program t\nif (c .gt. 0.0) then\nn = 1\nelse\nn = 2\nendif\nm = n\nend\n",
+        );
+        let n = u.symbols.lookup("n").unwrap();
+        assert_eq!(env.at(u.body[1]).get(&n), None);
+    }
+
+    #[test]
+    fn branch_agreement_keeps_constant() {
+        let (u, _, env) = setup(
+            "program t\nif (c .gt. 0.0) then\nn = 7\nelse\nn = 7\nendif\nm = n\nend\n",
+        );
+        let n = u.symbols.lookup("n").unwrap();
+        assert_eq!(env.at(u.body[1]).get(&n), Some(&Const::Int(7)));
+    }
+
+    #[test]
+    fn call_kills_arguments_and_common() {
+        let (u, _, env) = setup(
+            "program t\ncommon /c/ g\nn = 4\ng = 5\nh = 6\ncall f(n)\nm = n\nend\n",
+        );
+        let n = u.symbols.lookup("n").unwrap();
+        let g = u.symbols.lookup("g").unwrap();
+        let h = u.symbols.lookup("h").unwrap();
+        let last = *u.body.last().unwrap();
+        assert_eq!(env.at(last).get(&n), None, "call arg killed");
+        assert_eq!(env.at(last).get(&g), None, "common killed");
+        assert!(env.at(last).contains_key(&h), "untouched local survives");
+    }
+
+    #[test]
+    fn loop_variable_not_constant() {
+        let (u, _, env) = setup("program t\nreal a(10)\ndo i = 1, 10\na(i) = 0.0\nenddo\nend\n");
+        let i = u.symbols.lookup("i").unwrap();
+        let body0 = u.loop_of(u.body[0]).body[0];
+        assert_eq!(env.at(body0).get(&i), None);
+    }
+
+    #[test]
+    fn constant_survives_loop_if_not_written() {
+        let (u, _, env) = setup(
+            "program t\nreal a(10)\nn = 10\ndo i = 1, n\na(i) = 0.0\nenddo\nm = n\nend\n",
+        );
+        let n = u.symbols.lookup("n").unwrap();
+        let last = *u.body.last().unwrap();
+        assert_eq!(env.at(last).get(&n), Some(&Const::Int(10)));
+    }
+
+    #[test]
+    fn seeded_facts_propagate() {
+        let u = parse_program("subroutine s(n)\ninteger n\nm = n + 1\nend\n")
+            .unwrap()
+            .units
+            .remove(0);
+        let cfg = Cfg::build(&u);
+        let n = u.symbols.lookup("n").unwrap();
+        let mut seed = Facts::new();
+        seed.insert(n, Const::Int(41));
+        let env = ConstEnv::compute_seeded(&u, &cfg, &seed);
+        let m = u.symbols.lookup("m").unwrap();
+        let _ = m;
+        assert_eq!(env.int_at(&u, u.body[0], &Expr::Var(n)), Some(41));
+    }
+}

@@ -1,0 +1,216 @@
+//! Postdominators and control dependence.
+//!
+//! "Control dependences explicitly represent how control decisions affect
+//! statement execution" (Ferrante, Ottenstein & Warren). Computed generally
+//! from the CFG: postdominator sets by iteration, then the standard edge
+//! rule — for each edge `u→v` where `v` does not postdominate `u`, every
+//! node from `v` up the postdominator tree to (but excluding) `ipdom(u)` is
+//! control dependent on `u`.
+
+use crate::cfg::{Cfg, NodeId};
+use crate::dataflow::BitSet;
+use ped_fortran::StmtId;
+use std::collections::HashMap;
+
+/// Control dependence relation over statements of one unit.
+#[derive(Debug, Clone)]
+pub struct ControlDeps {
+    /// `(controller, dependent)` pairs, deduplicated.
+    pub pairs: Vec<(StmtId, StmtId)>,
+    controllers: HashMap<StmtId, Vec<StmtId>>,
+}
+
+impl ControlDeps {
+    /// The statements controlling `s` (branch/loop headers it depends on).
+    pub fn controllers_of(&self, s: StmtId) -> &[StmtId] {
+        self.controllers.get(&s).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Compute control dependence from a CFG.
+    pub fn compute(cfg: &Cfg) -> ControlDeps {
+        let pdom = postdominators(cfg);
+        let ipdom = immediate_postdominators(cfg, &pdom);
+
+        let mut pairs = Vec::new();
+        for u in 0..cfg.len() {
+            let un = NodeId(u as u32);
+            for &v in &cfg.succs[u] {
+                if v.index() != u && pdom[u].contains(v.index()) {
+                    continue; // v postdominates u: not a decision edge
+                }
+                // Walk v up the postdominator tree until ipdom(u).
+                let stop = ipdom[u];
+                let mut cur = Some(v);
+                while let Some(c) = cur {
+                    if Some(c) == stop {
+                        break;
+                    }
+                    if let (Some(cs), Some(us)) = (cfg.stmt[c.index()], cfg.stmt[un.index()]) {
+                        if cs != us {
+                            pairs.push((us, cs));
+                        } else {
+                            // A node can be control dependent on itself
+                            // (loop headers); record it so loop-carried
+                            // control dependence is visible.
+                            pairs.push((us, cs));
+                        }
+                    }
+                    cur = ipdom[c.index()];
+                    if cur == Some(c) {
+                        break;
+                    }
+                }
+            }
+        }
+        pairs.sort();
+        pairs.dedup();
+        let mut controllers: HashMap<StmtId, Vec<StmtId>> = HashMap::new();
+        for &(c, d) in &pairs {
+            controllers.entry(d).or_default().push(c);
+        }
+        ControlDeps { pairs, controllers }
+    }
+}
+
+/// Postdominator sets: `pdom[n]` contains `m` iff `m` postdominates `n`.
+pub fn postdominators(cfg: &Cfg) -> Vec<BitSet> {
+    let n = cfg.len();
+    let mut pdom: Vec<BitSet> = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut b = BitSet::new(n);
+        if i == cfg.exit.index() {
+            b.insert(i);
+        } else {
+            b.fill();
+        }
+        pdom.push(b);
+    }
+    let mut order = cfg.rpo();
+    order.reverse(); // approximate reverse CFG RPO
+    let mut changed = true;
+    let mut scratch = BitSet::new(n);
+    while changed {
+        changed = false;
+        for &node in &order {
+            let i = node.index();
+            if i == cfg.exit.index() {
+                continue;
+            }
+            if cfg.succs[i].is_empty() {
+                continue; // unreachable-to-exit node keeps ⊤
+            }
+            scratch.fill();
+            for &s in &cfg.succs[i] {
+                scratch.intersect_with(&pdom[s.index()]);
+            }
+            scratch.insert(i);
+            if scratch != pdom[i] {
+                std::mem::swap(&mut pdom[i], &mut scratch);
+                changed = true;
+            }
+        }
+    }
+    pdom
+}
+
+/// Immediate postdominators derived from the postdominator sets.
+pub fn immediate_postdominators(cfg: &Cfg, pdom: &[BitSet]) -> Vec<Option<NodeId>> {
+    let n = cfg.len();
+    let mut ipdom = vec![None; n];
+    for i in 0..n {
+        if i == cfg.exit.index() {
+            continue;
+        }
+        // The immediate postdominator is the closest strict postdominator:
+        // the one that every other strict postdominator postdominates.
+        let strict: Vec<usize> = pdom[i].iter().filter(|&m| m != i).collect();
+        'cand: for &c in &strict {
+            for &o in &strict {
+                if o != c && !pdom[c].contains(o) {
+                    continue 'cand;
+                }
+            }
+            ipdom[i] = Some(NodeId(c as u32));
+            break;
+        }
+    }
+    ipdom
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ped_fortran::{parse_program, ProgramUnit, StmtKind};
+
+    fn setup(src: &str) -> (ProgramUnit, Cfg, ControlDeps) {
+        let u = parse_program(src).unwrap().units.remove(0);
+        let cfg = Cfg::build(&u);
+        let cd = ControlDeps::compute(&cfg);
+        (u, cfg, cd)
+    }
+
+    #[test]
+    fn if_controls_its_arm() {
+        let (u, _, cd) = setup(
+            "program t\nif (x .gt. 0.0) then\ny = 1.0\nendif\nz = 2.0\nend\n",
+        );
+        let iff = u.body[0];
+        let inner = match &u.stmt(iff).kind {
+            StmtKind::If { arms, .. } => arms[0].1[0],
+            _ => unreachable!(),
+        };
+        assert!(cd.pairs.contains(&(iff, inner)));
+        // z after the IF is not controlled by it.
+        let z = u.body[1];
+        assert!(!cd.pairs.contains(&(iff, z)));
+    }
+
+    #[test]
+    fn else_arm_also_controlled() {
+        let (u, _, cd) = setup(
+            "program t\nif (x .gt. 0.0) then\ny = 1.0\nelse\ny = 2.0\nendif\nend\n",
+        );
+        let iff = u.body[0];
+        let (then_s, else_s) = match &u.stmt(iff).kind {
+            StmtKind::If { arms, else_block } => {
+                (arms[0].1[0], else_block.as_ref().unwrap()[0])
+            }
+            _ => unreachable!(),
+        };
+        assert!(cd.pairs.contains(&(iff, then_s)));
+        assert!(cd.pairs.contains(&(iff, else_s)));
+    }
+
+    #[test]
+    fn loop_controls_body_and_itself() {
+        let (u, _, cd) = setup("program t\nreal a(5)\ndo i = 1, 5\na(i) = 0.0\nenddo\nend\n");
+        let hdr = u.body[0];
+        let body = u.loop_of(hdr).body[0];
+        assert!(cd.pairs.contains(&(hdr, body)));
+        assert!(cd.pairs.contains(&(hdr, hdr)), "loop header controls its own repetition");
+    }
+
+    #[test]
+    fn nested_if_has_two_controllers() {
+        let (u, _, cd) = setup(
+            "program t\nif (a .gt. 0.0) then\nif (b .gt. 0.0) then\nx = 1.0\nendif\nendif\nend\n",
+        );
+        let outer = u.body[0];
+        let inner = match &u.stmt(outer).kind {
+            StmtKind::If { arms, .. } => arms[0].1[0],
+            _ => unreachable!(),
+        };
+        let x = match &u.stmt(inner).kind {
+            StmtKind::If { arms, .. } => arms[0].1[0],
+            _ => unreachable!(),
+        };
+        assert!(cd.controllers_of(x).contains(&inner));
+        assert!(cd.controllers_of(inner).contains(&outer));
+    }
+
+    #[test]
+    fn straight_line_has_no_control_deps() {
+        let (_, _, cd) = setup("program t\nx = 1.0\ny = 2.0\nend\n");
+        assert!(cd.pairs.is_empty());
+    }
+}

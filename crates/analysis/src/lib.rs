@@ -1,0 +1,59 @@
+//! # ped-analysis — scalar program analysis for the ParaScope Editor
+//!
+//! Ped's dependence analysis is only as precise as the scalar analyses
+//! feeding it. This crate implements the supporting analyses named in the
+//! paper:
+//!
+//! * control-flow graphs for structured units ([`cfg`]);
+//! * a generic iterative bit-vector data-flow solver ([`dataflow`]);
+//! * reaching definitions and def-use chains ([`defuse`]) — "def-use chains
+//!   expose dependences among scalar variables as well as linking all
+//!   accesses to each array for dependence testing";
+//! * scalar constant propagation ([`constants`]);
+//! * live-variable analysis ([`liveness`]);
+//! * symbolic analysis and canonical affine forms ([`symbolic`]) — the
+//!   input language of the dependence tests;
+//! * postdominators and control dependence ([`controldep`]) following
+//!   Ferrante, Ottenstein and Warren;
+//! * loop-level scalar classification ([`scalars`]): privatizable scalars
+//!   ("killed on every iteration"), reduction recognition, and
+//!   loop-invariance — the facts Ped's variable pane displays.
+
+pub mod cfg;
+pub mod constants;
+pub mod controldep;
+pub mod dataflow;
+pub mod defuse;
+pub mod liveness;
+pub mod scalars;
+pub mod symbolic;
+
+pub use cfg::{Cfg, NodeId};
+pub use constants::ConstEnv;
+pub use defuse::DefUse;
+pub use symbolic::Affine;
+
+use ped_fortran::ProgramUnit;
+
+/// Bundle of the per-unit scalar analyses most consumers need together.
+pub struct UnitAnalysis {
+    /// Control-flow graph.
+    pub cfg: Cfg,
+    /// Reaching definitions / def-use chains.
+    pub defuse: DefUse,
+    /// Constant propagation results.
+    pub consts: ConstEnv,
+    /// Live variables.
+    pub live: liveness::Liveness,
+}
+
+impl UnitAnalysis {
+    /// Run all scalar analyses on one unit.
+    pub fn run(unit: &ProgramUnit) -> UnitAnalysis {
+        let cfg = Cfg::build(unit);
+        let defuse = DefUse::compute(unit, &cfg);
+        let consts = ConstEnv::compute(unit, &cfg);
+        let live = liveness::Liveness::compute(unit, &cfg);
+        UnitAnalysis { cfg, defuse, consts, live }
+    }
+}

@@ -1,0 +1,164 @@
+//! Live-variable analysis.
+//!
+//! Ped uses liveness to decide whether a privatized scalar needs its final
+//! value copied out (`lastprivate`) and whether deleting a statement is
+//! safe. Classic backward may-analysis over symbols.
+
+use crate::cfg::Cfg;
+use crate::dataflow::{solve, BitSet, Direction, Meet, Solution};
+use ped_fortran::visit::{stmt_accesses, AccessKind};
+use ped_fortran::{ProgramUnit, StmtId, SymId};
+
+/// Live-variable solution for one unit.
+#[derive(Debug, Clone)]
+pub struct Liveness {
+    sol: Solution,
+    nsyms: usize,
+}
+
+impl Liveness {
+    /// Compute liveness. Dummy arguments and COMMON members are treated as
+    /// live at unit exit (their values escape to the caller).
+    pub fn compute(unit: &ProgramUnit, cfg: &Cfg) -> Liveness {
+        let nsyms = unit.symbols.len().max(1);
+        let mut gen = vec![BitSet::new(nsyms); cfg.len()];
+        let mut kill = vec![BitSet::new(nsyms); cfg.len()];
+        for (i, stmt) in cfg.stmt.iter().enumerate() {
+            let Some(sid) = stmt else { continue };
+            for acc in stmt_accesses(unit, *sid) {
+                match acc.kind {
+                    AccessKind::Read => gen[i].insert(acc.sym.index()),
+                    AccessKind::Write => {
+                        if acc.subs.is_none() {
+                            kill[i].insert(acc.sym.index());
+                        } else {
+                            // Array-element write: the rest of the array may
+                            // still be read later, so it also counts as a
+                            // use of the array (and never a kill).
+                            gen[i].insert(acc.sym.index());
+                        }
+                    }
+                    AccessKind::CallArg => gen[i].insert(acc.sym.index()),
+                }
+            }
+        }
+        // A symbol both read and written by one statement (x = x + 1) must
+        // stay in gen; the solver computes in = gen ∪ (out \ kill), which
+        // already gives reads priority. Remove kills that are also gens to
+        // keep the transfer conservative for same-statement read+write.
+        for i in 0..cfg.len() {
+            let g = gen[i].clone();
+            for b in g.iter() {
+                kill[i].remove(b);
+            }
+        }
+
+        let mut boundary = BitSet::new(nsyms);
+        for (id, sym) in unit.symbols.iter() {
+            if sym.arg_index.is_some() || sym.common.is_some() {
+                boundary.insert(id.index());
+            }
+        }
+        let sol = solve(cfg, &gen, &kill, Direction::Backward, Meet::Union, &boundary);
+        Liveness { sol, nsyms }
+    }
+
+    /// Is `sym` live on entry to `stmt`?
+    pub fn live_in(&self, cfg: &Cfg, stmt: StmtId, sym: SymId) -> bool {
+        cfg.node_opt(stmt)
+            .map(|n| self.sol.inn[n.index()].contains(sym.index()))
+            .unwrap_or(false)
+    }
+
+    /// Is `sym` live on exit from `stmt`?
+    ///
+    /// For a DO statement this asks "live after the loop completes or on the
+    /// next header evaluation"; use it on the loop header to decide whether
+    /// a loop-written scalar escapes the loop.
+    pub fn live_out(&self, cfg: &Cfg, stmt: StmtId, sym: SymId) -> bool {
+        cfg.node_opt(stmt)
+            .map(|n| self.sol.out[n.index()].contains(sym.index()))
+            .unwrap_or(false)
+    }
+
+    /// Is `sym` live after the loop exits — i.e. live at some CFG successor
+    /// of the loop header other than the loop body?
+    pub fn live_after_loop(&self, unit: &ProgramUnit, cfg: &Cfg, header: StmtId, sym: SymId) -> bool {
+        let Some(hn) = cfg.node_opt(header) else { return false };
+        let body_first = match &unit.stmt(header).kind {
+            ped_fortran::StmtKind::Do(d) => {
+                d.body.iter().find_map(|&s| cfg.node_opt(s))
+            }
+            _ => None,
+        };
+        cfg.succs[hn.index()]
+            .iter()
+            .filter(|&&s| Some(s) != body_first)
+            .any(|&s| self.sol.inn[s.index()].contains(sym.index()))
+    }
+
+    /// Number of symbols tracked.
+    pub fn width(&self) -> usize {
+        self.nsyms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ped_fortran::parse_program;
+
+    fn setup(src: &str) -> (ProgramUnit, Cfg, Liveness) {
+        let u = parse_program(src).unwrap().units.remove(0);
+        let cfg = Cfg::build(&u);
+        let lv = Liveness::compute(&u, &cfg);
+        (u, cfg, lv)
+    }
+
+    #[test]
+    fn dead_after_last_use() {
+        let (u, cfg, lv) = setup("program t\nx = 1.0\ny = x\nz = y\nprint *, z\nend\n");
+        let x = u.symbols.lookup("x").unwrap();
+        assert!(lv.live_in(&cfg, u.body[1], x));
+        assert!(!lv.live_out(&cfg, u.body[1], x));
+    }
+
+    #[test]
+    fn args_live_at_exit() {
+        let (u, cfg, lv) = setup("subroutine s(r)\nr = 1.0\nend\n");
+        let r = u.symbols.lookup("r").unwrap();
+        assert!(lv.live_out(&cfg, u.body[0], r), "dummy arg escapes to caller");
+    }
+
+    #[test]
+    fn loop_temporary_not_live_after_loop() {
+        let (u, cfg, lv) = setup(
+            "program t\nreal a(10)\ndo i = 1, 10\nt1 = 2.0\na(i) = t1\nenddo\nprint *, a(1)\nend\n",
+        );
+        let t1 = u.symbols.lookup("t1").unwrap();
+        let header = u.body[1 - 1]; // first executable is the DO? body[0] is do
+        let header = if u.is_loop(header) { header } else { u.body[1] };
+        assert!(!lv.live_after_loop(&u, &cfg, header, t1));
+        // But t1 is live inside the loop between its def and use.
+        let body = &u.loop_of(header).body;
+        assert!(lv.live_in(&cfg, body[1], t1));
+    }
+
+    #[test]
+    fn sum_live_after_loop() {
+        let (u, cfg, lv) = setup(
+            "program t\ns = 0.0\ndo i = 1, 10\ns = s + 1.0\nenddo\nprint *, s\nend\n",
+        );
+        let s = u.symbols.lookup("s").unwrap();
+        let header = u.body[1];
+        assert!(lv.live_after_loop(&u, &cfg, header, s));
+    }
+
+    #[test]
+    fn read_write_same_stmt_stays_live() {
+        let (u, cfg, lv) = setup("program t\nx = 0.0\nx = x + 1.0\nend\n");
+        let x = u.symbols.lookup("x").unwrap();
+        assert!(lv.live_in(&cfg, u.body[1], x));
+        assert!(lv.live_out(&cfg, u.body[0], x));
+    }
+}

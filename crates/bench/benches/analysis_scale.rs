@@ -1,0 +1,54 @@
+//! E11 — analysis time vs program size.
+//!
+//! Ped had to stay interactive on 5600-line codes. This bench sweeps
+//! generated programs (units × loops) and measures: parsing, the per-unit
+//! scalar analyses, whole-program interprocedural analysis, and dependence
+//! graphs for every loop.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ped_core::Ped;
+use ped_workloads::generator::{gen_source, GenConfig};
+use std::hint::black_box;
+
+fn bench_scale(c: &mut Criterion) {
+    let mut g = c.benchmark_group("analysis_scale");
+    g.sample_size(10);
+    for (units, loops) in [(2usize, 4usize), (6, 6), (12, 10)] {
+        let cfg = GenConfig { units, loops_per_unit: loops, ..GenConfig::default() };
+        let src = gen_source(cfg);
+        let lines = src.lines().count();
+        g.bench_with_input(
+            BenchmarkId::new("parse", lines),
+            &src,
+            |b, src| b.iter(|| black_box(ped_fortran::parse_program(src).unwrap())),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("interproc", lines),
+            &src,
+            |b, src| {
+                let p = ped_fortran::parse_program(src).unwrap();
+                b.iter(|| black_box(ped_interproc::IpAnalysis::analyze(&p)))
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("all_dep_graphs", lines),
+            &src,
+            |b, src| {
+                b.iter(|| {
+                    let mut ped = Ped::open(src).unwrap();
+                    let mut total = 0usize;
+                    for ui in 0..ped.program().units.len() {
+                        for (h, _) in ped.loops(ui) {
+                            total += ped.graph(ui, h).unwrap().deps.len();
+                        }
+                    }
+                    black_box(total)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_scale);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! E10 — incremental reanalysis after an edit.
+//!
+//! "Incremental parsing occurs in response to edits" — Ped kept the editor
+//! responsive by re-analyzing only what an edit touched. We compare
+//! re-deriving the dependence graphs of *one edited unit* (unit-level
+//! incrementality, what the session does) against re-deriving every unit's
+//! graphs from scratch, across program sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ped_core::Ped;
+use ped_workloads::generator::{gen_source, GenConfig};
+use std::hint::black_box;
+
+fn graphs_of_unit(ped: &mut Ped, ui: usize) -> usize {
+    let mut n = 0;
+    for (h, _) in ped.loops(ui) {
+        n += ped.graph(ui, h).unwrap().deps.len();
+    }
+    n
+}
+
+fn bench_incremental(c: &mut Criterion) {
+    let mut g = c.benchmark_group("incremental_reanalysis");
+    g.sample_size(10);
+    for units in [4usize, 8, 16] {
+        let cfg = GenConfig { units, loops_per_unit: 6, ..GenConfig::default() };
+        let src = gen_source(cfg);
+        // The edited replacement for unit work0 (one statement changed).
+        let edited = "subroutine work0(a, b, c, n)\ninteger n\nreal a(n), b(n), c(n, n)\n\
+                      do i = 1, n\na(i) = b(i) * 3.0\nenddo\nreturn\nend\n";
+        g.bench_with_input(BenchmarkId::new("edit_one_unit", units), &src, |b, src| {
+            // Warm session with all graphs built.
+            let mut ped = Ped::open(src).unwrap();
+            for ui in 0..ped.program().units.len() {
+                graphs_of_unit(&mut ped, ui);
+            }
+            b.iter(|| {
+                ped.edit_unit("work0", edited).unwrap();
+                // Only the edited unit's graphs rebuild (interprocedural
+                // summaries refresh lazily inside).
+                let ui = ped.unit_index("work0").unwrap();
+                black_box(graphs_of_unit(&mut ped, ui))
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("full_reanalysis", units), &src, |b, src| {
+            b.iter(|| {
+                let mut ped = Ped::open(src).unwrap();
+                let mut total = 0;
+                for ui in 0..ped.program().units.len() {
+                    total += graphs_of_unit(&mut ped, ui);
+                }
+                black_box(total)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_incremental);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! E8 — the dependence-marking / assertion workflow.
+//!
+//! For each program: how many dependences are proven vs pending, how many
+//! pending ones the documented assertions delete, and how many loops that
+//! unlocks — the quantitative version of "users deleted dependences … but
+//! requested higher-level assertions".
+
+use ped_bench::{apply_suite_assertions, count_parallel_loops, Table};
+use ped_core::{DepStatus, Ped};
+use ped_workloads::all_programs;
+
+fn main() {
+    let mut t = Table::new(&[
+        "program", "deps", "proven", "pending", "deleted-by-assert", "loops unlocked",
+    ]);
+    for w in all_programs() {
+        let mut ped = Ped::open(w.source).unwrap();
+        let mut total = 0usize;
+        let mut proven = 0usize;
+        let mut pending = 0usize;
+        for ui in 0..ped.program().units.len() {
+            for (h, _) in ped.loops(ui) {
+                let g = ped.graph(ui, h).unwrap();
+                for d in &g.deps {
+                    total += 1;
+                    match ped.status(ui, d) {
+                        DepStatus::Proven => proven += 1,
+                        DepStatus::Pending => pending += 1,
+                        _ => {}
+                    }
+                }
+            }
+        }
+        let before = count_parallel_loops(&mut ped);
+        let rejected = apply_suite_assertions(&mut ped, w.name);
+        let after = count_parallel_loops(&mut ped);
+        t.row(vec![
+            w.name.to_string(),
+            total.to_string(),
+            proven.to_string(),
+            pending.to_string(),
+            rejected.to_string(),
+            format!("+{}", after.saturating_sub(before)),
+        ]);
+    }
+    println!("Dependence marking and assertions");
+    println!("{}", t.render());
+}

@@ -1,0 +1,31 @@
+//! E6 — performance-estimation-based navigation.
+//!
+//! The workshop users had to bring gprof/Forge profiles to find the loops
+//! worth parallelizing; the requested enhancement was a static estimator.
+//! This binary checks the estimator's loop ranking against the measured
+//! loop-level profile for each program: top-1 and top-3 agreement.
+
+use ped_bench::Table;
+use ped_perf::{ranking_agreement, Estimator};
+use ped_runtime::{interp::run_source, ExecConfig, Machine};
+use ped_workloads::all_programs;
+
+fn main() {
+    let mut t = Table::new(&["program", "loops", "top-1 agree", "top-3 agree"]);
+    for w in all_programs() {
+        let program = ped_fortran::parse_program(w.source).unwrap();
+        let mut est = Estimator::new(&program, Machine::alliant8());
+        let ranked = est.rank_program();
+        let measured = run_source(w.source, ExecConfig::default()).unwrap().profile;
+        let a1 = ranking_agreement(&ranked, &measured, &program, 1);
+        let a3 = ranking_agreement(&ranked, &measured, &program, 3);
+        t.row(vec![
+            w.name.to_string(),
+            ranked.len().to_string(),
+            format!("{:.0}%", a1 * 100.0),
+            format!("{:.0}%", a3 * 100.0),
+        ]);
+    }
+    println!("Navigation: static loop ranking vs measured profile");
+    println!("{}", t.render());
+}

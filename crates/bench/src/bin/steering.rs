@@ -1,0 +1,110 @@
+//! E9 — power steering: the advice triple across the catalog.
+//!
+//! Runs every catalog transformation's diagnosis against a demonstration
+//! program containing both safe and unsafe targets, printing the
+//! applicable/safe/profitable verdicts — the advice Ped's menus showed.
+
+use ped_bench::Table;
+use ped_core::Ped;
+use ped_transform::{Profit, Safety, Xform};
+
+const DEMO: &str = "\
+program steer
+integer n
+parameter (n = 64)
+real a(n, n), b(n, n), v(n), w(2 * n)
+real s
+integer k
+do i = 1, n
+  do j = 1, n
+    a(i, j) = 1.0 / (i + j)
+    b(i, j) = a(i, j)
+  enddo
+enddo
+do i = 2, n
+  v(i) = v(i - 1) + 1.0
+enddo
+s = 0.0
+k = 0
+do i = 1, n
+  k = k + 2
+  w(k) = v(i)
+  s = s + v(i)
+enddo
+print *, s, a(1, 1), b(2, 2), w(4)
+end
+";
+
+fn fmt_safety(s: &Safety) -> String {
+    match s {
+        Safety::Safe => "safe".into(),
+        Safety::Unsafe(why) => format!("UNSAFE: {why}"),
+    }
+}
+
+fn fmt_profit(p: &Profit) -> String {
+    match p {
+        Profit::Yes(why) => format!("yes — {why}"),
+        Profit::No(why) => format!("no — {why}"),
+        Profit::Unknown => "unknown".into(),
+    }
+}
+
+fn main() {
+    let mut ped = Ped::open(DEMO).unwrap();
+    let loops = ped.loops(0);
+    let nest = loops[0].0; // the (i,j) 2-nest
+    let recurrence = loops[2].0;
+    let induction = loops[3].0;
+    let k_sym = ped.program().units[0].symbols.lookup("k").unwrap();
+    let s_sym = ped.program().units[0].symbols.lookup("s").unwrap();
+
+    let cases: Vec<(&str, ped_fortran::StmtId, Xform)> = vec![
+        ("2-nest", nest, Xform::Parallelize),
+        ("2-nest", nest, Xform::Interchange),
+        ("2-nest", nest, Xform::StripMine { size: 16 }),
+        ("2-nest", nest, Xform::Unroll { factor: 4 }),
+        ("2-nest", nest, Xform::UnrollAndJam { factor: 2 }),
+        ("2-nest", nest, Xform::Skew { factor: 1 }),
+        ("2-nest", nest, Xform::Distribute),
+        ("recurrence", recurrence, Xform::Parallelize),
+        ("recurrence", recurrence, Xform::Reverse),
+        ("induction", induction, Xform::IvSub { var: k_sym }),
+        ("induction", induction, Xform::ScalarExpand { var: s_sym }),
+        ("induction", induction, Xform::Parallelize),
+    ];
+
+    let mut t = Table::new(&["target", "transformation", "applicable", "safety", "profitable"]);
+    for (label, target, xform) in cases {
+        let d = ped.diagnose(0, target, &xform).unwrap();
+        t.row(vec![
+            label.to_string(),
+            xform.name().to_string(),
+            match &d.applicable {
+                Ok(()) => "yes".into(),
+                Err(e) => format!("NO: {e}"),
+            },
+            fmt_safety(&d.safe),
+            fmt_profit(&d.profitable),
+        ]);
+    }
+    println!("Power steering advice across the catalog");
+    println!("{}", t.render());
+
+    // Walk the induction loop to parallel, narrating each step.
+    println!("steering the induction loop to parallel:");
+    let d = ped.diagnose(0, induction, &Xform::Parallelize).unwrap();
+    println!("  parallelize: {}", fmt_safety(&d.safe));
+    ped.apply(0, induction, &Xform::IvSub { var: k_sym }).unwrap();
+    println!("  applied induction-variable substitution");
+    let loops = ped.loops(0);
+    let induction = loops[3].0;
+    let d = ped.diagnose(0, induction, &Xform::Parallelize).unwrap();
+    println!("  parallelize: {}", fmt_safety(&d.safe));
+    ped.apply(0, induction, &Xform::Parallelize).unwrap();
+    println!("  applied parallelize; loop is now:");
+    let src = ped.source();
+    for line in src.lines().filter(|l| l.contains("parallel do")) {
+        println!("    {line}");
+    }
+}

@@ -1,0 +1,56 @@
+//! E4 — Table 3: the importance of each analysis.
+//!
+//! For every program we re-run loop-level parallelization with one
+//! capability disabled at a time and count parallelizable loops. A ✓ in a
+//! column means the program *needs* that analysis (turning it off loses
+//! parallel loops); `asserts` shows the extra loops unlocked by the
+//! documented user assertions — the paper's dependence-deletion workflow.
+
+use ped_bench::{apply_suite_assertions, count_loops, count_parallel_loops, parallel_loops_under, Table};
+use ped_core::Ped;
+use ped_interproc::IpFlags;
+use ped_workloads::all_programs;
+
+fn main() {
+    let mut t = Table::new(&[
+        "program", "loops", "par(full)", "modref", "kill", "sections", "constants", "asserts(+)",
+    ]);
+    for w in all_programs() {
+        let full = parallel_loops_under(&w, IpFlags::all());
+        let total = {
+            let ped = Ped::open(w.source).unwrap();
+            count_loops(&ped)
+        };
+        let needs = |flags: IpFlags| {
+            if parallel_loops_under(&w, flags) < full {
+                "✓"
+            } else {
+                "—"
+            }
+        };
+        let no_modref = IpFlags { modref: false, ..IpFlags::all() };
+        let no_kill = IpFlags { kill: false, ..IpFlags::all() };
+        let no_sections = IpFlags { sections: false, ..IpFlags::all() };
+        let no_constants = IpFlags { constants: false, ..IpFlags::all() };
+        // Assertions on top of the full configuration.
+        let with_asserts = {
+            let mut ped = Ped::open(w.source).unwrap();
+            apply_suite_assertions(&mut ped, w.name);
+            count_parallel_loops(&mut ped)
+        };
+        t.row(vec![
+            w.name.to_string(),
+            total.to_string(),
+            full.to_string(),
+            needs(no_modref).to_string(),
+            needs(no_kill).to_string(),
+            needs(no_sections).to_string(),
+            needs(no_constants).to_string(),
+            format!("+{}", with_asserts.saturating_sub(full)),
+        ]);
+    }
+    println!("Table 3: analyses required per program");
+    println!("(✓ = removing the analysis loses parallel loops; asserts = loops");
+    println!(" unlocked by the documented user assertions)");
+    println!("{}", t.render());
+}

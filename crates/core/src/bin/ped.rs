@@ -1,0 +1,274 @@
+//! `ped` — the ParaScope Editor, as an interactive command-line session.
+//!
+//! ```sh
+//! cargo run -p ped-core --bin ped -- path/to/program.f
+//! cargo run -p ped-core --bin ped -- --workload onedim
+//! echo "loops\nview 0 s4\nquit" | cargo run -p ped-core --bin ped -- --workload onedim
+//! ```
+//!
+//! Commands (see `help`): navigation (`units`, `loops`, `view`), analysis
+//! editing (`mark`, `assert`), power steering (`diagnose`, `apply`,
+//! `undo`, `redo`), and execution (`run`, `estimate`, `source`).
+
+use ped_core::{render, Assertion, DepFilter, Mark, Ped, SourceFilter};
+use ped_runtime::{ExecConfig, Machine, ParallelMode};
+use ped_transform::Xform;
+use std::io::{BufRead, Write};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let src = match args.as_slice() {
+        [flag, name] if flag == "--workload" => {
+            match ped_workloads_source(name) {
+                Some(s) => s,
+                None => {
+                    eprintln!("unknown workload {name}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        [path] => match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                std::process::exit(1);
+            }
+        },
+        _ => {
+            eprintln!("usage: ped <file.f> | ped --workload <name>");
+            std::process::exit(1);
+        }
+    };
+    let mut ped = match Ped::open(&src) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("parse error: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("ParaScope Editor — {} unit(s) loaded; `help` lists commands", ped.program().units.len());
+    let stdin = std::io::stdin();
+    let mut cur_unit = 0usize;
+    loop {
+        print!("ped> ");
+        std::io::stdout().flush().ok();
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+            break;
+        }
+        let words: Vec<&str> = line.split_whitespace().collect();
+        match run_command(&mut ped, &mut cur_unit, &words) {
+            Ok(true) => break,
+            Ok(false) => {}
+            Err(e) => println!("error: {e}"),
+        }
+    }
+}
+
+fn ped_workloads_source(name: &str) -> Option<String> {
+    ped_workloads::program_by_name(name).map(|w| w.source.to_string())
+}
+
+/// Execute one command; Ok(true) = quit.
+fn run_command(ped: &mut Ped, cur_unit: &mut usize, words: &[&str]) -> Result<bool, String> {
+    let parse_stmt = |s: &str| -> Result<ped_fortran::StmtId, String> {
+        let t = s.trim_start_matches('s');
+        t.parse::<u32>().map(ped_fortran::StmtId).map_err(|_| format!("bad statement id {s}"))
+    };
+    match words {
+        [] => Ok(false),
+        ["quit"] | ["exit"] | ["q"] => Ok(true),
+        ["help"] => {
+            println!(
+                "\
+units                         list program units
+unit <i>                      switch the current unit
+loops                         loops of the current unit (ranked by est. cost)
+view <stmt>                   three-pane view of a loop (e.g. `view s4`)
+deps <stmt>                   dependence pane only, blocking filter
+mark <stmt> <dep-id> reject|accept
+assert <var> = <int>          value assertion in the current unit
+assert perm <array>           permutation assertion (deletes its pending deps)
+diagnose <stmt> <xform>       advice for: parallelize interchange distribute
+                              reverse stripmine:<n> unroll:<n> skew:<n>
+apply <stmt> <xform>          apply a transformation
+undo / redo
+source                        print the regenerated source
+run [serial|sim <P>|threads <N>] [check]
+estimate                      loop cost table for the current unit
+quit"
+            );
+            Ok(false)
+        }
+        ["units"] => {
+            for (i, u) in ped.program().units.iter().enumerate() {
+                println!("  {i}: {} ({:?}, {} symbols)", u.name, u.kind, u.symbols.len());
+            }
+            Ok(false)
+        }
+        ["unit", i] => {
+            let i: usize = i.parse().map_err(|_| "bad unit index".to_string())?;
+            if i >= ped.program().units.len() {
+                return Err("no such unit".into());
+            }
+            *cur_unit = i;
+            println!("current unit: {}", ped.program().units[i].name);
+            Ok(false)
+        }
+        ["loops"] | ["estimate"] => {
+            print!("{}", render::render_unit_overview(ped, *cur_unit).map_err(|e| e.to_string())?);
+            Ok(false)
+        }
+        ["view", s] => {
+            let h = parse_stmt(s)?;
+            let v = render::render_loop_view(ped, *cur_unit, h, &DepFilter::default(), &SourceFilter::All)
+                .map_err(|e| e.to_string())?;
+            print!("{v}");
+            Ok(false)
+        }
+        ["deps", s] => {
+            let h = parse_stmt(s)?;
+            let v = render::render_loop_view(ped, *cur_unit, h, &DepFilter::blocking(), &SourceFilter::LoopHeadersOnly)
+                .map_err(|e| e.to_string())?;
+            print!("{v}");
+            Ok(false)
+        }
+        ["mark", s, id, what] => {
+            let h = parse_stmt(s)?;
+            let id: usize = id.parse().map_err(|_| "bad dep id".to_string())?;
+            let mark = match *what {
+                "reject" => Mark::Rejected,
+                "accept" => Mark::Accepted,
+                _ => return Err("mark must be reject|accept".into()),
+            };
+            ped.mark(*cur_unit, h, id, mark).map_err(|e| e.to_string())?;
+            println!("marked");
+            Ok(false)
+        }
+        ["assert", "perm", arr] => {
+            let sym = ped.program().units[*cur_unit]
+                .symbols
+                .lookup(arr)
+                .ok_or_else(|| format!("no symbol {arr}"))?;
+            let n = ped
+                .assert_fact(Assertion::Permutation { unit: *cur_unit, array: sym })
+                .map_err(|e| e.to_string())?;
+            println!("deleted {n} pending dependence(s)");
+            Ok(false)
+        }
+        ["assert", var, "=", val] => {
+            let sym = ped.program().units[*cur_unit]
+                .symbols
+                .lookup(var)
+                .ok_or_else(|| format!("no symbol {var}"))?;
+            let value: i64 = val.parse().map_err(|_| "bad integer".to_string())?;
+            ped.assert_fact(Assertion::Value { unit: *cur_unit, sym, value })
+                .map_err(|e| e.to_string())?;
+            println!("asserted {var} = {value}");
+            Ok(false)
+        }
+        ["diagnose", s, xf] | ["apply", s, xf] => {
+            let h = parse_stmt(s)?;
+            let xform = parse_xform(ped, *cur_unit, xf)?;
+            if words[0] == "diagnose" {
+                let d = ped.diagnose(*cur_unit, h, &xform).map_err(|e| e.to_string())?;
+                println!("applicable: {:?}", d.applicable);
+                println!("safety:     {:?}", d.safe);
+                println!("profitable: {:?}", d.profitable);
+            } else {
+                let a = ped.apply(*cur_unit, h, &xform).map_err(|e| e.to_string())?;
+                println!("applied: {}", a.description);
+            }
+            Ok(false)
+        }
+        ["undo"] => {
+            println!("{}", if ped.undo() { "undone" } else { "nothing to undo" });
+            Ok(false)
+        }
+        ["redo"] => {
+            println!("{}", if ped.redo() { "redone" } else { "nothing to redo" });
+            Ok(false)
+        }
+        ["source"] => {
+            println!("{}", ped.source());
+            Ok(false)
+        }
+        ["run", rest @ ..] => {
+            let mut config = ExecConfig::default();
+            let mut it = rest.iter();
+            while let Some(w) = it.next() {
+                match *w {
+                    "serial" => config.mode = ParallelMode::Serial,
+                    "sim" => {
+                        let p: usize = it
+                            .next()
+                            .and_then(|x| x.parse().ok())
+                            .ok_or("sim needs a processor count")?;
+                        config.mode = ParallelMode::Simulate(Machine::with_procs(p));
+                    }
+                    "threads" => {
+                        let n: usize = it
+                            .next()
+                            .and_then(|x| x.parse().ok())
+                            .ok_or("threads needs a count")?;
+                        config.mode = ParallelMode::Threads(n);
+                    }
+                    "check" => config.detect_races = true,
+                    other => return Err(format!("unknown run option {other}")),
+                }
+            }
+            let r = ped.run(config).map_err(|e| e.to_string())?;
+            for l in &r.printed {
+                println!("  {l}");
+            }
+            println!("(vtime {:.0} ops, {} statements)", r.vtime, r.steps);
+            if config.detect_races {
+                if r.races.is_empty() {
+                    println!("run-time dependence check: clean");
+                } else {
+                    for race in &r.races {
+                        println!(
+                            "CONFLICT: {} element {} in loop {} of {}",
+                            race.var, race.element, race.loop_stmt, race.unit
+                        );
+                    }
+                }
+            }
+            Ok(false)
+        }
+        other => Err(format!("unknown command {:?} (try `help`)", other[0])),
+    }
+}
+
+fn parse_xform(ped: &Ped, unit: usize, word: &str) -> Result<Xform, String> {
+    let (name, arg) = match word.split_once(':') {
+        Some((n, a)) => (n, Some(a)),
+        None => (word, None),
+    };
+    let int_arg = || -> Result<i64, String> {
+        arg.and_then(|a| a.parse().ok()).ok_or_else(|| format!("{name} needs :<n>"))
+    };
+    Ok(match name {
+        "parallelize" => Xform::Parallelize,
+        "interchange" => Xform::Interchange,
+        "distribute" => Xform::Distribute,
+        "reverse" => Xform::Reverse,
+        "stripmine" => Xform::StripMine { size: int_arg()? },
+        "unroll" => Xform::Unroll { factor: int_arg()? as u32 },
+        "unrolljam" => Xform::UnrollAndJam { factor: int_arg()? as u32 },
+        "skew" => Xform::Skew { factor: int_arg()? },
+        "expand" => {
+            let var = arg
+                .and_then(|a| ped.program().units[unit].symbols.lookup(a))
+                .ok_or("expand:<scalar>")?;
+            Xform::ScalarExpand { var }
+        }
+        "ivsub" => {
+            let var = arg
+                .and_then(|a| ped.program().units[unit].symbols.lookup(a))
+                .ok_or("ivsub:<scalar>")?;
+            Xform::IvSub { var }
+        }
+        other => return Err(format!("unknown transformation {other}")),
+    })
+}

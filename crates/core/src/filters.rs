@@ -1,0 +1,182 @@
+//! View filtering — "view filtering emphasizes or conceals parts of the
+//! book as specified by a user".
+//!
+//! Two filter families, matching Ped's panes: dependence filters (by type,
+//! variable, carried level, marking status, cause) and source filters
+//! (predicates over source lines: text search, loop headers only).
+
+use crate::session::DepStatus;
+use ped_dep::{DepCause, DepKind, Dependence};
+use ped_fortran::SymId;
+
+/// A dependence-pane filter; empty/None fields match everything.
+#[derive(Debug, Clone, Default)]
+pub struct DepFilter {
+    /// Keep only these dependence types.
+    pub kinds: Option<Vec<DepKind>>,
+    /// Keep only dependences on this variable.
+    pub var: Option<SymId>,
+    /// Keep only loop-carried dependences (at any level).
+    pub carried_only: bool,
+    /// Keep only dependences carried at this level.
+    pub level: Option<usize>,
+    /// Keep only dependences with these statuses.
+    pub statuses: Option<Vec<DepStatus>>,
+    /// Keep only dependences with this cause.
+    pub cause: Option<DepCauseClass>,
+}
+
+/// Coarse cause classes for filtering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DepCauseClass {
+    /// Array subscripts.
+    Array,
+    /// Scalars (including reductions/inductions).
+    Scalar,
+    /// Procedure calls.
+    Call,
+    /// Control flow.
+    Control,
+}
+
+fn classify(cause: DepCause) -> DepCauseClass {
+    match cause {
+        DepCause::Array => DepCauseClass::Array,
+        DepCause::Scalar | DepCause::Reduction(_) | DepCause::Induction => DepCauseClass::Scalar,
+        DepCause::Call => DepCauseClass::Call,
+        DepCause::Control => DepCauseClass::Control,
+    }
+}
+
+impl DepFilter {
+    /// Keep only blocking (level-1-carried, non-input) dependences — the
+    /// filter users applied most.
+    pub fn blocking() -> DepFilter {
+        DepFilter { carried_only: true, level: Some(1), ..DepFilter::default() }
+    }
+
+    /// Does a dependence pass the filter?
+    pub fn matches(&self, dep: &Dependence, status: DepStatus) -> bool {
+        if let Some(kinds) = &self.kinds {
+            if !kinds.contains(&dep.kind) {
+                return false;
+            }
+        }
+        if let Some(v) = self.var {
+            if dep.var != Some(v) {
+                return false;
+            }
+        }
+        if self.carried_only && dep.level.is_none() {
+            return false;
+        }
+        if let Some(l) = self.level {
+            if dep.level != Some(l) {
+                return false;
+            }
+        }
+        if let Some(st) = &self.statuses {
+            if !st.contains(&status) {
+                return false;
+            }
+        }
+        if let Some(c) = self.cause {
+            if classify(dep.cause) != c {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// A source-pane filter: which rendered lines to emphasize.
+#[derive(Debug, Clone)]
+pub enum SourceFilter {
+    /// All lines.
+    All,
+    /// Lines containing this text.
+    Contains(String),
+    /// DO statements only (the "loop skeleton" view).
+    LoopHeadersOnly,
+}
+
+impl SourceFilter {
+    /// Does a rendered source line pass?
+    pub fn matches(&self, line: &str) -> bool {
+        match self {
+            SourceFilter::All => true,
+            SourceFilter::Contains(t) => line.contains(t.as_str()),
+            SourceFilter::LoopHeadersOnly => {
+                let t = line.trim_start();
+                t.starts_with("do ") || t.starts_with("parallel do ") || t.starts_with("enddo")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ped_dep::vectors::{DirSet, DirVector};
+    use ped_fortran::StmtId;
+
+    fn dep(kind: DepKind, level: Option<usize>, cause: DepCause) -> Dependence {
+        Dependence {
+            id: 0,
+            src: StmtId(1),
+            dst: StmtId(2),
+            var: Some(SymId(3)),
+            kind,
+            cause,
+            dirs: DirVector(vec![DirSet::LT]),
+            dist: vec![None],
+            level,
+            proven: false,
+            tests: vec![],
+        }
+    }
+
+    #[test]
+    fn kind_filter() {
+        let f = DepFilter { kinds: Some(vec![DepKind::True]), ..DepFilter::default() };
+        assert!(f.matches(&dep(DepKind::True, Some(1), DepCause::Array), DepStatus::Pending));
+        assert!(!f.matches(&dep(DepKind::Anti, Some(1), DepCause::Array), DepStatus::Pending));
+    }
+
+    #[test]
+    fn blocking_filter() {
+        let f = DepFilter::blocking();
+        assert!(f.matches(&dep(DepKind::True, Some(1), DepCause::Array), DepStatus::Pending));
+        assert!(!f.matches(&dep(DepKind::True, None, DepCause::Array), DepStatus::Pending));
+        assert!(!f.matches(&dep(DepKind::True, Some(2), DepCause::Array), DepStatus::Pending));
+    }
+
+    #[test]
+    fn status_filter() {
+        let f = DepFilter {
+            statuses: Some(vec![DepStatus::Pending]),
+            ..DepFilter::default()
+        };
+        assert!(f.matches(&dep(DepKind::True, Some(1), DepCause::Array), DepStatus::Pending));
+        assert!(!f.matches(&dep(DepKind::True, Some(1), DepCause::Array), DepStatus::Proven));
+    }
+
+    #[test]
+    fn cause_classes() {
+        let f = DepFilter { cause: Some(DepCauseClass::Scalar), ..DepFilter::default() };
+        assert!(f.matches(
+            &dep(DepKind::True, Some(1), DepCause::Reduction(ped_fortran::RedOp::Sum)),
+            DepStatus::Pending
+        ));
+        assert!(!f.matches(&dep(DepKind::True, Some(1), DepCause::Array), DepStatus::Pending));
+    }
+
+    #[test]
+    fn source_filters() {
+        assert!(SourceFilter::LoopHeadersOnly.matches("  do i = 1, 10"));
+        assert!(SourceFilter::LoopHeadersOnly.matches("  parallel do i = 1, 10"));
+        assert!(!SourceFilter::LoopHeadersOnly.matches("  a(i) = 1.0"));
+        assert!(SourceFilter::Contains("a(i)".into()).matches("  a(i) = 1.0"));
+        assert!(SourceFilter::All.matches("anything"));
+    }
+}

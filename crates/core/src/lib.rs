@@ -1,0 +1,21 @@
+//! # ped-core — the ParaScope Editor session
+//!
+//! This crate is Ped itself, minus the X11 widgets: the program database
+//! with cached analyses and unit-level incremental invalidation, dependence
+//! display with **view filtering**, **dependence marking**
+//! (proven/pending/accepted/rejected), **user assertions** that sharpen the
+//! analyses, the **power-steering** transformation driver with undo/redo,
+//! and the book-metaphor text rendering of the editor's three panes
+//! (source, dependences, variables).
+//!
+//! The GUI substitution is deliberate (see DESIGN.md): every claim the
+//! paper makes about the interface is about *what the panes contain and how
+//! marking/filtering/steering behave*, all of which [`render`] and
+//! [`session`] expose as data and text.
+
+pub mod filters;
+pub mod render;
+pub mod session;
+
+pub use filters::{DepFilter, SourceFilter};
+pub use session::{Assertion, DepKey, DepStatus, Mark, Ped, PedError};

@@ -1,0 +1,438 @@
+//! The hierarchical dependence-testing driver.
+//!
+//! Given two references to the same array inside a common loop nest, the
+//! driver decomposes each subscript position, runs the cheapest conclusive
+//! test per position (ZIV → SIV variants → GCD), intersects the resulting
+//! constraints, then refines remaining `*` levels through the Banerjee
+//! direction-vector hierarchy. The outcome records which tests fired —
+//! Ped's dependence pane shows this provenance, and the E7 benchmark
+//! measures the hierarchy's cost advantage.
+
+use crate::nest::NestCtx;
+use crate::tests_suite::{
+    banerjee, decompose, gcd_test, siv, ziv, Complexity, SivKind, SubscriptPair, Verdict,
+};
+use crate::vectors::{DirSet, DirVector};
+use ped_fortran::Expr;
+
+/// Which test produced (part of) a verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TestName {
+    /// Zero-index-variable test.
+    Ziv,
+    /// Strong SIV (equal coefficients).
+    StrongSiv,
+    /// Weak-zero SIV.
+    WeakZeroSiv,
+    /// Weak-crossing SIV.
+    WeakCrossingSiv,
+    /// Exact SIV (extended GCD over the box).
+    ExactSiv,
+    /// MIV GCD test.
+    Gcd,
+    /// Banerjee bounds / direction-vector refinement.
+    Banerjee,
+    /// A subscript was non-affine (index array, symbolic product …).
+    NonAffine,
+    /// Symbolic terms prevented a conclusion.
+    Symbolic,
+}
+
+impl std::fmt::Display for TestName {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            TestName::Ziv => "ZIV",
+            TestName::StrongSiv => "strong SIV",
+            TestName::WeakZeroSiv => "weak-zero SIV",
+            TestName::WeakCrossingSiv => "weak-crossing SIV",
+            TestName::ExactSiv => "exact SIV",
+            TestName::Gcd => "GCD",
+            TestName::Banerjee => "Banerjee",
+            TestName::NonAffine => "non-affine",
+            TestName::Symbolic => "symbolic",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// One surviving dependence description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DepVec {
+    /// Direction vector over the common nest (source perspective).
+    pub dirs: DirVector,
+    /// Known distances per level.
+    pub dist: Vec<Option<i64>>,
+}
+
+/// Outcome of testing one reference pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PairOutcome {
+    /// True when every dependence was disproved.
+    pub independent: bool,
+    /// Surviving direction vectors (empty iff independent).
+    pub vectors: Vec<DepVec>,
+    /// True when an exact test proved the dependence exists (Ped marks the
+    /// dependence *proven*; otherwise *pending*).
+    pub proven: bool,
+    /// Tests that fired, in order.
+    pub tests_used: Vec<TestName>,
+}
+
+impl PairOutcome {
+    fn independent(tests: Vec<TestName>) -> PairOutcome {
+        PairOutcome { independent: true, vectors: Vec::new(), proven: false, tests_used: tests }
+    }
+}
+
+/// Cap on nest depth for full direction-vector refinement (3^depth cases).
+const MAX_REFINE_DEPTH: usize = 6;
+
+/// Test one pair of subscripted references over a common nest.
+///
+/// `src_subs` are the source reference's subscripts (it executes first for
+/// loop-independent dependences); the caller orients loop-carried
+/// dependences using [`DirVector::orient`].
+pub fn test_pair(src_subs: &[Expr], sink_subs: &[Expr], nest: &NestCtx) -> PairOutcome {
+    let depth = nest.depth();
+    let mut tests_used = Vec::new();
+    let mut dirs = DirVector::any(depth);
+    let mut dist: Vec<Option<i64>> = vec![None; depth];
+    let mut proven = true;
+    let mut mivs: Vec<SubscriptPair> = Vec::new();
+
+    if src_subs.len() != sink_subs.len() {
+        // Rank-mismatched accesses (linearized vs shaped): assume everything.
+        tests_used.push(TestName::NonAffine);
+        return PairOutcome {
+            independent: false,
+            vectors: vec![DepVec { dirs, dist }],
+            proven: false,
+            tests_used,
+        };
+    }
+
+    let index_vars = nest.index_vars();
+    for (se, ke) in src_subs.iter().zip(sink_subs) {
+        let (sa, ka) = (nest.affine(se), nest.affine(ke));
+        let (Some(sa), Some(ka)) = (sa, ka) else {
+            tests_used.push(TestName::NonAffine);
+            proven = false;
+            continue;
+        };
+        let p = decompose(&sa, &ka, &index_vars);
+        match p.complexity() {
+            Complexity::Ziv => {
+                tests_used.push(TestName::Ziv);
+                match ziv(&p, nest) {
+                    Verdict::Independent => return PairOutcome::independent(tests_used),
+                    Verdict::Constraint(c) => proven &= c.exact,
+                    Verdict::Unknown => proven = false,
+                }
+            }
+            Complexity::Siv(k) => {
+                let (v, kind) = siv(&p, nest, k);
+                tests_used.push(match kind {
+                    SivKind::Strong => TestName::StrongSiv,
+                    SivKind::WeakZero => TestName::WeakZeroSiv,
+                    SivKind::WeakCrossing => TestName::WeakCrossingSiv,
+                    SivKind::Exact => TestName::ExactSiv,
+                });
+                match v {
+                    Verdict::Independent => return PairOutcome::independent(tests_used),
+                    Verdict::Constraint(c) => {
+                        proven &= c.exact;
+                        match dirs.intersect(&DirVector(c.dirs)) {
+                            Some(d) => dirs = d,
+                            None => return PairOutcome::independent(tests_used),
+                        }
+                        for (slot, d) in dist.iter_mut().zip(&c.dist) {
+                            if d.is_some() {
+                                if slot.is_some() && *slot != *d {
+                                    // Two subscripts demand different
+                                    // distances at the same level.
+                                    return PairOutcome::independent(tests_used);
+                                }
+                                *slot = *d;
+                            }
+                        }
+                    }
+                    Verdict::Unknown => {
+                        tests_used.push(TestName::Symbolic);
+                        proven = false;
+                    }
+                }
+            }
+            Complexity::Miv => {
+                tests_used.push(TestName::Gcd);
+                match gcd_test(&p) {
+                    Verdict::Independent => return PairOutcome::independent(tests_used),
+                    _ => {
+                        proven = false;
+                        mivs.push(p);
+                    }
+                }
+            }
+        }
+    }
+
+    // Banerjee refinement of remaining coupled subscripts over the
+    // direction hierarchy.
+    if !mivs.is_empty() && depth <= MAX_REFINE_DEPTH {
+        tests_used.push(TestName::Banerjee);
+        let vectors = refine(&mivs, nest, &dirs, &dist);
+        if vectors.is_empty() {
+            return PairOutcome::independent(tests_used);
+        }
+        return PairOutcome { independent: false, vectors, proven, tests_used };
+    }
+
+    // Distances imply exact directions already merged into `dirs`.
+    PairOutcome {
+        independent: false,
+        vectors: vec![DepVec { dirs, dist }],
+        proven,
+        tests_used,
+    }
+}
+
+/// Enumerate the direction-vector hierarchy under `base`, pruning with the
+/// Banerjee bounds of every MIV subscript; returns maximal surviving
+/// vectors (levels the tests cannot distinguish stay as sets).
+fn refine(
+    mivs: &[SubscriptPair],
+    nest: &NestCtx,
+    base: &DirVector,
+    dist: &[Option<i64>],
+) -> Vec<DepVec> {
+    // First check the whole region; often it is already independent.
+    let alive = |dirs: &[DirSet]| {
+        mivs.iter().all(|p| banerjee(p, nest, dirs) != Verdict::Independent)
+    };
+    if !alive(&base.0) {
+        return Vec::new();
+    }
+    // Depth-first refinement: at each level try the single directions; if
+    // exactly the full base set survives, keep the set unexpanded.
+    let mut out = Vec::new();
+    let mut cur: Vec<DirSet> = base.0.clone();
+    fn rec(
+        level: usize,
+        base: &DirVector,
+        cur: &mut Vec<DirSet>,
+        alive: &dyn Fn(&[DirSet]) -> bool,
+        dist: &[Option<i64>],
+        out: &mut Vec<DepVec>,
+    ) {
+        if level == base.len() {
+            out.push(DepVec { dirs: DirVector(cur.clone()), dist: dist.to_vec() });
+            return;
+        }
+        let set = base.0[level];
+        let singles: Vec<DirSet> = set.iter().map(DirSet::single).collect();
+        if singles.len() == 1 {
+            cur[level] = singles[0];
+            rec(level + 1, base, cur, alive, dist, out);
+            cur[level] = set;
+            return;
+        }
+        let mut surviving = Vec::new();
+        for s in singles {
+            cur[level] = s;
+            if alive(cur) {
+                surviving.push(s);
+            }
+        }
+        cur[level] = set;
+        if surviving.len() == set.iter().count() {
+            // No pruning power at this level: keep the set whole.
+            rec(level + 1, base, cur, alive, dist, out);
+        } else {
+            for s in surviving {
+                cur[level] = s;
+                rec(level + 1, base, cur, alive, dist, out);
+            }
+            cur[level] = set;
+        }
+    }
+    rec(0, base, &mut cur, &alive, dist, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nest::LoopCtx;
+    use ped_analysis::symbolic::Affine;
+    use ped_fortran::builder::{ex, UnitBuilder};
+    use ped_fortran::{StmtId, SymId};
+
+    fn nest(vars: &[(u32, i64, i64)]) -> NestCtx<'static> {
+        NestCtx {
+            loops: vars
+                .iter()
+                .map(|&(v, lo, hi)| LoopCtx {
+                    header: StmtId(v),
+                    var: SymId(v),
+                    lo: Some(Affine::constant(lo)),
+                    hi: Some(Affine::constant(hi)),
+                    lo_const: Some(lo),
+                    hi_const: Some(hi),
+                    step: Some(1),
+                })
+                .collect(),
+            resolve: Box::new(|_| None),
+        }
+    }
+
+    /// Build expressions using a scratch unit so SymIds match `nest` vars.
+    fn var(v: u32) -> Expr {
+        Expr::Var(SymId(v))
+    }
+
+    #[test]
+    fn saxpy_style_independent() {
+        // a(i) = … a(i): distance 0 only (loop-independent).
+        let n = nest(&[(0, 1, 100)]);
+        let o = test_pair(&[var(0)], &[var(0)], &n);
+        assert!(!o.independent);
+        assert!(o.proven);
+        assert_eq!(o.vectors.len(), 1);
+        assert!(o.vectors[0].dirs.all_eq());
+        assert_eq!(o.vectors[0].dist[0], Some(0));
+        assert_eq!(o.tests_used, vec![TestName::StrongSiv]);
+    }
+
+    #[test]
+    fn recurrence_distance_one() {
+        // a(i) vs a(i-1).
+        let n = nest(&[(0, 1, 100)]);
+        let o = test_pair(&[var(0)], &[ex::sub(var(0), ex::int(1))], &n);
+        assert!(!o.independent);
+        assert_eq!(o.vectors[0].dist[0], Some(1));
+        assert_eq!(o.vectors[0].dirs.carried_level(), Some(1));
+    }
+
+    #[test]
+    fn stride_two_no_conflict() {
+        // a(2i) vs a(2i+1).
+        let n = nest(&[(0, 1, 100)]);
+        let o = test_pair(
+            &[ex::mul(ex::int(2), var(0))],
+            &[ex::add(ex::mul(ex::int(2), var(0)), ex::int(1))],
+            &n,
+        );
+        assert!(o.independent);
+        assert_eq!(o.tests_used, vec![TestName::StrongSiv]);
+    }
+
+    #[test]
+    fn two_dim_eq_and_carried() {
+        // a(i,j) vs a(i,j-1): carried at level 2.
+        let n = nest(&[(0, 1, 10), (1, 1, 10)]);
+        let o = test_pair(
+            &[var(0), var(1)],
+            &[var(0), ex::sub(var(1), ex::int(1))],
+            &n,
+        );
+        assert!(!o.independent);
+        let v = &o.vectors[0];
+        assert_eq!(v.dist, vec![Some(0), Some(1)]);
+        assert_eq!(v.dirs.carried_level(), Some(2));
+    }
+
+    #[test]
+    fn conflicting_distances_independent() {
+        // a(i,i) vs a(i-1,i-2): level-1 demands distance 1 and 2 at once.
+        let n = nest(&[(0, 1, 10)]);
+        let o = test_pair(
+            &[var(0), var(0)],
+            &[ex::sub(var(0), ex::int(1)), ex::sub(var(0), ex::int(2))],
+            &n,
+        );
+        assert!(o.independent);
+    }
+
+    #[test]
+    fn non_affine_is_conservative() {
+        // a(ind(i)) vs a(i): assume a dependence, pending.
+        let mut b = UnitBuilder::main("t");
+        let ind = b.int_array("ind", &[100]);
+        let i = b.int_scalar("i");
+        let _ = i;
+        let n = nest(&[(1, 1, 100)]); // SymId(1) is `i` in this unit
+        let o = test_pair(&[ex::idx(ind, vec![var(1)])], &[var(1)], &n);
+        assert!(!o.independent);
+        assert!(!o.proven);
+        assert!(o.tests_used.contains(&TestName::NonAffine));
+        // The vector is all-* (nothing known).
+        assert_eq!(o.vectors[0].dirs, DirVector::any(1));
+    }
+
+    #[test]
+    fn symbolic_offset_cancels() {
+        // a(m+i) vs a(m+i-1): strong SIV thanks to cancellation.
+        let m = 50u32;
+        let n = nest(&[(0, 1, 100)]);
+        let o = test_pair(
+            &[ex::add(var(m), var(0))],
+            &[ex::sub(ex::add(var(m), var(0)), ex::int(1))],
+            &n,
+        );
+        assert!(!o.independent);
+        assert!(o.proven);
+        assert_eq!(o.vectors[0].dist[0], Some(1));
+    }
+
+    #[test]
+    fn banerjee_kills_far_offset() {
+        // a(i+j) vs a(i+j+25) over [1,10]².
+        let n = nest(&[(0, 1, 10), (1, 1, 10)]);
+        let o = test_pair(
+            &[ex::add(var(0), var(1))],
+            &[ex::add(ex::add(var(0), var(1)), ex::int(25))],
+            &n,
+        );
+        assert!(o.independent);
+        assert!(o.tests_used.contains(&TestName::Banerjee));
+    }
+
+    #[test]
+    fn banerjee_refines_directions() {
+        // a(i+j) vs a(i+j+1): only vectors whose sum moves by 1 survive;
+        // in particular (=,=) dies.
+        let n = nest(&[(0, 1, 10), (1, 1, 10)]);
+        let o = test_pair(
+            &[ex::add(var(0), var(1))],
+            &[ex::add(ex::add(var(0), var(1)), ex::int(1))],
+            &n,
+        );
+        assert!(!o.independent);
+        for v in &o.vectors {
+            assert!(!v.dirs.all_eq(), "(=,=) must be pruned: {}", v.dirs);
+        }
+    }
+
+    #[test]
+    fn gcd_independent_miv() {
+        // a(2i+4j) vs a(2i+4j+1).
+        let n = nest(&[(0, 1, 10), (1, 1, 10)]);
+        let o = test_pair(
+            &[ex::add(ex::mul(ex::int(2), var(0)), ex::mul(ex::int(4), var(1)))],
+            &[ex::add(
+                ex::add(ex::mul(ex::int(2), var(0)), ex::mul(ex::int(4), var(1))),
+                ex::int(1),
+            )],
+            &n,
+        );
+        assert!(o.independent);
+        assert_eq!(o.tests_used, vec![TestName::Gcd]);
+    }
+
+    #[test]
+    fn rank_mismatch_conservative() {
+        let n = nest(&[(0, 1, 10)]);
+        let o = test_pair(&[var(0)], &[var(0), var(0)], &n);
+        assert!(!o.independent);
+        assert!(!o.proven);
+    }
+}

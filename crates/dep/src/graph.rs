@@ -1,0 +1,696 @@
+//! The per-loop dependence graph — what Ped's dependence pane displays.
+//!
+//! For a selected loop, the graph holds every data dependence among the
+//! statements of its body (array dependences from the test driver, scalar
+//! dependences from scalar classification, call-induced dependences refined
+//! by interprocedural MOD/REF when available) plus control dependences.
+//! Each edge carries its type (true/anti/output/input), direction vector,
+//! carried level, and provenance — and whether it was *proven* by an exact
+//! test or is merely *pending* (the paper's dependence-marking states; user
+//! marks themselves live in `ped-core`).
+
+use crate::driver::{test_pair, TestName};
+use crate::nest::NestCtx;
+use crate::vectors::{DirSet, DirVector};
+use ped_analysis::scalars::{classify_scalars_with, ScalarClass};
+use ped_fortran::visit::{enclosing_loops, for_each_stmt, stmt_accesses, AccessKind};
+use ped_fortran::{Expr, ProgramUnit, RedOp, StmtId, SymId};
+use std::collections::HashMap;
+
+/// Dependence type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DepKind {
+    /// Write → read (flow).
+    True,
+    /// Read → write.
+    Anti,
+    /// Write → write.
+    Output,
+    /// Read → read (reuse information).
+    Input,
+}
+
+impl std::fmt::Display for DepKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            DepKind::True => "true",
+            DepKind::Anti => "anti",
+            DepKind::Output => "output",
+            DepKind::Input => "input",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Why the dependence exists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DepCause {
+    /// Array subscript conflict.
+    Array,
+    /// Shared scalar.
+    Scalar,
+    /// Recognized reduction on a scalar (parallelizable with a clause).
+    Reduction(RedOp),
+    /// Auxiliary induction variable (substitutable).
+    Induction,
+    /// Procedure call side effect.
+    Call,
+    /// Control dependence.
+    Control,
+}
+
+/// One dependence edge.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dependence {
+    /// Dense id within the graph (stable for marking).
+    pub id: usize,
+    /// Source statement (executes first).
+    pub src: StmtId,
+    /// Sink statement.
+    pub dst: StmtId,
+    /// Variable carrying the dependence (`None` for control).
+    pub var: Option<SymId>,
+    /// Dependence type.
+    pub kind: DepKind,
+    /// Why it exists.
+    pub cause: DepCause,
+    /// Direction vector over the nest rooted at the analyzed loop.
+    pub dirs: DirVector,
+    /// Distances where known.
+    pub dist: Vec<Option<i64>>,
+    /// Carried level (1 = the analyzed loop); `None` = loop-independent.
+    pub level: Option<usize>,
+    /// Proven by an exact test vs pending (conservative assumption).
+    pub proven: bool,
+    /// Which tests fired.
+    pub tests: Vec<TestName>,
+}
+
+impl Dependence {
+    /// Does this dependence prevent running the analyzed loop in parallel?
+    /// (Carried at level 1 and not a recognized reduction/induction or a
+    /// control dependence.)
+    pub fn blocks_parallel(&self) -> bool {
+        self.level == Some(1)
+            && !matches!(
+                self.cause,
+                DepCause::Reduction(_) | DepCause::Induction | DepCause::Control
+            )
+            && self.kind != DepKind::Input
+    }
+}
+
+/// Interprocedural side-effect oracle used to refine call-site dependences
+/// (implemented over MOD/REF analysis by `ped-interproc`; the default
+/// worst-case oracle assumes a call may read and write every argument and
+/// COMMON member).
+pub trait SideEffects {
+    /// May the call at `stmt` write `sym`?
+    fn may_mod(&self, unit: &ProgramUnit, stmt: StmtId, sym: SymId) -> bool;
+    /// May the call at `stmt` read `sym`?
+    fn may_ref(&self, unit: &ProgramUnit, stmt: StmtId, sym: SymId) -> bool;
+    /// Regular-section refinement of a write effect: per-dimension exact
+    /// subscripts in *caller* terms (`None` in a slot = whole dimension).
+    /// Returning `None` means no section information (whole array).
+    fn mod_section(
+        &self,
+        _unit: &ProgramUnit,
+        _stmt: StmtId,
+        _sym: SymId,
+    ) -> Option<Vec<Option<Expr>>> {
+        None
+    }
+    /// Regular-section refinement of a read effect.
+    fn ref_section(
+        &self,
+        _unit: &ProgramUnit,
+        _stmt: StmtId,
+        _sym: SymId,
+    ) -> Option<Vec<Option<Expr>>> {
+        None
+    }
+}
+
+/// Placeholder subscript for an unconstrained section dimension: non-affine
+/// by construction, so the tests yield `*` for that level and the
+/// dependence stays pending.
+pub fn any_subscript() -> Expr {
+    Expr::Call { name: "__any__".to_string(), args: Vec::new() }
+}
+
+/// Turn a section (per-dim exact-or-any) into testable subscripts.
+fn section_subs(dims: Vec<Option<Expr>>) -> Vec<Expr> {
+    dims.into_iter().map(|d| d.unwrap_or_else(any_subscript)).collect()
+}
+
+/// The conservative default: calls touch their arguments and all COMMONs.
+pub struct WorstCaseEffects;
+
+impl SideEffects for WorstCaseEffects {
+    fn may_mod(&self, unit: &ProgramUnit, stmt: StmtId, sym: SymId) -> bool {
+        call_touches(unit, stmt, sym)
+    }
+    fn may_ref(&self, unit: &ProgramUnit, stmt: StmtId, sym: SymId) -> bool {
+        call_touches(unit, stmt, sym)
+    }
+}
+
+fn call_touches(unit: &ProgramUnit, stmt: StmtId, sym: SymId) -> bool {
+    if unit.symbols.sym(sym).common.is_some() {
+        return true;
+    }
+    stmt_accesses(unit, stmt)
+        .iter()
+        .any(|a| a.kind == AccessKind::CallArg && a.sym == sym)
+}
+
+/// Options for graph construction.
+pub struct GraphConfig<'a> {
+    /// Include read-read (input) dependences.
+    pub include_input: bool,
+    /// Side-effect oracle for calls (array effects).
+    pub effects: &'a dyn SideEffects,
+    /// Scalar call effects (MOD/REF/KILL) for scalar classification.
+    pub call_info: &'a dyn ped_analysis::scalars::CallInfo,
+    /// Integer resolver (constants + assertions) for subscript analysis.
+    pub resolve: Box<dyn Fn(SymId) -> Option<i64> + 'a>,
+}
+
+impl<'a> GraphConfig<'a> {
+    /// Worst-case calls, no input deps, no constant knowledge.
+    pub fn conservative() -> GraphConfig<'static> {
+        GraphConfig {
+            include_input: false,
+            effects: &WorstCaseEffects,
+            call_info: &ped_analysis::scalars::ConservativeCalls,
+            resolve: Box::new(|_| None),
+        }
+    }
+}
+
+/// The dependence graph of one loop.
+#[derive(Debug, Clone)]
+pub struct DepGraph {
+    /// The analyzed loop's header.
+    pub header: StmtId,
+    /// All dependences.
+    pub deps: Vec<Dependence>,
+    /// Scalar classification (the variable pane's contents).
+    pub scalar_classes: HashMap<SymId, ScalarClass>,
+}
+
+impl DepGraph {
+    /// Dependences carried by the analyzed loop (level 1).
+    pub fn carried(&self) -> impl Iterator<Item = &Dependence> {
+        self.deps.iter().filter(|d| d.level == Some(1))
+    }
+
+    /// Dependences that block parallelizing the analyzed loop.
+    pub fn blocking(&self) -> Vec<&Dependence> {
+        self.deps.iter().filter(|d| d.blocks_parallel()).collect()
+    }
+
+    /// True when nothing blocks a DOALL (before user marking).
+    pub fn parallelizable(&self) -> bool {
+        self.blocking().is_empty()
+    }
+
+    /// Filter by variable name (a dependence-pane view filter).
+    pub fn deps_on(&self, sym: SymId) -> impl Iterator<Item = &Dependence> {
+        self.deps.iter().filter(move |d| d.var == Some(sym))
+    }
+}
+
+/// An array access inside the loop, with its nest path.
+struct ArrAccess {
+    stmt: StmtId,
+    sym: SymId,
+    subs: Option<Vec<Expr>>, // None = whole array (call argument)
+    write: bool,
+    call: bool,
+    /// Loops enclosing the access, from the analyzed loop inward.
+    path: Vec<StmtId>,
+    /// Pre-order position for textual ordering.
+    order: usize,
+}
+
+/// Build the dependence graph of the loop at `header`.
+pub fn build_graph(
+    unit: &ProgramUnit,
+    header: StmtId,
+    config: &GraphConfig<'_>,
+) -> DepGraph {
+    let body = unit.loop_of(header).body.clone();
+
+    // Pre-order positions for textual order decisions.
+    let mut order: HashMap<StmtId, usize> = HashMap::new();
+    order.insert(header, 0);
+    for_each_stmt(unit, &body, &mut |sid| {
+        let n = order.len();
+        order.insert(sid, n);
+    });
+
+    // Collect array accesses (and call-statement whole-array effects).
+    let mut accesses: Vec<ArrAccess> = Vec::new();
+    for_each_stmt(unit, &body, &mut |sid| {
+        let path = nest_path(unit, header, sid);
+        let is_call = matches!(unit.stmt(sid).kind, ped_fortran::StmtKind::Call { .. });
+        for acc in stmt_accesses(unit, sid) {
+            if !unit.symbols.sym(acc.sym).is_array() {
+                continue;
+            }
+            match acc.kind {
+                AccessKind::Read | AccessKind::Write => accesses.push(ArrAccess {
+                    stmt: sid,
+                    sym: acc.sym,
+                    subs: acc.subs.clone(),
+                    write: acc.kind == AccessKind::Write,
+                    call: false,
+                    path: path.clone(),
+                    order: order[&sid],
+                }),
+                AccessKind::CallArg => {
+                    // Whole-array (or element) passed to a procedure: both a
+                    // potential read and a potential write, refined by the
+                    // side-effect oracle and regular sections.
+                    if config.effects.may_ref(unit, sid, acc.sym) {
+                        accesses.push(ArrAccess {
+                            stmt: sid,
+                            sym: acc.sym,
+                            subs: config
+                                .effects
+                                .ref_section(unit, sid, acc.sym)
+                                .map(section_subs),
+                            write: false,
+                            call: true,
+                            path: path.clone(),
+                            order: order[&sid],
+                        });
+                    }
+                    if config.effects.may_mod(unit, sid, acc.sym) {
+                        accesses.push(ArrAccess {
+                            stmt: sid,
+                            sym: acc.sym,
+                            subs: config
+                                .effects
+                                .mod_section(unit, sid, acc.sym)
+                                .map(section_subs),
+                            write: true,
+                            call: true,
+                            path: path.clone(),
+                            order: order[&sid],
+                        });
+                    }
+                }
+            }
+        }
+        // COMMON arrays may be touched by a call even if not an argument.
+        if is_call {
+            for (id, sym) in unit.symbols.iter() {
+                if sym.is_array() && sym.common.is_some() {
+                    if config.effects.may_ref(unit, sid, id) {
+                        accesses.push(ArrAccess {
+                            stmt: sid,
+                            sym: id,
+                            subs: config.effects.ref_section(unit, sid, id).map(section_subs),
+                            write: false,
+                            call: true,
+                            path: path.clone(),
+                            order: order[&sid],
+                        });
+                    }
+                    if config.effects.may_mod(unit, sid, id) {
+                        accesses.push(ArrAccess {
+                            stmt: sid,
+                            sym: id,
+                            subs: config.effects.mod_section(unit, sid, id).map(section_subs),
+                            write: true,
+                            call: true,
+                            path: path.clone(),
+                            order: order[&sid],
+                        });
+                    }
+                }
+            }
+        }
+    });
+
+    let mut deps: Vec<Dependence> = Vec::new();
+
+    // Array dependences: test each unordered pair once.
+    for i in 0..accesses.len() {
+        for j in i..accesses.len() {
+            let (a, b) = (&accesses[i], &accesses[j]);
+            if a.sym != b.sym {
+                continue;
+            }
+            if !a.write && !b.write && !config.include_input {
+                continue;
+            }
+            if i == j && !a.write {
+                continue;
+            }
+            // Common nest: shared path prefix (includes the analyzed loop).
+            let depth = a
+                .path
+                .iter()
+                .zip(&b.path)
+                .take_while(|(x, y)| x == y)
+                .count();
+            debug_assert!(depth >= 1);
+            let common: Vec<StmtId> = a.path[..depth].to_vec();
+            let nest = NestCtx::from_headers(
+                unit,
+                &common,
+                Box::new(|s| (config.resolve)(s)),
+            );
+            emit_pair(a, b, &nest, i == j, &mut deps);
+        }
+    }
+
+    // Scalar dependences from classification.
+    let cfg = ped_analysis::cfg::Cfg::build(unit);
+    let live = ped_analysis::liveness::Liveness::compute(unit, &cfg);
+    let scalar_classes =
+        classify_scalars_with(
+            unit,
+            header,
+            &|s| live.live_after_loop(unit, &cfg, header, s),
+            config.call_info,
+        );
+    let mut scalar_sites: HashMap<SymId, (Vec<StmtId>, Vec<StmtId>)> = HashMap::new();
+    for_each_stmt(unit, &body, &mut |sid| {
+        for acc in stmt_accesses(unit, sid) {
+            if unit.symbols.sym(acc.sym).is_array() || acc.subs.is_some() {
+                continue;
+            }
+            let entry = scalar_sites.entry(acc.sym).or_default();
+            if acc.kind.may_read() {
+                entry.0.push(sid);
+            }
+            if acc.kind.may_write() {
+                entry.1.push(sid);
+            }
+        }
+    });
+    for (&sym, class) in &scalar_classes {
+        let cause = match class {
+            ScalarClass::Shared => DepCause::Scalar,
+            ScalarClass::Reduction(op) => DepCause::Reduction(*op),
+            ScalarClass::AuxInduction { .. } => DepCause::Induction,
+            _ => continue,
+        };
+        let Some((reads, writes)) = scalar_sites.get(&sym) else { continue };
+        // One representative carried dependence per (write, read/write)
+        // pair; scalars conflict on every iteration pair.
+        for &w in writes {
+            for &r in reads {
+                push_scalar_dep(&mut deps, w, r, sym, DepKind::True, cause);
+            }
+            for &w2 in writes {
+                if w != w2 || writes.len() == 1 {
+                    push_scalar_dep(&mut deps, w, w2, sym, DepKind::Output, cause);
+                }
+            }
+            for &r in reads {
+                if r != w {
+                    push_scalar_dep(&mut deps, r, w, sym, DepKind::Anti, cause);
+                }
+            }
+        }
+    }
+
+    // Control dependences among body statements.
+    let cd = ped_analysis::controldep::ControlDeps::compute(&cfg);
+    let in_body: std::collections::HashSet<StmtId> = order.keys().copied().collect();
+    for &(c, d) in &cd.pairs {
+        if c != header && in_body.contains(&c) && in_body.contains(&d) {
+            let id = deps.len();
+            deps.push(Dependence {
+                id,
+                src: c,
+                dst: d,
+                var: None,
+                kind: DepKind::True,
+                cause: DepCause::Control,
+                dirs: DirVector(vec![DirSet::EQ]),
+                dist: vec![Some(0)],
+                level: None,
+                proven: true,
+                tests: Vec::new(),
+            });
+        }
+    }
+
+    deps.sort_by(|x, y| {
+        (x.src, x.dst, x.var, x.kind, &x.dirs.0, x.level)
+            .cmp(&(y.src, y.dst, y.var, y.kind, &y.dirs.0, y.level))
+    });
+    deps.dedup_by(|x, y| {
+        x.src == y.src
+            && x.dst == y.dst
+            && x.var == y.var
+            && x.kind == y.kind
+            && x.dirs == y.dirs
+            && x.cause == y.cause
+    });
+    for (i, d) in deps.iter_mut().enumerate() {
+        d.id = i;
+    }
+    DepGraph { header, deps, scalar_classes }
+}
+
+fn push_scalar_dep(
+    deps: &mut Vec<Dependence>,
+    src: StmtId,
+    dst: StmtId,
+    sym: SymId,
+    kind: DepKind,
+    cause: DepCause,
+) {
+    let id = deps.len();
+    deps.push(Dependence {
+        id,
+        src,
+        dst,
+        var: Some(sym),
+        kind,
+        cause,
+        dirs: DirVector(vec![DirSet::ANY]),
+        dist: vec![None],
+        level: Some(1),
+        proven: true,
+        tests: Vec::new(),
+    });
+}
+
+/// Loops enclosing `stmt` from (and including) `header` inward.
+fn nest_path(unit: &ProgramUnit, header: StmtId, stmt: StmtId) -> Vec<StmtId> {
+    let mut enc = enclosing_loops(unit, stmt).unwrap_or_default();
+    if unit.is_loop(stmt) {
+        enc.push(stmt);
+    }
+    match enc.iter().position(|&h| h == header) {
+        Some(p) => enc[p..].to_vec(),
+        None => vec![header],
+    }
+}
+
+fn emit_pair(
+    a: &ArrAccess,
+    b: &ArrAccess,
+    nest: &NestCtx<'_>,
+    same_access: bool,
+    deps: &mut Vec<Dependence>,
+) {
+    // Whole-array (call) endpoints: conservative all-star dependence.
+    let outcome = match (&a.subs, &b.subs) {
+        (Some(sa), Some(sb)) => test_pair(sa, sb, nest),
+        _ => crate::driver::PairOutcome {
+            independent: false,
+            vectors: vec![crate::driver::DepVec {
+                dirs: DirVector::any(nest.depth()),
+                dist: vec![None; nest.depth()],
+            }],
+            proven: false,
+            tests_used: vec![TestName::NonAffine],
+        },
+    };
+    if outcome.independent {
+        return;
+    }
+    for v in &outcome.vectors {
+        for (oriented, swapped) in v.dirs.orient() {
+            let (mut src, mut dst) = if swapped { (b, a) } else { (a, b) };
+            let mut dist_sign = if swapped { -1i64 } else { 1 };
+            if oriented.all_eq() {
+                // Loop-independent: flows from the textually earlier to the
+                // later statement. Within one statement (or for the same
+                // access) there is no in-iteration dependence to show.
+                if same_access || src.stmt == dst.stmt {
+                    continue;
+                }
+                if src.order > dst.order {
+                    std::mem::swap(&mut src, &mut dst);
+                    dist_sign = -dist_sign;
+                }
+            }
+            let kind = match (src.write, dst.write) {
+                (true, false) => DepKind::True,
+                (false, true) => DepKind::Anti,
+                (true, true) => DepKind::Output,
+                (false, false) => DepKind::Input,
+            };
+            let dist: Vec<Option<i64>> =
+                v.dist.iter().map(|d| d.map(|x| dist_sign * x)).collect();
+            let cause = if src.call || dst.call { DepCause::Call } else { DepCause::Array };
+            let level = oriented.carried_level();
+            let id = deps.len();
+            deps.push(Dependence {
+                id,
+                src: src.stmt,
+                dst: dst.stmt,
+                var: Some(a.sym),
+                kind,
+                cause,
+                dirs: oriented,
+                dist,
+                level,
+                proven: outcome.proven,
+                tests: outcome.tests_used.clone(),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ped_fortran::parse_program;
+
+    fn graph(src: &str) -> (ProgramUnit, DepGraph) {
+        let u = parse_program(src).unwrap().units.remove(0);
+        let header = *u.body.iter().find(|&&s| u.is_loop(s)).unwrap();
+        let g = build_graph(&u, header, &GraphConfig::conservative());
+        (u, g)
+    }
+
+    #[test]
+    fn vector_copy_is_parallel() {
+        let (_, g) = graph(
+            "program t\nreal a(100), b(100)\ndo i = 1, 100\na(i) = b(i) + 1.0\nenddo\nend\n",
+        );
+        assert!(g.parallelizable(), "blocking: {:?}", g.blocking());
+    }
+
+    #[test]
+    fn recurrence_blocks() {
+        let (_, g) = graph(
+            "program t\nreal a(100)\ndo i = 2, 100\na(i) = a(i-1) + 1.0\nenddo\nend\n",
+        );
+        assert!(!g.parallelizable());
+        let blocking = g.blocking();
+        assert!(blocking.iter().any(|d| d.kind == DepKind::True && d.level == Some(1)));
+        assert!(blocking.iter().all(|d| d.proven), "strong SIV proves it");
+        assert!(blocking.iter().any(|d| d.dist[0] == Some(1)));
+    }
+
+    #[test]
+    fn anti_dependence_direction() {
+        // a(i) = a(i+1): reads next element → carried anti dependence.
+        let (_, g) = graph(
+            "program t\nreal a(101)\ndo i = 1, 100\na(i) = a(i+1)\nenddo\nend\n",
+        );
+        assert!(!g.parallelizable());
+        assert!(g.blocking().iter().any(|d| d.kind == DepKind::Anti));
+        assert!(g.blocking().iter().all(|d| d.kind != DepKind::True));
+    }
+
+    #[test]
+    fn inner_loop_dep_does_not_block_outer() {
+        // Dependence carried by j (level 2): outer i loop stays parallel.
+        let (_, g) = graph(
+            "program t\nreal a(10,20)\ndo i = 1, 10\ndo j = 2, 20\n\
+             a(i,j) = a(i,j-1) + 1.0\nenddo\nenddo\nend\n",
+        );
+        assert!(g.parallelizable(), "blocking: {:?}", g.blocking());
+        assert!(g.deps.iter().any(|d| d.level == Some(2)));
+    }
+
+    #[test]
+    fn reduction_recognized_not_blocking() {
+        let (_, g) = graph(
+            "program t\nreal a(100)\ns = 0.0\ndo i = 1, 100\ns = s + a(i)\nenddo\n\
+             print *, s\nend\n",
+        );
+        assert!(g.parallelizable());
+        assert!(g
+            .deps
+            .iter()
+            .any(|d| matches!(d.cause, DepCause::Reduction(RedOp::Sum))));
+    }
+
+    #[test]
+    fn shared_scalar_blocks() {
+        let (_, g) = graph(
+            "program t\nreal a(100)\ndo i = 1, 100\na(i) = t1\nt1 = a(i) * 2.0\nenddo\nend\n",
+        );
+        assert!(!g.parallelizable());
+        assert!(g.blocking().iter().any(|d| d.cause == DepCause::Scalar));
+    }
+
+    #[test]
+    fn private_scalar_no_deps() {
+        let (u, g) = graph(
+            "program t\nreal a(100)\ndo i = 1, 100\nt1 = a(i) * 2.0\na(i) = t1\nenddo\nend\n",
+        );
+        let t1 = u.symbols.lookup("t1").unwrap();
+        assert!(g.parallelizable());
+        assert!(g.deps_on(t1).next().is_none());
+        assert!(matches!(g.scalar_classes[&t1], ScalarClass::Private { .. }));
+    }
+
+    #[test]
+    fn call_in_loop_blocks_conservatively() {
+        let (_, g) = graph(
+            "program t\nreal a(100)\ndo i = 1, 100\ncall f(a, i)\nenddo\nend\n",
+        );
+        assert!(!g.parallelizable());
+        assert!(g.blocking().iter().any(|d| d.cause == DepCause::Call));
+        assert!(g.blocking().iter().all(|d| !d.proven), "call deps are pending");
+    }
+
+    #[test]
+    fn index_array_pending_dep() {
+        let (_, g) = graph(
+            "program t\nreal a(100)\ninteger ind(100)\ndo i = 1, 100\n\
+             a(ind(i)) = a(ind(i)) + 1.0\nenddo\nend\n",
+        );
+        assert!(!g.parallelizable());
+        assert!(g.blocking().iter().all(|d| !d.proven), "index-array deps are pending");
+    }
+
+    #[test]
+    fn control_dep_present_not_blocking() {
+        let (_, g) = graph(
+            "program t\nreal a(100)\ndo i = 1, 100\nif (a(i) .gt. 0.0) then\n\
+             a(i) = 0.0\nendif\nenddo\nend\n",
+        );
+        assert!(g.deps.iter().any(|d| d.cause == DepCause::Control));
+        assert!(g.parallelizable());
+    }
+
+    #[test]
+    fn crossing_dep_detected() {
+        let (_, g) = graph(
+            "program t\nreal a(100)\ndo i = 1, 49\na(i) = a(100-i)\nenddo\nend\n",
+        );
+        // i vs 100-i crossing at 50: reads touch 51..99, writes 1..49 — no
+        // overlap, independent!
+        assert!(g.parallelizable(), "{:?}", g.blocking());
+        let (_, g2) = graph(
+            "program t\nreal a(100)\ndo i = 1, 99\na(i) = a(100-i)\nenddo\nend\n",
+        );
+        assert!(!g2.parallelizable());
+    }
+}

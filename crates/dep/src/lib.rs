@@ -1,0 +1,36 @@
+//! # ped-dep — data dependence analysis for the ParaScope Editor
+//!
+//! Ped "detects data and control dependences. Data dependences are located
+//! by testing pairs of references in a loop. A hierarchical suite of tests
+//! is used, starting with inexpensive tests, to prove or disprove that a
+//! dependence exists" (Goff, Kennedy & Tseng, *Practical dependence
+//! testing*). This crate implements that machinery:
+//!
+//! * [`vectors`] — direction and distance vectors with hierarchy
+//!   refinement and lexicographic orientation;
+//! * [`nest`] — loop-nest contexts: index variables, affine bounds,
+//!   constant resolution (where constant propagation and user assertions
+//!   plug in);
+//! * [`tests_suite`] — the subscript tests: ZIV, strong SIV, weak-zero SIV,
+//!   weak-crossing SIV, exact SIV, and the MIV GCD and Banerjee tests;
+//! * [`driver`] — the hierarchical driver: subscript partitioning,
+//!   per-partition testing, constraint intersection, and direction-vector
+//!   emission, with per-test provenance (which test decided);
+//! * [`graph`] — the per-loop dependence graph Ped's dependence pane
+//!   displays: array, scalar, and control dependences, classified
+//!   true/anti/output/input with carried level and marking state;
+//! * [`oracle`] — a brute-force iteration-space oracle used by the property
+//!   tests (the suite must never claim independence when the oracle finds a
+//!   dependence) and by the run-time dependence checker.
+
+pub mod driver;
+pub mod graph;
+pub mod nest;
+pub mod oracle;
+pub mod tests_suite;
+pub mod vectors;
+
+pub use driver::{test_pair, PairOutcome, TestName};
+pub use graph::{DepCause, DepGraph, DepKind, Dependence};
+pub use nest::{LoopCtx, NestCtx};
+pub use vectors::{DirSet, Direction, DirVector};

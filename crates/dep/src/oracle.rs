@@ -1,0 +1,269 @@
+//! Brute-force dependence oracle.
+//!
+//! For small constant iteration spaces, the oracle enumerates every pair of
+//! iteration vectors, evaluates both subscripts exactly, and reports the
+//! true set of dependences. The property tests check the test suite against
+//! it: **the suite must never report independence when the oracle finds a
+//! dependence** (the compiler-safety direction of "for safety, the compiler
+//! must assume a dependence exists if it cannot prove otherwise"). It also
+//! backs the run-time dependence checker used for user-deleted dependences.
+
+use crate::vectors::{Direction, DirVector};
+#[cfg(test)]
+use crate::vectors::DirSet;
+use ped_fortran::{BinOp, Expr, SymId, UnOp};
+use std::collections::HashMap;
+
+/// Loop bounds for the oracle (constant, unit step unless given).
+#[derive(Debug, Clone, Copy)]
+pub struct OracleLoop {
+    /// Index variable.
+    pub var: SymId,
+    /// Lower bound.
+    pub lo: i64,
+    /// Upper bound.
+    pub hi: i64,
+    /// Step (non-zero).
+    pub step: i64,
+}
+
+/// Evaluate an integer expression under an environment (loop indices plus
+/// fixed symbolics). Returns `None` on non-integer constructs.
+pub fn eval_int(e: &Expr, env: &HashMap<SymId, i64>) -> Option<i64> {
+    match e {
+        Expr::Int(v) => Some(*v),
+        Expr::Var(s) => env.get(s).copied(),
+        Expr::Un { op: UnOp::Neg, e } => Some(-eval_int(e, env)?),
+        Expr::Bin { op, l, r } => {
+            let a = eval_int(l, env)?;
+            let b = eval_int(r, env)?;
+            Some(match op {
+                BinOp::Add => a + b,
+                BinOp::Sub => a - b,
+                BinOp::Mul => a * b,
+                BinOp::Div => a.checked_div(b)?,
+                BinOp::Pow => a.checked_pow(u32::try_from(b).ok()?)?,
+                _ => return None,
+            })
+        }
+        Expr::Intrinsic { op, args } => {
+            use ped_fortran::Intrinsic as I;
+            let vals: Option<Vec<i64>> = args.iter().map(|a| eval_int(a, env)).collect();
+            let vals = vals?;
+            match (op, vals.as_slice()) {
+                (I::Min, vs) => vs.iter().copied().min(),
+                (I::Max, vs) => vs.iter().copied().max(),
+                (I::Mod, [a, b]) if *b != 0 => Some(a % b),
+                (I::Abs, [a]) => Some(a.abs()),
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
+/// A dependence found by enumeration: the direction vector realized by a
+/// concrete iteration pair `(I, J)` with `I` lexicographically ≤ `J`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct OracleDep {
+    /// Realized directions per level (always single directions).
+    pub dirs: Vec<Direction>,
+}
+
+/// Enumerate all dependences between two subscripted references over a
+/// constant nest. `syms` fixes free symbolic variables. Returns the set of
+/// realized direction vectors from the perspective src → sink (i.e. the
+/// source instance `I` and sink instance `J` need not be ordered; vectors
+/// record sign of `J − I` per level). Returns `None` if any subscript does
+/// not evaluate.
+pub fn enumerate_deps(
+    src_subs: &[Expr],
+    sink_subs: &[Expr],
+    nest: &[OracleLoop],
+    syms: &HashMap<SymId, i64>,
+) -> Option<Vec<OracleDep>> {
+    let mut found: std::collections::HashSet<OracleDep> = Default::default();
+    let iters: Vec<Vec<i64>> = nest
+        .iter()
+        .map(|l| {
+            let mut v = Vec::new();
+            let mut x = l.lo;
+            if l.step > 0 {
+                while x <= l.hi {
+                    v.push(x);
+                    x += l.step;
+                }
+            } else if l.step < 0 {
+                while x >= l.hi {
+                    v.push(x);
+                    x += l.step;
+                }
+            }
+            v
+        })
+        .collect();
+    // Cartesian product over I and J.
+    let mut idx_i = vec![0usize; nest.len()];
+    loop {
+        let mut env_i = syms.clone();
+        for (k, l) in nest.iter().enumerate() {
+            env_i.insert(l.var, iters[k][idx_i[k]]);
+        }
+        let si: Option<Vec<i64>> = src_subs.iter().map(|e| eval_int(e, &env_i)).collect();
+        let si = si?;
+        let mut idx_j = vec![0usize; nest.len()];
+        loop {
+            let mut env_j = syms.clone();
+            for (k, l) in nest.iter().enumerate() {
+                env_j.insert(l.var, iters[k][idx_j[k]]);
+            }
+            let sj: Option<Vec<i64>> = sink_subs.iter().map(|e| eval_int(e, &env_j)).collect();
+            let sj = sj?;
+            if si == sj {
+                let dirs: Vec<Direction> = (0..nest.len())
+                    .map(|k| {
+                        let (a, b) = (iters[k][idx_i[k]], iters[k][idx_j[k]]);
+                        match a.cmp(&b) {
+                            std::cmp::Ordering::Less => Direction::Lt,
+                            std::cmp::Ordering::Equal => Direction::Eq,
+                            std::cmp::Ordering::Greater => Direction::Gt,
+                        }
+                    })
+                    .collect();
+                found.insert(OracleDep { dirs });
+            }
+            if !advance(&mut idx_j, &iters) {
+                break;
+            }
+        }
+        if !advance(&mut idx_i, &iters) {
+            break;
+        }
+    }
+    let mut out: Vec<OracleDep> = found.into_iter().collect();
+    out.sort_by(|a, b| a.dirs.cmp(&b.dirs));
+    Some(out)
+}
+
+fn advance(idx: &mut [usize], iters: &[Vec<i64>]) -> bool {
+    for k in (0..idx.len()).rev() {
+        idx[k] += 1;
+        if idx[k] < iters[k].len() {
+            return true;
+        }
+        idx[k] = 0;
+    }
+    false
+}
+
+/// Does a set of surviving direction vectors (from the driver) cover a
+/// realized oracle direction vector? Used by the conservativeness property:
+/// every oracle dependence must be covered by some reported vector.
+pub fn covers(reported: &[DirVector], realized: &OracleDep) -> bool {
+    reported.iter().any(|v| {
+        v.0.len() == realized.dirs.len()
+            && v.0.iter().zip(&realized.dirs).all(|(s, d)| s.contains(*d))
+    })
+}
+
+/// Convert a realized oracle vector to the reporting convention of the
+/// driver (source perspective with swapped reorientation): `>`-leading
+/// vectors are reversed, matching [`DirVector::orient`].
+pub fn oriented(realized: &OracleDep) -> (Vec<Direction>, bool) {
+    for d in &realized.dirs {
+        match d {
+            Direction::Lt => return (realized.dirs.clone(), false),
+            Direction::Gt => {
+                let rev: Vec<Direction> = realized
+                    .dirs
+                    .iter()
+                    .map(|x| match x {
+                        Direction::Lt => Direction::Gt,
+                        Direction::Gt => Direction::Lt,
+                        Direction::Eq => Direction::Eq,
+                    })
+                    .collect();
+                return (rev, true);
+            }
+            Direction::Eq => continue,
+        }
+    }
+    (realized.dirs.clone(), false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ped_fortran::builder::ex;
+
+    fn var(v: u32) -> Expr {
+        Expr::Var(SymId(v))
+    }
+
+    #[test]
+    fn recurrence_found() {
+        let nest = [OracleLoop { var: SymId(0), lo: 1, hi: 5, step: 1 }];
+        let deps = enumerate_deps(
+            &[var(0)],
+            &[ex::sub(var(0), ex::int(1))],
+            &nest,
+            &HashMap::new(),
+        )
+        .unwrap();
+        // a(i) = a(i-1): source writes a(I), sink reads a(J-1); equal when
+        // J = I + 1 → direction Lt.
+        assert_eq!(deps, vec![OracleDep { dirs: vec![Direction::Lt] }]);
+    }
+
+    #[test]
+    fn no_dep_when_disjoint() {
+        let nest = [OracleLoop { var: SymId(0), lo: 1, hi: 5, step: 1 }];
+        let deps = enumerate_deps(
+            &[ex::mul(ex::int(2), var(0))],
+            &[ex::add(ex::mul(ex::int(2), var(0)), ex::int(1))],
+            &nest,
+            &HashMap::new(),
+        )
+        .unwrap();
+        assert!(deps.is_empty());
+    }
+
+    #[test]
+    fn same_subscript_eq_only() {
+        let nest = [OracleLoop { var: SymId(0), lo: 1, hi: 5, step: 1 }];
+        let deps = enumerate_deps(&[var(0)], &[var(0)], &nest, &HashMap::new()).unwrap();
+        assert_eq!(deps, vec![OracleDep { dirs: vec![Direction::Eq] }]);
+    }
+
+    #[test]
+    fn covers_star() {
+        let realized = OracleDep { dirs: vec![Direction::Lt, Direction::Gt] };
+        assert!(covers(&[DirVector(vec![DirSet::ANY, DirSet::ANY])], &realized));
+        assert!(!covers(&[DirVector(vec![DirSet::EQ, DirSet::ANY])], &realized));
+    }
+
+    #[test]
+    fn negative_step_enumeration() {
+        let nest = [OracleLoop { var: SymId(0), lo: 5, hi: 1, step: -1 }];
+        let deps = enumerate_deps(&[var(0)], &[var(0)], &nest, &HashMap::new()).unwrap();
+        assert_eq!(deps.len(), 1);
+    }
+
+    #[test]
+    fn symbolic_environment() {
+        let nest = [OracleLoop { var: SymId(0), lo: 1, hi: 5, step: 1 }];
+        let mut syms = HashMap::new();
+        syms.insert(SymId(9), 2i64);
+        // a(i) vs a(i + m) with m = 2: dependence at distance 2.
+        let deps =
+            enumerate_deps(&[var(0)], &[ex::add(var(0), var(9))], &nest, &syms).unwrap();
+        assert!(deps.iter().any(|d| d.dirs == vec![Direction::Gt]));
+    }
+
+    #[test]
+    fn index_array_returns_none() {
+        let nest = [OracleLoop { var: SymId(0), lo: 1, hi: 5, step: 1 }];
+        let e = Expr::ArrayRef { sym: SymId(3), subs: vec![var(0)] };
+        assert!(enumerate_deps(&[e], &[var(0)], &nest, &HashMap::new()).is_none());
+    }
+}

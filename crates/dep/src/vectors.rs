@@ -1,0 +1,290 @@
+//! Direction and distance vectors.
+//!
+//! A dependence between iteration vectors `I` (source) and `J` (sink) is
+//! summarized per common loop level by the relation of `I_k` to `J_k`:
+//! `<` (carried forward), `=` (same iteration), `>` (would be carried
+//! backward — reversed on emission), or a set of still-possible relations
+//! when tests could not narrow it (`*`, `≤`, `≥`, `≠`).
+
+/// A single direction relation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Direction {
+    /// `I_k < J_k`
+    Lt,
+    /// `I_k = J_k`
+    Eq,
+    /// `I_k > J_k`
+    Gt,
+}
+
+/// The set of directions still possible at one loop level — the unit of the
+/// direction-vector hierarchy of practical dependence testing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DirSet {
+    bits: u8, // bit 0 = Lt, bit 1 = Eq, bit 2 = Gt
+}
+
+impl DirSet {
+    /// All three directions (`*`).
+    pub const ANY: DirSet = DirSet { bits: 0b111 };
+    /// `<`
+    pub const LT: DirSet = DirSet { bits: 0b001 };
+    /// `=`
+    pub const EQ: DirSet = DirSet { bits: 0b010 };
+    /// `>`
+    pub const GT: DirSet = DirSet { bits: 0b100 };
+    /// `≤`
+    pub const LE: DirSet = DirSet { bits: 0b011 };
+    /// `≥`
+    pub const GE: DirSet = DirSet { bits: 0b110 };
+    /// `≠`
+    pub const NE: DirSet = DirSet { bits: 0b101 };
+    /// Empty (no direction possible: independence at this level).
+    pub const NONE: DirSet = DirSet { bits: 0 };
+
+    /// From a single direction.
+    pub fn single(d: Direction) -> DirSet {
+        match d {
+            Direction::Lt => DirSet::LT,
+            Direction::Eq => DirSet::EQ,
+            Direction::Gt => DirSet::GT,
+        }
+    }
+
+    /// Set intersection.
+    pub fn intersect(self, other: DirSet) -> DirSet {
+        DirSet { bits: self.bits & other.bits }
+    }
+
+    /// Set union.
+    pub fn union(self, other: DirSet) -> DirSet {
+        DirSet { bits: self.bits | other.bits }
+    }
+
+    /// True if no direction remains.
+    pub fn is_empty(self) -> bool {
+        self.bits == 0
+    }
+
+    /// Membership test.
+    pub fn contains(self, d: Direction) -> bool {
+        !self.intersect(DirSet::single(d)).is_empty()
+    }
+
+    /// Iterate members in `<`, `=`, `>` order.
+    pub fn iter(self) -> impl Iterator<Item = Direction> {
+        [Direction::Lt, Direction::Eq, Direction::Gt]
+            .into_iter()
+            .filter(move |&d| self.contains(d))
+    }
+
+    /// The reversed set (swap `<` and `>`), used when a dependence is
+    /// reoriented from sink to source.
+    pub fn reversed(self) -> DirSet {
+        let lt = self.bits & 1;
+        let eq = self.bits & 2;
+        let gt = (self.bits >> 2) & 1;
+        DirSet { bits: (lt << 2) | eq | gt }
+    }
+
+    /// Exactly `=`?
+    pub fn is_eq_only(self) -> bool {
+        self == DirSet::EQ
+    }
+}
+
+impl std::fmt::Display for DirSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match *self {
+            DirSet::ANY => "*",
+            DirSet::LT => "<",
+            DirSet::EQ => "=",
+            DirSet::GT => ">",
+            DirSet::LE => "<=",
+            DirSet::GE => ">=",
+            DirSet::NE => "<>",
+            _ => "0",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A direction vector over the common loop nest (outermost first).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DirVector(pub Vec<DirSet>);
+
+impl DirVector {
+    /// The all-`*` vector of length `n` (the root of the hierarchy).
+    pub fn any(n: usize) -> DirVector {
+        DirVector(vec![DirSet::ANY; n])
+    }
+
+    /// Number of levels.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True for the zero-level vector.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Intersect level-wise; `None` if any level becomes empty
+    /// (contradiction ⇒ no dependence with these constraints).
+    pub fn intersect(&self, other: &DirVector) -> Option<DirVector> {
+        debug_assert_eq!(self.len(), other.len());
+        let mut out = Vec::with_capacity(self.len());
+        for (a, b) in self.0.iter().zip(&other.0) {
+            let c = a.intersect(*b);
+            if c.is_empty() {
+                return None;
+            }
+            out.push(c);
+        }
+        Some(DirVector(out))
+    }
+
+    /// First level whose set excludes `=`-only, i.e. the carried level of a
+    /// forward-oriented vector: the first level that is exactly `<`.
+    /// Returns `None` when the vector is all `=` (loop-independent).
+    pub fn carried_level(&self) -> Option<usize> {
+        for (k, d) in self.0.iter().enumerate() {
+            if d.is_eq_only() {
+                continue;
+            }
+            return Some(k + 1);
+        }
+        None
+    }
+
+    /// True if every level is exactly `=`.
+    pub fn all_eq(&self) -> bool {
+        self.0.iter().all(|d| d.is_eq_only())
+    }
+
+    /// Orient this (possibly ambiguous) vector into forward dependences.
+    ///
+    /// Returns `(vector, swapped)` pairs: `swapped = false` keeps source →
+    /// sink as tested; `swapped = true` means the dependence actually flows
+    /// sink → source and the vector has been reversed. An all-`=` result is
+    /// returned once with `swapped = false` (the caller resolves statement
+    /// order for loop-independent dependences).
+    pub fn orient(&self) -> Vec<(DirVector, bool)> {
+        let mut out = Vec::new();
+        // Walk levels, splitting the first ambiguous level.
+        fn rec(v: &DirVector, k: usize, prefix: &mut Vec<DirSet>, out: &mut Vec<(DirVector, bool)>) {
+            if k == v.len() {
+                // All levels `=`: loop-independent.
+                out.push((DirVector(prefix.clone()), false));
+                return;
+            }
+            let d = v.0[k];
+            if d.is_eq_only() {
+                prefix.push(DirSet::EQ);
+                rec(v, k + 1, prefix, out);
+                prefix.pop();
+                return;
+            }
+            // Split into <, =, > futures at this level.
+            if d.contains(Direction::Lt) {
+                let mut vec = prefix.clone();
+                vec.push(DirSet::LT);
+                vec.extend_from_slice(&v.0[k + 1..]);
+                out.push((DirVector(vec), false));
+            }
+            if d.contains(Direction::Gt) {
+                let mut vec: Vec<DirSet> = prefix.iter().map(|p| p.reversed()).collect();
+                vec.push(DirSet::LT); // reversed `>` is `<`
+                vec.extend(v.0[k + 1..].iter().map(|p| p.reversed()));
+                out.push((DirVector(vec), true));
+            }
+            if d.contains(Direction::Eq) {
+                prefix.push(DirSet::EQ);
+                rec(v, k + 1, prefix, out);
+                prefix.pop();
+            }
+        }
+        let mut prefix = Vec::new();
+        rec(self, 0, &mut prefix, &mut out);
+        out
+    }
+}
+
+impl std::fmt::Display for DirVector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "(")?;
+        for (i, d) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dirset_algebra() {
+        assert_eq!(DirSet::ANY.intersect(DirSet::LT), DirSet::LT);
+        assert!(DirSet::LT.intersect(DirSet::GT).is_empty());
+        assert_eq!(DirSet::LE.intersect(DirSet::GE), DirSet::EQ);
+        assert_eq!(DirSet::LT.reversed(), DirSet::GT);
+        assert_eq!(DirSet::LE.reversed(), DirSet::GE);
+        assert_eq!(DirSet::ANY.reversed(), DirSet::ANY);
+    }
+
+    #[test]
+    fn carried_level() {
+        let v = DirVector(vec![DirSet::EQ, DirSet::LT, DirSet::ANY]);
+        assert_eq!(v.carried_level(), Some(2));
+        assert_eq!(DirVector(vec![DirSet::EQ, DirSet::EQ]).carried_level(), None);
+    }
+
+    #[test]
+    fn orient_all_eq_single() {
+        let v = DirVector(vec![DirSet::EQ, DirSet::EQ]);
+        let o = v.orient();
+        assert_eq!(o.len(), 1);
+        assert!(!o[0].1);
+        assert!(o[0].0.all_eq());
+    }
+
+    #[test]
+    fn orient_splits_star() {
+        let v = DirVector(vec![DirSet::ANY]);
+        let o = v.orient();
+        // <  => forward, > => swapped, = => loop independent
+        assert_eq!(o.len(), 3);
+        assert!(o.iter().any(|(v, s)| !s && v.0[0] == DirSet::LT));
+        assert!(o.iter().any(|(v, s)| *s && v.0[0] == DirSet::LT));
+        assert!(o.iter().any(|(v, s)| !s && v.0[0] == DirSet::EQ));
+    }
+
+    #[test]
+    fn orient_reverses_suffix() {
+        // (>, <) as tested means sink precedes source at level 1: the real
+        // dependence is the reversed vector (<, >).
+        let v = DirVector(vec![DirSet::GT, DirSet::LT]);
+        let o = v.orient();
+        assert_eq!(o.len(), 1);
+        assert!(o[0].1);
+        assert_eq!(o[0].0, DirVector(vec![DirSet::LT, DirSet::GT]));
+    }
+
+    #[test]
+    fn intersect_contradiction() {
+        let a = DirVector(vec![DirSet::LT]);
+        let b = DirVector(vec![DirSet::GT]);
+        assert!(a.intersect(&b).is_none());
+    }
+
+    #[test]
+    fn display_forms() {
+        let v = DirVector(vec![DirSet::LT, DirSet::ANY, DirSet::EQ]);
+        assert_eq!(v.to_string(), "(<,*,=)");
+    }
+}

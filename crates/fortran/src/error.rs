@@ -1,0 +1,54 @@
+//! Parse and semantic errors produced by the front end.
+
+use crate::span::LineNo;
+
+/// Result alias used throughout the front end.
+pub type Result<T> = std::result::Result<T, ParseError>;
+
+/// An error produced while lexing or parsing Fortran source.
+///
+/// Ped reports errors against physical source lines so the editor can
+/// highlight the offending statement; we carry the same information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Physical line the error was detected on (0 if unknown).
+    pub line: LineNo,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl ParseError {
+    /// Construct an error at a known source line.
+    pub fn at(line: LineNo, message: impl Into<String>) -> Self {
+        ParseError { line, message: message.into() }
+    }
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.line != 0 {
+            write!(f, "line {}: {}", self.line, self.message)
+        } else {
+            write!(f, "{}", self.message)
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_line() {
+        let e = ParseError::at(12, "expected ENDDO");
+        assert_eq!(e.to_string(), "line 12: expected ENDDO");
+    }
+
+    #[test]
+    fn display_without_line() {
+        let e = ParseError::at(0, "empty program");
+        assert_eq!(e.to_string(), "empty program");
+    }
+}

@@ -1,0 +1,502 @@
+//! Line scanner and tokenizer.
+//!
+//! Fortran is a line-oriented language: the unit of parsing is the *logical
+//! line* — a statement possibly spread over continuation lines, with an
+//! optional numeric label. The scanner assembles logical lines (stripping
+//! comments and joining continuations) and the tokenizer lexes each one.
+//!
+//! Two source forms are supported, mirroring what Ped's front end accepted:
+//!
+//! * **free form** (our canonical form, what the pretty printer emits):
+//!   `!` starts a comment, a trailing `&` continues the statement onto the
+//!   next line, and an optional statement label is a leading integer;
+//! * **fixed form** (classic F77): `C`, `c`, `*` or `!` in column 1 start a
+//!   comment line, columns 1–5 hold the label, a non-blank non-zero column 6
+//!   marks a continuation line, and the statement body is columns 7–72.
+
+use crate::error::{ParseError, Result};
+use crate::span::Span;
+use crate::token::Token;
+
+/// Source form accepted by [`scan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SourceForm {
+    /// `!` comments, `&` continuation.
+    Free,
+    /// Column-1 comments, column-6 continuation, columns 1–5 labels.
+    Fixed,
+}
+
+/// One logical line: an optional label, its tokens, and the physical span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogicalLine {
+    /// Statement label, if any (`10 CONTINUE`).
+    pub label: Option<u32>,
+    /// Tokens of the statement body.
+    pub tokens: Vec<Token>,
+    /// Physical lines this statement occupies.
+    pub span: Span,
+}
+
+/// Scan an entire source file into logical lines.
+pub fn scan(src: &str, form: SourceForm) -> Result<Vec<LogicalLine>> {
+    let raw = collect_raw_lines(src, form)?;
+    let mut out = Vec::with_capacity(raw.len());
+    for (first, last, text) in raw {
+        let mut toks = tokenize(&text, first)?;
+        let label = extract_label(&mut toks);
+        if toks.is_empty() && label.is_none() {
+            continue;
+        }
+        out.push(LogicalLine { label, tokens: toks, span: Span { first, last } });
+    }
+    Ok(out)
+}
+
+/// A leading integer token on a statement is its label (expression statements
+/// cannot begin with an integer literal in this subset).
+fn extract_label(tokens: &mut Vec<Token>) -> Option<u32> {
+    match tokens.first() {
+        Some(Token::Int(v)) if tokens.len() > 1 => {
+            let v = *v;
+            if (0..=99999).contains(&v) {
+                tokens.remove(0);
+                Some(v as u32)
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Join continuations and strip comments; returns (first_line, last_line, text).
+fn collect_raw_lines(src: &str, form: SourceForm) -> Result<Vec<(u32, u32, String)>> {
+    let mut out: Vec<(u32, u32, String)> = Vec::new();
+    // True when the previous free-form line ended with `&`.
+    let mut pending_cont = false;
+    for (idx, line) in src.lines().enumerate() {
+        let lineno = idx as u32 + 1;
+        match form {
+            SourceForm::Free => {
+                let mut text = strip_bang_comment(line).to_string();
+                let mut continues = false;
+                let trimmed = text.trim_end();
+                if trimmed.ends_with('&') {
+                    continues = true;
+                    text = trimmed[..trimmed.len() - 1].to_string();
+                }
+                if text.trim().is_empty() && !continues {
+                    continue;
+                }
+                if pending_cont {
+                    let last = out.last_mut().expect("continuation implies a previous line");
+                    last.1 = lineno;
+                    last.2.push(' ');
+                    last.2.push_str(&text);
+                } else {
+                    out.push((lineno, lineno, text));
+                }
+                pending_cont = continues;
+            }
+            SourceForm::Fixed => {
+                let bytes: Vec<char> = line.chars().collect();
+                if bytes.is_empty() {
+                    continue;
+                }
+                if matches!(bytes[0], 'C' | 'c' | '*' | '!') {
+                    continue;
+                }
+                let text = strip_bang_comment(line);
+                let chars: Vec<char> = text.chars().collect();
+                let body: String = chars.iter().skip(6).take(66).collect();
+                let label_field: String = chars.iter().take(5).collect();
+                let is_cont = chars.len() > 5 && chars[5] != ' ' && chars[5] != '0';
+                if is_cont {
+                    match out.last_mut() {
+                        Some(prev) => {
+                            prev.1 = lineno;
+                            prev.2.push(' ');
+                            prev.2.push_str(&body);
+                        }
+                        None => {
+                            return Err(ParseError::at(
+                                lineno,
+                                "continuation line with no statement to continue",
+                            ))
+                        }
+                    }
+                } else {
+                    if label_field.trim().is_empty() && body.trim().is_empty() {
+                        continue;
+                    }
+                    // Keep the label as leading text so extract_label sees it.
+                    let mut text = String::new();
+                    if !label_field.trim().is_empty() {
+                        text.push_str(label_field.trim());
+                        text.push(' ');
+                    }
+                    text.push_str(&body);
+                    out.push((lineno, lineno, text));
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Remove a `!` comment, respecting character literals.
+fn strip_bang_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, ch) in line.char_indices() {
+        match ch {
+            '\'' => in_str = !in_str,
+            '!' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Tokenize the body of one logical line.
+pub fn tokenize(text: &str, lineno: u32) -> Result<Vec<Token>> {
+    let chars: Vec<char> = text.chars().collect();
+    let mut i = 0usize;
+    let n = chars.len();
+    let mut out = Vec::new();
+    while i < n {
+        let c = chars[i];
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        match c {
+            '(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            ',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            ':' => {
+                out.push(Token::Colon);
+                i += 1;
+            }
+            '+' => {
+                out.push(Token::Plus);
+                i += 1;
+            }
+            '-' => {
+                out.push(Token::Minus);
+                i += 1;
+            }
+            '*' => {
+                if i + 1 < n && chars[i + 1] == '*' {
+                    out.push(Token::Pow);
+                    i += 2;
+                } else {
+                    out.push(Token::Star);
+                    i += 1;
+                }
+            }
+            '/' => {
+                if i + 1 < n && chars[i + 1] == '/' {
+                    out.push(Token::Concat);
+                    i += 2;
+                } else if i + 1 < n && chars[i + 1] == '=' {
+                    out.push(Token::Ne);
+                    i += 2;
+                } else {
+                    out.push(Token::Slash);
+                    i += 1;
+                }
+            }
+            '=' => {
+                if i + 1 < n && chars[i + 1] == '=' {
+                    out.push(Token::EqEq);
+                    i += 2;
+                } else {
+                    out.push(Token::Assign);
+                    i += 1;
+                }
+            }
+            '<' => {
+                if i + 1 < n && chars[i + 1] == '=' {
+                    out.push(Token::Le);
+                    i += 2;
+                } else {
+                    out.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < n && chars[i + 1] == '=' {
+                    out.push(Token::Ge);
+                    i += 2;
+                } else {
+                    out.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let (tok, next) = lex_string(&chars, i, lineno)?;
+                out.push(tok);
+                i = next;
+            }
+            '.' => {
+                // Either a dotted operator (.lt., .and., ...) or a real like `.5`.
+                if let Some((tok, next)) = lex_dotted_op(&chars, i) {
+                    out.push(tok);
+                    i = next;
+                } else if i + 1 < n && chars[i + 1].is_ascii_digit() {
+                    let (tok, next) = lex_number(&chars, i, lineno)?;
+                    out.push(tok);
+                    i = next;
+                } else {
+                    return Err(ParseError::at(lineno, format!("unexpected '.' in `{text}`")));
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let (tok, next) = lex_number(&chars, i, lineno)?;
+                out.push(tok);
+                i = next;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' || c == '$' => {
+                let start = i;
+                while i < n && (chars[i].is_ascii_alphanumeric() || chars[i] == '_' || chars[i] == '$') {
+                    i += 1;
+                }
+                let word: String = chars[start..i].iter().collect::<String>().to_ascii_lowercase();
+                out.push(Token::Ident(word));
+            }
+            other => {
+                return Err(ParseError::at(lineno, format!("unexpected character `{other}`")));
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn lex_string(chars: &[char], start: usize, lineno: u32) -> Result<(Token, usize)> {
+    let mut i = start + 1;
+    let n = chars.len();
+    let mut s = String::new();
+    while i < n {
+        if chars[i] == '\'' {
+            if i + 1 < n && chars[i + 1] == '\'' {
+                s.push('\'');
+                i += 2;
+            } else {
+                return Ok((Token::Str(s), i + 1));
+            }
+        } else {
+            s.push(chars[i]);
+            i += 1;
+        }
+    }
+    Err(ParseError::at(lineno, "unterminated character literal"))
+}
+
+/// Recognize `.lt.`, `.le.`, `.gt.`, `.ge.`, `.eq.`, `.ne.`, `.and.`, `.or.`,
+/// `.not.`, `.true.`, `.false.` (case-insensitive).
+fn lex_dotted_op(chars: &[char], start: usize) -> Option<(Token, usize)> {
+    let rest: String = chars[start..].iter().take(8).collect::<String>().to_ascii_lowercase();
+    let table: [(&str, Token); 11] = [
+        (".false.", Token::False),
+        (".true.", Token::True),
+        (".and.", Token::And),
+        (".not.", Token::Not),
+        (".or.", Token::Or),
+        (".lt.", Token::Lt),
+        (".le.", Token::Le),
+        (".gt.", Token::Gt),
+        (".ge.", Token::Ge),
+        (".eq.", Token::EqEq),
+        (".ne.", Token::Ne),
+    ];
+    for (pat, tok) in table {
+        if rest.starts_with(pat) {
+            return Some((tok, start + pat.len()));
+        }
+    }
+    None
+}
+
+fn lex_number(chars: &[char], start: usize, lineno: u32) -> Result<(Token, usize)> {
+    let n = chars.len();
+    let mut i = start;
+    let mut digits = String::new();
+    while i < n && chars[i].is_ascii_digit() {
+        digits.push(chars[i]);
+        i += 1;
+    }
+    let mut is_real = false;
+    let mut frac = String::new();
+    if i < n && chars[i] == '.' {
+        // Don't consume `.` if it begins a dotted operator (e.g. `1.eq.`).
+        if lex_dotted_op(chars, i).is_none() {
+            is_real = true;
+            i += 1;
+            while i < n && chars[i].is_ascii_digit() {
+                frac.push(chars[i]);
+                i += 1;
+            }
+        }
+    }
+    let mut exp = String::new();
+    let mut double = false;
+    if i < n && matches!(chars[i], 'e' | 'E' | 'd' | 'D') {
+        let mut j = i + 1;
+        let mut sign = String::new();
+        if j < n && (chars[j] == '+' || chars[j] == '-') {
+            sign.push(chars[j]);
+            j += 1;
+        }
+        let mut ds = String::new();
+        while j < n && chars[j].is_ascii_digit() {
+            ds.push(chars[j]);
+            j += 1;
+        }
+        if !ds.is_empty() {
+            double = matches!(chars[i], 'd' | 'D');
+            is_real = true;
+            exp = format!("e{sign}{ds}");
+            i = j;
+        }
+    }
+    if is_real {
+        let text = format!("{digits}.{frac}{exp}", frac = if frac.is_empty() { "0" } else { &frac });
+        let value: f64 = text
+            .parse()
+            .map_err(|_| ParseError::at(lineno, format!("bad real literal `{text}`")))?;
+        Ok((Token::Real { value, double }, i))
+    } else {
+        let value: i64 = digits
+            .parse()
+            .map_err(|_| ParseError::at(lineno, format!("integer literal out of range `{digits}`")))?;
+        Ok((Token::Int(value), i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<Token> {
+        tokenize(s, 1).unwrap()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            toks("a = b + 1"),
+            vec![
+                Token::Ident("a".into()),
+                Token::Assign,
+                Token::Ident("b".into()),
+                Token::Plus,
+                Token::Int(1)
+            ]
+        );
+    }
+
+    #[test]
+    fn keywords_lowercased() {
+        assert_eq!(toks("DO I")[0], Token::Ident("do".into()));
+    }
+
+    #[test]
+    fn real_literals() {
+        assert_eq!(toks("1.5"), vec![Token::Real { value: 1.5, double: false }]);
+        assert_eq!(toks("2.5e2"), vec![Token::Real { value: 250.0, double: false }]);
+        assert_eq!(toks("1d0"), vec![Token::Real { value: 1.0, double: true }]);
+        assert_eq!(toks(".25"), vec![Token::Real { value: 0.25, double: false }]);
+        assert_eq!(toks("3."), vec![Token::Real { value: 3.0, double: false }]);
+    }
+
+    #[test]
+    fn dotted_ops() {
+        assert_eq!(
+            toks("a .lt. b .and. .not. c"),
+            vec![
+                Token::Ident("a".into()),
+                Token::Lt,
+                Token::Ident("b".into()),
+                Token::And,
+                Token::Not,
+                Token::Ident("c".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn integer_dot_operator() {
+        // `1 .eq. 2` written without spaces: `1.eq.2`
+        assert_eq!(toks("1.eq.2"), vec![Token::Int(1), Token::EqEq, Token::Int(2)]);
+    }
+
+    #[test]
+    fn modern_relationals() {
+        assert_eq!(
+            toks("a <= b /= c"),
+            vec![Token::Ident("a".into()), Token::Le, Token::Ident("b".into()), Token::Ne, Token::Ident("c".into())]
+        );
+    }
+
+    #[test]
+    fn pow_vs_star() {
+        assert_eq!(toks("a ** 2 * b").iter().filter(|t| **t == Token::Pow).count(), 1);
+    }
+
+    #[test]
+    fn strings_with_escape() {
+        assert_eq!(toks("'don''t'"), vec![Token::Str("don't".into())]);
+    }
+
+    #[test]
+    fn free_form_scan_label_and_continuation() {
+        let src = "x = 1 + &\n    2\n10 continue ! trailing comment\n! full comment\n";
+        let lines = scan(src, SourceForm::Free).unwrap();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0].span, Span { first: 1, last: 2 });
+        assert_eq!(lines[0].label, None);
+        assert_eq!(lines[1].label, Some(10));
+        assert!(lines[1].tokens[0].is_kw("continue"));
+    }
+
+    #[test]
+    fn fixed_form_scan() {
+        let src = "\
+C     a comment
+      DO 10 I = 1, N
+      X(I) = X(I) + 1
+     &     + 2
+   10 CONTINUE
+";
+        let lines = scan(src, SourceForm::Fixed).unwrap();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].tokens[0].is_kw("do"));
+        assert_eq!(lines[1].span, Span { first: 3, last: 4 });
+        assert_eq!(lines[2].label, Some(10));
+    }
+
+    #[test]
+    fn bang_comment_inside_string_kept() {
+        assert_eq!(toks("'a!b'"), vec![Token::Str("a!b".into())]);
+    }
+
+    #[test]
+    fn error_on_unterminated_string() {
+        assert!(tokenize("'oops", 3).is_err());
+    }
+
+    #[test]
+    fn error_on_stray_char() {
+        assert!(tokenize("a ? b", 1).is_err());
+    }
+}

@@ -1,0 +1,1012 @@
+//! Recursive-descent parser from logical lines to the AST.
+//!
+//! The grammar is statement-oriented: each logical line is classified by its
+//! leading tokens, block constructs (`DO`, block `IF`) consume following
+//! lines until their terminator. Declarations must precede executable
+//! statements within a unit (standard Fortran 77 ordering).
+
+use crate::ast::*;
+use crate::error::{ParseError, Result};
+use crate::lexer::{scan, LogicalLine, SourceForm};
+use crate::span::Span;
+use crate::symbols::{ArrayDim, CommonLoc, Const, Ty};
+use crate::token::Token;
+
+/// Parse free-form source (the canonical form; `!` comments, `&` continuation).
+pub fn parse_program(src: &str) -> Result<Program> {
+    parse_with_form(src, SourceForm::Free)
+}
+
+/// Parse classic fixed-form source (column-6 continuation, `C` comments).
+pub fn parse_program_fixed(src: &str) -> Result<Program> {
+    parse_with_form(src, SourceForm::Fixed)
+}
+
+/// Parse with an explicit source form.
+pub fn parse_with_form(src: &str, form: SourceForm) -> Result<Program> {
+    let lines = scan(src, form)?;
+    let mut p = Parser { lines, pos: 0 };
+    let mut program = Program::default();
+    while !p.at_end() {
+        program.units.push(p.parse_unit()?);
+    }
+    if program.units.is_empty() {
+        return Err(ParseError::at(0, "empty program"));
+    }
+    Ok(program)
+}
+
+struct Parser {
+    lines: Vec<LogicalLine>,
+    pos: usize,
+}
+
+/// Cursor over one logical line's tokens.
+struct Cur<'a> {
+    toks: &'a [Token],
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Cur<'a> {
+    fn new(l: &'a LogicalLine) -> Self {
+        Cur { toks: &l.tokens, pos: 0, line: l.span.first }
+    }
+
+    fn peek(&self) -> Option<&'a Token> {
+        self.toks.get(self.pos)
+    }
+
+    fn peek_at(&self, off: usize) -> Option<&'a Token> {
+        self.toks.get(self.pos + off)
+    }
+
+    fn next(&mut self) -> Option<&'a Token> {
+        let t = self.toks.get(self.pos);
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    fn eat(&mut self, t: &Token) -> bool {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Some(tok) if tok.is_kw(kw)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: &Token) -> Result<()> {
+        if self.eat(t) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{t}`, found {}", self.describe_here())))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s.clone()),
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                Err(self.err(format!("expected identifier, found {}", self.describe_here())))
+            }
+        }
+    }
+
+    fn describe_here(&self) -> String {
+        match self.peek() {
+            Some(t) => format!("`{t}`"),
+            None => "end of statement".to_string(),
+        }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError::at(self.line, msg.into())
+    }
+
+    fn done(&self) -> Result<()> {
+        if self.at_end() {
+            Ok(())
+        } else {
+            Err(self.err(format!("trailing tokens starting at {}", self.describe_here())))
+        }
+    }
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.lines.len()
+    }
+
+    fn cur_line(&self) -> &LogicalLine {
+        &self.lines[self.pos]
+    }
+
+    fn advance(&mut self) {
+        self.pos += 1;
+    }
+
+    fn line_err(&self, msg: impl Into<String>) -> ParseError {
+        let line = if self.at_end() {
+            self.lines.last().map(|l| l.span.last).unwrap_or(0)
+        } else {
+            self.cur_line().span.first
+        };
+        ParseError::at(line, msg.into())
+    }
+
+    // ---------------------------------------------------------- units ----
+
+    fn parse_unit(&mut self) -> Result<ProgramUnit> {
+        let header = self.cur_line().clone();
+        let mut c = Cur::new(&header);
+        let mut unit;
+        if c.eat_kw("program") {
+            let name = c.expect_ident()?;
+            c.done()?;
+            self.advance();
+            unit = ProgramUnit::new(&name, UnitKind::Main);
+        } else if c.eat_kw("subroutine") {
+            let name = c.expect_ident()?;
+            let args = parse_arg_names(&mut c)?;
+            c.done()?;
+            self.advance();
+            unit = ProgramUnit::new(&name, UnitKind::Subroutine);
+            install_args(&mut unit, &args);
+        } else if let Some((ty, consumed)) = peek_function_header(&mut c)? {
+            let name = c.expect_ident()?;
+            let args = parse_arg_names(&mut c)?;
+            c.done()?;
+            self.advance();
+            let ty = ty.unwrap_or_else(|| Ty::implicit_for(&name));
+            unit = ProgramUnit::new(&name, UnitKind::Function(ty));
+            // The function name acts as the result variable.
+            let ret = unit.symbols.intern(&name);
+            unit.symbols.sym_mut(ret).ty = ty;
+            unit.symbols.sym_mut(ret).declared = true;
+            install_args(&mut unit, &args);
+            debug_assert!(consumed > 0);
+        } else {
+            // Implicit main program without a PROGRAM line.
+            unit = ProgramUnit::new("main", UnitKind::Main);
+        }
+
+        // Declarations, then executable statements, until END.
+        self.parse_declarations(&mut unit)?;
+        let mut body = Vec::new();
+        loop {
+            if self.at_end() {
+                return Err(self.line_err("missing END at end of unit"));
+            }
+            if is_unit_end(self.cur_line()) {
+                self.advance();
+                break;
+            }
+            let id = self.parse_stmt(&mut unit)?;
+            body.push(id);
+        }
+        unit.body = body;
+        Ok(unit)
+    }
+
+    fn parse_declarations(&mut self, unit: &mut ProgramUnit) -> Result<()> {
+        loop {
+            if self.at_end() {
+                return Ok(());
+            }
+            let line = self.cur_line().clone();
+            let mut c = Cur::new(&line);
+            let first = match c.peek() {
+                Some(Token::Ident(s)) => s.clone(),
+                _ => return Ok(()),
+            };
+            match first.as_str() {
+                "integer" | "real" | "logical" => {
+                    c.next();
+                    let mut ty = match first.as_str() {
+                        "integer" => Ty::Integer,
+                        "real" => Ty::Real,
+                        _ => Ty::Logical,
+                    };
+                    // `real*8` spelling.
+                    if c.eat(&Token::Star) {
+                        if let Some(Token::Int(8)) = c.peek() {
+                            if ty == Ty::Real {
+                                ty = Ty::Double;
+                            }
+                        }
+                        c.next();
+                    }
+                    // Could actually be a typed FUNCTION header handled in
+                    // parse_unit; here it must be a declaration list.
+                    self.parse_decl_list(unit, &mut c, ty)?;
+                    self.advance();
+                }
+                "double" => {
+                    c.next();
+                    if !c.eat_kw("precision") {
+                        return Err(c.err("expected PRECISION after DOUBLE"));
+                    }
+                    self.parse_decl_list(unit, &mut c, Ty::Double)?;
+                    self.advance();
+                }
+                "dimension" => {
+                    c.next();
+                    loop {
+                        let name = c.expect_ident()?;
+                        let sym = unit.symbols.intern(&name);
+                        let dims = parse_dims(unit, &mut c)?;
+                        if dims.is_empty() {
+                            return Err(c.err(format!("DIMENSION {name} lacks bounds")));
+                        }
+                        unit.symbols.sym_mut(sym).dims = dims;
+                        if !c.eat(&Token::Comma) {
+                            break;
+                        }
+                    }
+                    c.done()?;
+                    self.advance();
+                }
+                "parameter" => {
+                    c.next();
+                    c.expect(&Token::LParen)?;
+                    loop {
+                        let name = c.expect_ident()?;
+                        c.expect(&Token::Assign)?;
+                        let e = parse_expr(unit, &mut c)?;
+                        let value = fold_const(unit, &e).ok_or_else(|| {
+                            c.err(format!("PARAMETER {name} is not a constant expression"))
+                        })?;
+                        let sym = unit.symbols.intern(&name);
+                        unit.symbols.sym_mut(sym).param = Some(value);
+                        unit.symbols.sym_mut(sym).declared = true;
+                        if let Const::Real(_) = value {
+                            if unit.symbols.sym(sym).ty == Ty::Integer
+                                && !matches!(value, Const::Int(_))
+                            {
+                                return Err(c.err(format!("real PARAMETER for integer {name}")));
+                            }
+                        }
+                        if !c.eat(&Token::Comma) {
+                            break;
+                        }
+                    }
+                    c.expect(&Token::RParen)?;
+                    c.done()?;
+                    self.advance();
+                }
+                "common" => {
+                    c.next();
+                    while !c.at_end() {
+                        let block = if c.eat(&Token::Slash) {
+                            let name = c.expect_ident()?;
+                            c.expect(&Token::Slash)?;
+                            name
+                        } else if c.eat(&Token::Concat) {
+                            String::new()
+                        } else {
+                            String::new()
+                        };
+                        let mut members = Vec::new();
+                        loop {
+                            let name = c.expect_ident()?;
+                            let sym = unit.symbols.intern(&name);
+                            let dims = parse_dims(unit, &mut c)?;
+                            if !dims.is_empty() {
+                                unit.symbols.sym_mut(sym).dims = dims;
+                            }
+                            members.push(sym);
+                            if !c.eat(&Token::Comma) {
+                                break;
+                            }
+                            // A `/` after a comma starts the next block.
+                            if matches!(c.peek(), Some(Token::Slash) | Some(Token::Concat)) {
+                                break;
+                            }
+                        }
+                        for (i, &m) in members.iter().enumerate() {
+                            unit.symbols.sym_mut(m).common =
+                                Some(CommonLoc { block: block.clone(), index: i });
+                        }
+                        let existing =
+                            unit.commons.iter_mut().find(|b| b.name == block.to_ascii_lowercase());
+                        match existing {
+                            Some(b) => b.members.extend(members),
+                            None => unit.commons.push(CommonBlock {
+                                name: block.to_ascii_lowercase(),
+                                members,
+                            }),
+                        }
+                    }
+                    self.advance();
+                }
+                "implicit" => {
+                    // `implicit none` accepted and ignored (we always track
+                    // declaredness; analyses don't depend on it).
+                    self.advance();
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn parse_decl_list(&mut self, unit: &mut ProgramUnit, c: &mut Cur, ty: Ty) -> Result<()> {
+        loop {
+            let name = c.expect_ident()?;
+            let sym = unit.symbols.intern(&name);
+            unit.symbols.sym_mut(sym).ty = ty;
+            unit.symbols.sym_mut(sym).declared = true;
+            let dims = parse_dims(unit, c)?;
+            if !dims.is_empty() {
+                unit.symbols.sym_mut(sym).dims = dims;
+            }
+            if !c.eat(&Token::Comma) {
+                break;
+            }
+        }
+        c.done()
+    }
+
+    // ----------------------------------------------------- statements ----
+
+    /// Parse one executable statement (consuming following lines for block
+    /// constructs) and return its arena id.
+    fn parse_stmt(&mut self, unit: &mut ProgramUnit) -> Result<StmtId> {
+        let line = self.cur_line().clone();
+        let label = line.label;
+        let span = line.span;
+        let mut c = Cur::new(&line);
+        let id = self.parse_stmt_from_cursor(unit, &mut c, span)?;
+        unit.stmt_mut(id).label = label;
+        Ok(id)
+    }
+
+    /// Parse a statement from a cursor positioned at its first token. The
+    /// cursor may be mid-line (logical IF bodies). Consumes `self.lines` for
+    /// block constructs; the caller must have NOT advanced past the current
+    /// line — this function advances as needed.
+    fn parse_stmt_from_cursor(
+        &mut self,
+        unit: &mut ProgramUnit,
+        c: &mut Cur,
+        span: Span,
+    ) -> Result<StmtId> {
+        let first = match c.peek() {
+            Some(Token::Ident(s)) => s.clone(),
+            _ => return Err(c.err(format!("expected a statement, found {}", c.describe_here()))),
+        };
+        match first.as_str() {
+            "do" if is_do_header(c) => self.parse_do(unit, c, span, None),
+            "parallel" if matches!(c.peek_at(1), Some(t) if t.is_kw("do")) => {
+                c.next();
+                self.parse_do(unit, c, span, Some(ParallelInfo::default()))
+            }
+            "if" => self.parse_if(unit, c, span),
+            "call" => {
+                c.next();
+                let name = c.expect_ident()?;
+                let args = if c.eat(&Token::LParen) {
+                    let a = parse_expr_list(unit, c, &Token::RParen)?;
+                    c.expect(&Token::RParen)?;
+                    a
+                } else {
+                    Vec::new()
+                };
+                c.done()?;
+                self.advance();
+                Ok(unit.alloc_stmt(StmtKind::Call { name, args }, span))
+            }
+            "return" => {
+                c.next();
+                c.done()?;
+                self.advance();
+                Ok(unit.alloc_stmt(StmtKind::Return, span))
+            }
+            "stop" => {
+                c.next();
+                // Optional stop code ignored semantically but must parse.
+                if !c.at_end() {
+                    c.next();
+                }
+                c.done()?;
+                self.advance();
+                Ok(unit.alloc_stmt(StmtKind::Stop, span))
+            }
+            "continue" => {
+                c.next();
+                c.done()?;
+                self.advance();
+                Ok(unit.alloc_stmt(StmtKind::Continue, span))
+            }
+            "print" => {
+                c.next();
+                c.expect(&Token::Star)?;
+                let items = if c.eat(&Token::Comma) {
+                    parse_expr_list_to_end(unit, c)?
+                } else {
+                    Vec::new()
+                };
+                c.done()?;
+                self.advance();
+                Ok(unit.alloc_stmt(StmtKind::Print { items }, span))
+            }
+            _ => {
+                // Assignment.
+                let name = c.expect_ident()?;
+                let sym = unit.symbols.intern(&name);
+                let lhs = if c.eat(&Token::LParen) {
+                    let subs = parse_expr_list(unit, c, &Token::RParen)?;
+                    c.expect(&Token::RParen)?;
+                    LValue::ArrayElem(sym, subs)
+                } else {
+                    LValue::Var(sym)
+                };
+                c.expect(&Token::Assign)?;
+                let rhs = parse_expr(unit, c)?;
+                c.done()?;
+                self.advance();
+                Ok(unit.alloc_stmt(StmtKind::Assign { lhs, rhs }, span))
+            }
+        }
+    }
+
+    /// Parse `DO [label] var = lo, hi [, step]` plus clauses, then the body.
+    /// The cursor sits at the `do` keyword.
+    fn parse_do(
+        &mut self,
+        unit: &mut ProgramUnit,
+        c: &mut Cur,
+        span: Span,
+        mut parallel: Option<ParallelInfo>,
+    ) -> Result<StmtId> {
+        c.next(); // `do`
+        let term_label = match c.peek() {
+            Some(Token::Int(v)) => {
+                let v = *v as u32;
+                c.next();
+                Some(v)
+            }
+            _ => None,
+        };
+        let var_name = c.expect_ident()?;
+        let var = unit.symbols.intern(&var_name);
+        c.expect(&Token::Assign)?;
+        let lo = parse_expr(unit, c)?;
+        c.expect(&Token::Comma)?;
+        let hi = parse_expr(unit, c)?;
+        let step =
+            if c.eat(&Token::Comma) { Some(parse_expr(unit, c)?) } else { None };
+        // PARALLEL DO clauses.
+        if let Some(info) = parallel.as_mut() {
+            loop {
+                if c.eat_kw("private") {
+                    c.expect(&Token::LParen)?;
+                    loop {
+                        let n = c.expect_ident()?;
+                        info.private.push(unit.symbols.intern(&n));
+                        if !c.eat(&Token::Comma) {
+                            break;
+                        }
+                    }
+                    c.expect(&Token::RParen)?;
+                } else if c.eat_kw("lastprivate") {
+                    c.expect(&Token::LParen)?;
+                    loop {
+                        let n = c.expect_ident()?;
+                        info.lastprivate.push(unit.symbols.intern(&n));
+                        if !c.eat(&Token::Comma) {
+                            break;
+                        }
+                    }
+                    c.expect(&Token::RParen)?;
+                } else if c.eat_kw("reduction") {
+                    c.expect(&Token::LParen)?;
+                    let op = match c.next() {
+                        Some(Token::Plus) => RedOp::Sum,
+                        Some(Token::Star) => RedOp::Product,
+                        Some(Token::Ident(s)) if s == "min" => RedOp::Min,
+                        Some(Token::Ident(s)) if s == "max" => RedOp::Max,
+                        _ => return Err(c.err("expected +, *, MIN or MAX in REDUCTION")),
+                    };
+                    c.expect(&Token::Colon)?;
+                    loop {
+                        let n = c.expect_ident()?;
+                        info.reductions.push((op, unit.symbols.intern(&n)));
+                        if !c.eat(&Token::Comma) {
+                            break;
+                        }
+                    }
+                    c.expect(&Token::RParen)?;
+                } else {
+                    break;
+                }
+            }
+        }
+        c.done()?;
+        self.advance();
+
+        // Body: until ENDDO, or until the statement labelled `term_label`.
+        let mut body = Vec::new();
+        loop {
+            if self.at_end() {
+                return Err(self.line_err("unterminated DO loop"));
+            }
+            let line = self.cur_line();
+            if let Some(tl) = term_label {
+                if line.label == Some(tl) {
+                    // The labelled terminal statement belongs to the body.
+                    let id = self.parse_stmt(unit)?;
+                    body.push(id);
+                    break;
+                }
+            } else if is_enddo(line) {
+                self.advance();
+                break;
+            }
+            if is_unit_end(line) {
+                return Err(self.line_err("unterminated DO loop (found END)"));
+            }
+            body.push(self.parse_stmt(unit)?);
+        }
+        Ok(unit.alloc_stmt(
+            StmtKind::Do(DoLoop { var, lo, hi, step, body, term_label, parallel }),
+            span,
+        ))
+    }
+
+    /// Parse block IF / logical IF. Cursor sits at `if`.
+    fn parse_if(&mut self, unit: &mut ProgramUnit, c: &mut Cur, span: Span) -> Result<StmtId> {
+        c.next(); // `if`
+        c.expect(&Token::LParen)?;
+        let cond = parse_expr(unit, c)?;
+        c.expect(&Token::RParen)?;
+        if c.eat_kw("then") {
+            c.done()?;
+            self.advance();
+            // Block IF.
+            let mut arms: Vec<(Expr, Block)> = vec![(cond, Vec::new())];
+            let mut else_block: Option<Block> = None;
+            loop {
+                if self.at_end() {
+                    return Err(self.line_err("unterminated IF block"));
+                }
+                let line = self.cur_line().clone();
+                if is_endif(&line) {
+                    self.advance();
+                    break;
+                }
+                if let Some(else_cond) = parse_else_header(unit, &line)? {
+                    self.advance();
+                    match else_cond {
+                        Some(cond2) => arms.push((cond2, Vec::new())),
+                        None => {
+                            if else_block.is_some() {
+                                return Err(self.line_err("duplicate ELSE"));
+                            }
+                            else_block = Some(Vec::new());
+                        }
+                    }
+                    continue;
+                }
+                if is_unit_end(&line) {
+                    return Err(self.line_err("unterminated IF block (found END)"));
+                }
+                let id = self.parse_stmt(unit)?;
+                match &mut else_block {
+                    Some(b) => b.push(id),
+                    None => arms.last_mut().expect("at least one arm").1.push(id),
+                }
+            }
+            Ok(unit.alloc_stmt(StmtKind::If { arms, else_block }, span))
+        } else {
+            // Logical IF: the rest of the line is a single statement.
+            // parse_stmt_from_cursor advances self.pos, which is what we want
+            // since the inner statement is on this same line.
+            let inner = self.parse_stmt_from_cursor(unit, c, span)?;
+            Ok(unit.alloc_stmt(
+                StmtKind::If { arms: vec![(cond, vec![inner])], else_block: None },
+                span,
+            ))
+        }
+    }
+}
+
+// ------------------------------------------------------------- helpers ----
+
+fn install_args(unit: &mut ProgramUnit, args: &[String]) {
+    for (i, a) in args.iter().enumerate() {
+        let sym = unit.symbols.intern(a);
+        unit.symbols.sym_mut(sym).arg_index = Some(i);
+        unit.args.push(sym);
+    }
+}
+
+fn parse_arg_names(c: &mut Cur) -> Result<Vec<String>> {
+    let mut args = Vec::new();
+    if c.eat(&Token::LParen) {
+        if !c.eat(&Token::RParen) {
+            loop {
+                args.push(c.expect_ident()?);
+                if !c.eat(&Token::Comma) {
+                    break;
+                }
+            }
+            c.expect(&Token::RParen)?;
+        }
+    }
+    Ok(args)
+}
+
+/// Detect `[type] function name(...)` headers; returns declared type (None
+/// for untyped `FUNCTION`) and tokens consumed, leaving the cursor at the
+/// function name. Returns Ok(None) if this is not a function header.
+fn peek_function_header(c: &mut Cur) -> Result<Option<(Option<Ty>, usize)>> {
+    let start = c.pos;
+    let ty = match c.peek() {
+        Some(t) if t.is_kw("function") => {
+            c.next();
+            None
+        }
+        Some(t) if t.is_kw("integer") || t.is_kw("real") || t.is_kw("logical") => {
+            let ty = if t.is_kw("integer") {
+                Ty::Integer
+            } else if t.is_kw("real") {
+                Ty::Real
+            } else {
+                Ty::Logical
+            };
+            if matches!(c.peek_at(1), Some(t2) if t2.is_kw("function")) {
+                c.next();
+                c.next();
+                Some(ty)
+            } else {
+                return Ok(None);
+            }
+        }
+        Some(t) if t.is_kw("double") => {
+            if matches!(c.peek_at(1), Some(t2) if t2.is_kw("precision"))
+                && matches!(c.peek_at(2), Some(t3) if t3.is_kw("function"))
+            {
+                c.next();
+                c.next();
+                c.next();
+                Some(Ty::Double)
+            } else {
+                return Ok(None);
+            }
+        }
+        _ => return Ok(None),
+    };
+    Ok(Some((ty, c.pos - start)))
+}
+
+/// `DO` header check: distinguishes `do i = 1, n` from an assignment to a
+/// variable named `do` (never occurs in practice, but keep parsing honest).
+fn is_do_header(c: &Cur) -> bool {
+    match c.peek_at(1) {
+        Some(Token::Assign) => false,
+        Some(Token::LParen) => false, // do(i) = …  array named do
+        _ => true,
+    }
+}
+
+fn is_unit_end(line: &LogicalLine) -> bool {
+    line.tokens.len() == 1 && line.tokens[0].is_kw("end")
+}
+
+fn is_enddo(line: &LogicalLine) -> bool {
+    match line.tokens.as_slice() {
+        [t] if t.is_kw("enddo") => true,
+        [a, b] if a.is_kw("end") && b.is_kw("do") => true,
+        _ => false,
+    }
+}
+
+fn is_endif(line: &LogicalLine) -> bool {
+    match line.tokens.as_slice() {
+        [t] if t.is_kw("endif") => true,
+        [a, b] if a.is_kw("end") && b.is_kw("if") => true,
+        _ => false,
+    }
+}
+
+/// Recognize `ELSE`, `ELSEIF (c) THEN`, `ELSE IF (c) THEN` headers.
+/// Returns `Some(Some(cond))` for else-if, `Some(None)` for plain else.
+fn parse_else_header(unit: &mut ProgramUnit, line: &LogicalLine) -> Result<Option<Option<Expr>>> {
+    let mut c = Cur::new(line);
+    if c.eat_kw("elseif") || (c.eat_kw("else") && c.eat_kw("if")) {
+        c.expect(&Token::LParen)?;
+        let cond = parse_expr(unit, &mut c)?;
+        c.expect(&Token::RParen)?;
+        if !c.eat_kw("then") {
+            return Err(c.err("expected THEN after ELSE IF (…)"));
+        }
+        c.done()?;
+        return Ok(Some(Some(cond)));
+    }
+    // `c` may have consumed `else` above when not followed by `if`.
+    let mut c = Cur::new(line);
+    if c.eat_kw("else") && c.at_end() {
+        return Ok(Some(None));
+    }
+    Ok(None)
+}
+
+/// Parse array declarator dims `(d, d, …)`; empty vec if no paren follows.
+fn parse_dims(unit: &mut ProgramUnit, c: &mut Cur) -> Result<Vec<ArrayDim>> {
+    let mut dims = Vec::new();
+    if c.eat(&Token::LParen) {
+        loop {
+            if c.eat(&Token::Star) {
+                dims.push(ArrayDim { lo: Expr::Int(1), hi: None });
+            } else {
+                let first = parse_expr(unit, c)?;
+                if c.eat(&Token::Colon) {
+                    if c.eat(&Token::Star) {
+                        dims.push(ArrayDim { lo: first, hi: None });
+                    } else {
+                        let hi = parse_expr(unit, c)?;
+                        dims.push(ArrayDim { lo: first, hi: Some(hi) });
+                    }
+                } else {
+                    dims.push(ArrayDim::upto(first));
+                }
+            }
+            if !c.eat(&Token::Comma) {
+                break;
+            }
+        }
+        c.expect(&Token::RParen)?;
+    }
+    Ok(dims)
+}
+
+// ---------------------------------------------------------- expressions ----
+
+/// Parse a comma-separated expression list, stopping before `end_tok`.
+fn parse_expr_list(unit: &mut ProgramUnit, c: &mut Cur, end_tok: &Token) -> Result<Vec<Expr>> {
+    let mut out = Vec::new();
+    if c.peek() == Some(end_tok) {
+        return Ok(out);
+    }
+    loop {
+        out.push(parse_expr(unit, c)?);
+        if !c.eat(&Token::Comma) {
+            break;
+        }
+    }
+    Ok(out)
+}
+
+fn parse_expr_list_to_end(unit: &mut ProgramUnit, c: &mut Cur) -> Result<Vec<Expr>> {
+    let mut out = Vec::new();
+    loop {
+        out.push(parse_expr(unit, c)?);
+        if !c.eat(&Token::Comma) {
+            break;
+        }
+    }
+    Ok(out)
+}
+
+/// Full expression grammar entry point (lowest precedence: `.OR.`).
+fn parse_expr(unit: &mut ProgramUnit, c: &mut Cur) -> Result<Expr> {
+    parse_or(unit, c)
+}
+
+fn parse_or(unit: &mut ProgramUnit, c: &mut Cur) -> Result<Expr> {
+    let mut l = parse_and(unit, c)?;
+    while c.eat(&Token::Or) {
+        let r = parse_and(unit, c)?;
+        l = Expr::bin(BinOp::Or, l, r);
+    }
+    Ok(l)
+}
+
+fn parse_and(unit: &mut ProgramUnit, c: &mut Cur) -> Result<Expr> {
+    let mut l = parse_not(unit, c)?;
+    while c.eat(&Token::And) {
+        let r = parse_not(unit, c)?;
+        l = Expr::bin(BinOp::And, l, r);
+    }
+    Ok(l)
+}
+
+fn parse_not(unit: &mut ProgramUnit, c: &mut Cur) -> Result<Expr> {
+    if c.eat(&Token::Not) {
+        let e = parse_not(unit, c)?;
+        Ok(Expr::Un { op: UnOp::Not, e: Box::new(e) })
+    } else {
+        parse_rel(unit, c)
+    }
+}
+
+fn parse_rel(unit: &mut ProgramUnit, c: &mut Cur) -> Result<Expr> {
+    let l = parse_arith(unit, c)?;
+    let op = match c.peek() {
+        Some(Token::Lt) => Some(BinOp::Lt),
+        Some(Token::Le) => Some(BinOp::Le),
+        Some(Token::Gt) => Some(BinOp::Gt),
+        Some(Token::Ge) => Some(BinOp::Ge),
+        Some(Token::EqEq) => Some(BinOp::Eq),
+        Some(Token::Ne) => Some(BinOp::Ne),
+        _ => None,
+    };
+    match op {
+        Some(op) => {
+            c.next();
+            let r = parse_arith(unit, c)?;
+            Ok(Expr::bin(op, l, r))
+        }
+        None => Ok(l),
+    }
+}
+
+fn parse_arith(unit: &mut ProgramUnit, c: &mut Cur) -> Result<Expr> {
+    // Leading unary +/-.
+    let mut l = if c.eat(&Token::Minus) {
+        Expr::neg(parse_term(unit, c)?)
+    } else {
+        let _ = c.eat(&Token::Plus);
+        parse_term(unit, c)?
+    };
+    loop {
+        if c.eat(&Token::Plus) {
+            let r = parse_term(unit, c)?;
+            l = Expr::bin(BinOp::Add, l, r);
+        } else if c.eat(&Token::Minus) {
+            let r = parse_term(unit, c)?;
+            l = Expr::bin(BinOp::Sub, l, r);
+        } else if c.eat(&Token::Concat) {
+            let r = parse_term(unit, c)?;
+            l = Expr::bin(BinOp::Concat, l, r);
+        } else {
+            return Ok(l);
+        }
+    }
+}
+
+fn parse_term(unit: &mut ProgramUnit, c: &mut Cur) -> Result<Expr> {
+    let mut l = parse_factor(unit, c)?;
+    loop {
+        if c.eat(&Token::Star) {
+            let r = parse_factor(unit, c)?;
+            l = Expr::bin(BinOp::Mul, l, r);
+        } else if c.eat(&Token::Slash) {
+            let r = parse_factor(unit, c)?;
+            l = Expr::bin(BinOp::Div, l, r);
+        } else {
+            return Ok(l);
+        }
+    }
+}
+
+fn parse_factor(unit: &mut ProgramUnit, c: &mut Cur) -> Result<Expr> {
+    let base = parse_primary(unit, c)?;
+    if c.eat(&Token::Pow) {
+        // `**` is right-associative; unary minus binds looser: -a**2 = -(a**2).
+        let exp = if c.eat(&Token::Minus) {
+            Expr::neg(parse_factor(unit, c)?)
+        } else {
+            parse_factor(unit, c)?
+        };
+        Ok(Expr::bin(BinOp::Pow, base, exp))
+    } else {
+        Ok(base)
+    }
+}
+
+fn parse_primary(unit: &mut ProgramUnit, c: &mut Cur) -> Result<Expr> {
+    match c.next().cloned() {
+        Some(Token::Int(v)) => Ok(Expr::Int(v)),
+        Some(Token::Real { value, double }) => {
+            Ok(if double { Expr::Double(value) } else { Expr::Real(value) })
+        }
+        Some(Token::True) => Ok(Expr::Logical(true)),
+        Some(Token::False) => Ok(Expr::Logical(false)),
+        Some(Token::Str(s)) => Ok(Expr::Str(s)),
+        Some(Token::LParen) => {
+            let e = parse_expr(unit, c)?;
+            c.expect(&Token::RParen)?;
+            Ok(e)
+        }
+        Some(Token::Minus) => Ok(Expr::neg(parse_factor(unit, c)?)),
+        Some(Token::Ident(name)) => {
+            if c.eat(&Token::LParen) {
+                let args = parse_expr_list(unit, c, &Token::RParen)?;
+                c.expect(&Token::RParen)?;
+                // Declared array → element reference; intrinsic → intrinsic
+                // call; otherwise a user function reference.
+                if let Some(sym) = unit.symbols.lookup(&name) {
+                    if unit.symbols.sym(sym).is_array() {
+                        return Ok(Expr::ArrayRef { sym, subs: args });
+                    }
+                }
+                if let Some(op) = Intrinsic::from_name(&name) {
+                    return Ok(Expr::Intrinsic { op, args });
+                }
+                Ok(Expr::Call { name, args })
+            } else {
+                Ok(Expr::Var(unit.symbols.intern(&name)))
+            }
+        }
+        other => {
+            let what = match other {
+                Some(t) => format!("`{t}`"),
+                None => "end of statement".into(),
+            };
+            Err(c.err(format!("expected expression, found {what}")))
+        }
+    }
+}
+
+/// Fold a constant expression to a value (used for PARAMETER).
+fn fold_const(unit: &ProgramUnit, e: &Expr) -> Option<Const> {
+    match e {
+        Expr::Int(v) => Some(Const::Int(*v)),
+        Expr::Real(v) | Expr::Double(v) => Some(Const::Real(*v)),
+        Expr::Logical(b) => Some(Const::Logical(*b)),
+        Expr::Var(s) => unit.symbols.sym(*s).param,
+        Expr::Un { op: UnOp::Neg, e } => match fold_const(unit, e)? {
+            Const::Int(v) => Some(Const::Int(-v)),
+            Const::Real(v) => Some(Const::Real(-v)),
+            Const::Logical(_) => None,
+        },
+        Expr::Bin { op, l, r } => {
+            let l = fold_const(unit, l)?;
+            let r = fold_const(unit, r)?;
+            match (l, r) {
+                (Const::Int(a), Const::Int(b)) => Some(Const::Int(match op {
+                    BinOp::Add => a + b,
+                    BinOp::Sub => a - b,
+                    BinOp::Mul => a * b,
+                    BinOp::Div => a.checked_div(b)?,
+                    BinOp::Pow => a.checked_pow(u32::try_from(b).ok()?)?,
+                    _ => return None,
+                })),
+                (Const::Real(a), Const::Real(b)) => Some(Const::Real(match op {
+                    BinOp::Add => a + b,
+                    BinOp::Sub => a - b,
+                    BinOp::Mul => a * b,
+                    BinOp::Div => a / b,
+                    BinOp::Pow => a.powf(b),
+                    _ => return None,
+                })),
+                (Const::Real(a), Const::Int(b)) => Some(Const::Real(match op {
+                    BinOp::Add => a + b as f64,
+                    BinOp::Sub => a - b as f64,
+                    BinOp::Mul => a * b as f64,
+                    BinOp::Div => a / b as f64,
+                    BinOp::Pow => a.powi(b as i32),
+                    _ => return None,
+                })),
+                (Const::Int(a), Const::Real(b)) => Some(Const::Real(match op {
+                    BinOp::Add => a as f64 + b,
+                    BinOp::Sub => a as f64 - b,
+                    BinOp::Mul => a as f64 * b,
+                    BinOp::Div => a as f64 / b,
+                    BinOp::Pow => (a as f64).powf(b),
+                    _ => return None,
+                })),
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}

@@ -1,0 +1,67 @@
+//! Source locations.
+//!
+//! Ped annotates analysis results onto source lines (the "book metaphor"),
+//! so every statement carries the 1-based line number of the first physical
+//! line it came from. Programmatically built ASTs use line 0.
+
+/// 1-based physical source line number; 0 for synthesized statements.
+pub type LineNo = u32;
+
+/// A half-open range of physical source lines `[first, last]` covered by a
+/// logical statement (continuation lines make this span more than one line).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// First physical line of the statement.
+    pub first: LineNo,
+    /// Last physical line of the statement (equal to `first` when there are
+    /// no continuations).
+    pub last: LineNo,
+}
+
+impl Span {
+    /// A span covering a single physical line.
+    pub fn line(n: LineNo) -> Self {
+        Span { first: n, last: n }
+    }
+
+    /// The synthetic span used for statements built in memory.
+    pub fn synthetic() -> Self {
+        Span { first: 0, last: 0 }
+    }
+
+    /// True if this span refers to real source text.
+    pub fn is_real(&self) -> bool {
+        self.first != 0
+    }
+}
+
+impl std::fmt::Display for Span {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.first == self.last {
+            write!(f, "line {}", self.first)
+        } else {
+            write!(f, "lines {}-{}", self.first, self.last)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_single_line() {
+        assert_eq!(Span::line(7).to_string(), "line 7");
+    }
+
+    #[test]
+    fn display_range() {
+        assert_eq!(Span { first: 3, last: 5 }.to_string(), "lines 3-5");
+    }
+
+    #[test]
+    fn synthetic_is_not_real() {
+        assert!(!Span::synthetic().is_real());
+        assert!(Span::line(1).is_real());
+    }
+}

@@ -1,0 +1,125 @@
+//! Lexical tokens.
+//!
+//! Fortran keywords are not reserved words; the lexer produces [`Token::Ident`]
+//! for every name and the parser matches keywords case-insensitively by
+//! spelling. Numeric literals distinguish `REAL` (`E` exponent or plain `.`)
+//! from `DOUBLE PRECISION` (`D` exponent) spellings because Ped's printer
+//! must reproduce them.
+
+/// One lexical token of a logical Fortran line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or (unreserved) keyword, lower-cased.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Real literal; `double` records a `D` exponent spelling.
+    Real { value: f64, double: bool },
+    /// Character literal (content between quotes, `''` unescaped).
+    Str(String),
+    LParen,
+    RParen,
+    Comma,
+    Colon,
+    /// `=`
+    Assign,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    /// `**`
+    Pow,
+    /// `//` string concatenation (accepted, used only in PRINT items).
+    Concat,
+    /// `.lt.` or `<`
+    Lt,
+    /// `.le.` or `<=`
+    Le,
+    /// `.gt.` or `>`
+    Gt,
+    /// `.ge.` or `>=`
+    Ge,
+    /// `.eq.` or `==`
+    EqEq,
+    /// `.ne.` or `/=`
+    Ne,
+    /// `.and.`
+    And,
+    /// `.or.`
+    Or,
+    /// `.not.`
+    Not,
+    /// `.true.`
+    True,
+    /// `.false.`
+    False,
+}
+
+impl Token {
+    /// Returns the identifier text if this token is an identifier.
+    pub fn as_ident(&self) -> Option<&str> {
+        match self {
+            Token::Ident(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// True if this token is the identifier `kw` (which must be lower-case).
+    pub fn is_kw(&self, kw: &str) -> bool {
+        debug_assert_eq!(kw, kw.to_ascii_lowercase());
+        matches!(self, Token::Ident(s) if s == kw)
+    }
+}
+
+impl std::fmt::Display for Token {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Int(v) => write!(f, "{v}"),
+            Token::Real { value, double } => {
+                if *double {
+                    write!(f, "{value:?}D0")
+                } else {
+                    write!(f, "{value:?}")
+                }
+            }
+            Token::Str(s) => write!(f, "'{s}'"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::Comma => write!(f, ","),
+            Token::Colon => write!(f, ":"),
+            Token::Assign => write!(f, "="),
+            Token::Plus => write!(f, "+"),
+            Token::Minus => write!(f, "-"),
+            Token::Star => write!(f, "*"),
+            Token::Slash => write!(f, "/"),
+            Token::Pow => write!(f, "**"),
+            Token::Concat => write!(f, "//"),
+            Token::Lt => write!(f, ".lt."),
+            Token::Le => write!(f, ".le."),
+            Token::Gt => write!(f, ".gt."),
+            Token::Ge => write!(f, ".ge."),
+            Token::EqEq => write!(f, ".eq."),
+            Token::Ne => write!(f, ".ne."),
+            Token::And => write!(f, ".and."),
+            Token::Or => write!(f, ".or."),
+            Token::Not => write!(f, ".not."),
+            Token::True => write!(f, ".true."),
+            Token::False => write!(f, ".false."),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ident_helpers() {
+        let t = Token::Ident("do".into());
+        assert!(t.is_kw("do"));
+        assert!(!t.is_kw("if"));
+        assert_eq!(t.as_ident(), Some("do"));
+        assert_eq!(Token::Comma.as_ident(), None);
+    }
+}

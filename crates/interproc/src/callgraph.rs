@@ -1,0 +1,151 @@
+//! Call-graph construction.
+//!
+//! One node per program unit; one [`CallSite`] per `CALL` statement or
+//! user-function reference. Callees are resolved by name within the
+//! program; unresolved names are *external* (worst-case effects). The
+//! fixpoint analyses iterate over units directly, so cycles (recursion)
+//! need no special casing — only monotone summaries.
+
+use ped_fortran::visit::{for_each_expr_of_stmt, for_each_stmt};
+use ped_fortran::{Expr, Program, StmtId, StmtKind};
+
+/// One call site.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Index of the calling unit in `program.units`.
+    pub caller: usize,
+    /// The statement containing the call.
+    pub stmt: StmtId,
+    /// Callee unit index; `None` for external procedures.
+    pub callee: Option<usize>,
+    /// Callee name (lower case).
+    pub callee_name: String,
+    /// Actual argument expressions.
+    pub args: Vec<Expr>,
+    /// True when this is a function reference inside an expression rather
+    /// than a CALL statement.
+    pub in_expr: bool,
+}
+
+/// The program call graph.
+#[derive(Debug, Clone, Default)]
+pub struct CallGraph {
+    /// All call sites.
+    pub sites: Vec<CallSite>,
+    /// Site indices per caller unit.
+    pub sites_of_unit: Vec<Vec<usize>>,
+    /// Caller unit indices per callee unit.
+    pub callers_of: Vec<Vec<usize>>,
+}
+
+impl CallGraph {
+    /// Build the call graph of a program.
+    pub fn build(program: &Program) -> CallGraph {
+        let mut cg = CallGraph {
+            sites: Vec::new(),
+            sites_of_unit: vec![Vec::new(); program.units.len()],
+            callers_of: vec![Vec::new(); program.units.len()],
+        };
+        for (ui, unit) in program.units.iter().enumerate() {
+            for_each_stmt(unit, &unit.body, &mut |sid| {
+                let st = unit.stmt(sid);
+                if let StmtKind::Call { name, args } = &st.kind {
+                    cg.add_site(program, ui, sid, name, args.clone(), false);
+                }
+                // Function references in expressions.
+                for_each_expr_of_stmt(&st.kind, &mut |e| {
+                    if let Expr::Call { name, args } = e {
+                        if name != "__any__" {
+                            cg.add_site(program, ui, sid, name, args.clone(), true);
+                        }
+                    }
+                });
+            });
+        }
+        cg
+    }
+
+    fn add_site(
+        &mut self,
+        program: &Program,
+        caller: usize,
+        stmt: StmtId,
+        name: &str,
+        args: Vec<Expr>,
+        in_expr: bool,
+    ) {
+        let callee = program.unit_index(name);
+        let idx = self.sites.len();
+        self.sites.push(CallSite {
+            caller,
+            stmt,
+            callee,
+            callee_name: name.to_string(),
+            args,
+            in_expr,
+        });
+        self.sites_of_unit[caller].push(idx);
+        if let Some(c) = callee {
+            if !self.callers_of[c].contains(&caller) {
+                self.callers_of[c].push(caller);
+            }
+        }
+    }
+
+    /// Call sites at a given statement of a unit.
+    pub fn sites_at(&self, unit_idx: usize, stmt: StmtId) -> Vec<&CallSite> {
+        self.sites_of_unit[unit_idx]
+            .iter()
+            .map(|&i| &self.sites[i])
+            .filter(|s| s.stmt == stmt)
+            .collect()
+    }
+
+    /// True when any call site in the program fails to resolve.
+    pub fn has_external_calls(&self) -> bool {
+        self.sites.iter().any(|s| s.callee.is_none())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ped_fortran::parse_program;
+
+    fn program(src: &str) -> Program {
+        parse_program(src).unwrap()
+    }
+
+    #[test]
+    fn resolves_internal_calls() {
+        let p = program(
+            "program t\ncall f(x)\nend\nsubroutine f(a)\nreal a\na = g(a)\nreturn\nend\n\
+             real function g(b)\nreal b\ng = b + 1.0\nend\n",
+        );
+        let cg = CallGraph::build(&p);
+        assert_eq!(cg.sites.len(), 2);
+        assert_eq!(cg.sites[0].callee, p.unit_index("f"));
+        assert!(!cg.sites[0].in_expr);
+        assert_eq!(cg.sites[1].callee, p.unit_index("g"));
+        assert!(cg.sites[1].in_expr);
+        assert!(!cg.has_external_calls());
+        assert_eq!(cg.callers_of[p.unit_index("f").unwrap()], vec![0]);
+    }
+
+    #[test]
+    fn external_call_detected() {
+        let p = program("program t\ncall mystery(x)\nend\n");
+        let cg = CallGraph::build(&p);
+        assert!(cg.has_external_calls());
+        assert_eq!(cg.sites[0].callee, None);
+    }
+
+    #[test]
+    fn sites_at_statement() {
+        let p = program("program t\ncall f(x)\ncall f(y)\nend\nsubroutine f(a)\nreturn\nend\n");
+        let cg = CallGraph::build(&p);
+        let main = &p.units[0];
+        assert_eq!(cg.sites_at(0, main.body[0]).len(), 1);
+        assert_eq!(cg.sites_at(0, main.body[1]).len(), 1);
+    }
+}

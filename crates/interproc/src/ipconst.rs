@@ -1,0 +1,156 @@
+//! Interprocedural constant propagation.
+//!
+//! "Interprocedural constants are inherited from a procedure's callers and
+//! directly incorporated into its intraprocedural counterpart." For every
+//! call site we evaluate each actual argument with the caller's
+//! intraprocedural constant facts (the *jump function*); the callee's dummy
+//! argument is a constant when every call site passes the same value. The
+//! result seeds each unit's [`ped_analysis::ConstEnv`].
+
+use crate::callgraph::CallGraph;
+use ped_analysis::cfg::Cfg;
+use ped_analysis::constants::{eval, ConstEnv, Facts};
+use ped_fortran::symbols::Const;
+use ped_fortran::Program;
+
+/// Per-unit entry facts (dummy arguments known constant at every call site).
+pub fn interproc_constants(program: &Program, cg: &CallGraph) -> Vec<Facts> {
+    let n = program.units.len();
+    let cfgs: Vec<Cfg> = program.units.iter().map(Cfg::build).collect();
+    let mut seeds: Vec<Facts> = vec![Facts::new(); n];
+
+    // Lattice per (unit, formal): ⊤ (no call seen) → Known → ⊥. We track ⊥
+    // explicitly so a later agreeing call cannot resurrect a constant.
+    #[derive(Clone, Copy, PartialEq)]
+    enum V {
+        Known(Const),
+        Bottom,
+    }
+
+    // Each round recomputes every callee's formal facts from scratch using
+    // the current seeds (so chains main→mid→leaf converge regardless of
+    // unit order), then compares. If the bound is hit without convergence,
+    // return no seeds — the safe answer.
+    for _ in 0..2 * n + 4 {
+        let mut states: Vec<std::collections::HashMap<ped_fortran::SymId, V>> =
+            vec![Default::default(); n];
+        for (ui, unit) in program.units.iter().enumerate() {
+            let env = ConstEnv::compute_seeded(unit, &cfgs[ui], &seeds[ui]);
+            for &si in &cg.sites_of_unit[ui] {
+                let site = &cg.sites[si];
+                let Some(ci) = site.callee else { continue };
+                let callee = &program.units[ci];
+                for (pos, actual) in site.args.iter().enumerate() {
+                    let Some(&formal) = callee.args.get(pos) else { continue };
+                    if callee.symbols.sym(formal).is_array() {
+                        continue;
+                    }
+                    let val = eval(unit, env.at(site.stmt), actual);
+                    let new = match (states[ci].get(&formal).copied(), val) {
+                        (Some(V::Bottom), _) => V::Bottom,
+                        (None, Some(c)) => V::Known(c),
+                        (None, None) => V::Bottom,
+                        (Some(V::Known(a)), Some(b)) if a == b => V::Known(a),
+                        (Some(V::Known(_)), _) => V::Bottom,
+                    };
+                    states[ci].insert(formal, new);
+                }
+            }
+        }
+        let new_seeds: Vec<Facts> = (0..n)
+            .map(|ui| {
+                states[ui]
+                    .iter()
+                    .filter_map(|(&s, &v)| match v {
+                        V::Known(c) => Some((s, c)),
+                        V::Bottom => None,
+                    })
+                    .collect()
+            })
+            .collect();
+        if new_seeds == seeds {
+            return seeds;
+        }
+        seeds = new_seeds;
+    }
+    vec![Facts::new(); n]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ped_fortran::parse_program;
+
+    fn seeds(src: &str) -> (Program, Vec<Facts>) {
+        let p = parse_program(src).unwrap();
+        let cg = CallGraph::build(&p);
+        let s = interproc_constants(&p, &cg);
+        (p, s)
+    }
+
+    #[test]
+    fn single_site_constant() {
+        let (p, s) = seeds(
+            "program t\ncall f(100)\nend\nsubroutine f(n)\ninteger n\nm = n\nend\n",
+        );
+        let fi = p.unit_index("f").unwrap();
+        let n = p.units[fi].symbols.lookup("n").unwrap();
+        assert_eq!(s[fi].get(&n), Some(&Const::Int(100)));
+    }
+
+    #[test]
+    fn agreeing_sites_keep_constant() {
+        let (p, s) = seeds(
+            "program t\ncall f(8)\ncall f(8)\nend\nsubroutine f(n)\ninteger n\nm = n\nend\n",
+        );
+        let fi = p.unit_index("f").unwrap();
+        let n = p.units[fi].symbols.lookup("n").unwrap();
+        assert_eq!(s[fi].get(&n), Some(&Const::Int(8)));
+    }
+
+    #[test]
+    fn disagreeing_sites_lose_constant() {
+        let (p, s) = seeds(
+            "program t\ncall f(8)\ncall f(9)\nend\nsubroutine f(n)\ninteger n\nm = n\nend\n",
+        );
+        let fi = p.unit_index("f").unwrap();
+        let n = p.units[fi].symbols.lookup("n").unwrap();
+        assert_eq!(s[fi].get(&n), None);
+    }
+
+    #[test]
+    fn constant_flows_through_chain() {
+        // main passes 64 to mid, mid forwards its formal to leaf.
+        let (p, s) = seeds(
+            "program t\ncall mid(64)\nend\nsubroutine mid(k)\ninteger k\ncall leaf(k)\nend\n\
+             subroutine leaf(n)\ninteger n\nm = n\nend\n",
+        );
+        let li = p.unit_index("leaf").unwrap();
+        let n = p.units[li].symbols.lookup("n").unwrap();
+        assert_eq!(s[li].get(&n), Some(&Const::Int(64)));
+    }
+
+    #[test]
+    fn computed_jump_function() {
+        // The actual is an expression over caller constants.
+        let (p, s) = seeds(
+            "program t\ninteger m\nparameter (m = 10)\ncall f(m * 2 + 1)\nend\n\
+             subroutine f(n)\ninteger n\nk = n\nend\n",
+        );
+        let fi = p.unit_index("f").unwrap();
+        let n = p.units[fi].symbols.lookup("n").unwrap();
+        assert_eq!(s[fi].get(&n), Some(&Const::Int(21)));
+    }
+
+    #[test]
+    fn variable_actual_is_bottom() {
+        let (p, s) = seeds(
+            "program t\nread_in = 5.0\nn = int(read_in)\ncall f(n)\nend\n\
+             subroutine f(n)\ninteger n\nk = n\nend\n",
+        );
+        let fi = p.unit_index("f").unwrap();
+        let n = p.units[fi].symbols.lookup("n").unwrap();
+        // int(real) does not fold in eval → bottom.
+        assert_eq!(s[fi].get(&n), None);
+    }
+}

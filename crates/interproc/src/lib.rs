@@ -1,0 +1,28 @@
+//! # ped-interproc — interprocedural analysis for the ParaScope Editor
+//!
+//! "In ParaScope, analysis of interprocedural … constants, symbolics and
+//! array sections improve the precision of its dependence analysis." The
+//! workshop evaluation singled out interprocedural array side-effect
+//! analysis as *crucial*. This crate implements the program-level analyses:
+//!
+//! * [`callgraph`] — call sites and the unit call graph;
+//! * [`summary`] — per-procedure side-effect summaries: flow-insensitive
+//!   MOD/REF (Banning), flow-sensitive scalar USE/KILL (Callahan), and
+//!   bounded regular sections for arrays (Havlak & Kennedy), all propagated
+//!   to a fixed point through the call graph with formal→actual binding;
+//! * [`ipconst`] — interprocedural constant propagation via jump functions
+//!   (constants inherited from callers, meet over all call sites);
+//! * [`oracle`] — adapters plugging the summaries into `ped-dep`'s
+//!   [`ped_dep::graph::SideEffects`] and `ped-analysis`'s
+//!   [`ped_analysis::scalars::CallInfo`], with per-capability feature flags
+//!   (the Table 3 experiment toggles each analysis off to measure its
+//!   contribution).
+
+pub mod callgraph;
+pub mod ipconst;
+pub mod oracle;
+pub mod summary;
+
+pub use callgraph::{CallGraph, CallSite};
+pub use oracle::{IpAnalysis, IpFlags, IpOracle};
+pub use summary::{Loc, Section, SecDim, UnitSummary};

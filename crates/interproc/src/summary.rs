@@ -1,0 +1,775 @@
+//! Per-procedure side-effect summaries.
+//!
+//! A summary describes a procedure's effects on its *interface locations*
+//! ([`Loc`]): dummy arguments by position and COMMON members by (block,
+//! offset). Four strengths of information, matching the paper's §4:
+//!
+//! * **MOD/REF** (flow-insensitive, Banning): may-write / may-read;
+//! * **USE/KILL** (flow-sensitive, Callahan): scalars read before written
+//!   on some path / scalars definitely written on every path — KILL is what
+//!   lets a scalar assigned inside a callee be privatized in a caller's
+//!   loop (the paper's `nxsns` case);
+//! * **regular sections** (Havlak & Kennedy): per-dimension exact
+//!   subscripts for array effects, so a call that writes `a(*, j)` does not
+//!   conflict across iterations of a `j` loop (the paper's "sections" row).
+//!
+//! Summaries propagate bottom-up through the call graph to a fixed point;
+//! COMMON locations are global names and transfer unchanged, dummy-argument
+//! locations bind through actual arguments.
+
+use crate::callgraph::{CallGraph, CallSite};
+use ped_fortran::visit::{stmt_accesses, AccessKind};
+use ped_fortran::{Expr, LValue, Program, ProgramUnit, StmtId, StmtKind, SymId};
+use std::collections::{HashMap, HashSet};
+
+/// An interface location of a procedure.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Loc {
+    /// Dummy argument by position.
+    Arg(usize),
+    /// COMMON member by (block name, offset) — global storage, so the same
+    /// `Loc` denotes the same memory in every unit.
+    Common(String, usize),
+}
+
+/// Map a unit's symbol to its interface location, if it has one.
+pub fn loc_of(unit: &ProgramUnit, sym: SymId) -> Option<Loc> {
+    let s = unit.symbols.sym(sym);
+    if let Some(i) = s.arg_index {
+        return Some(Loc::Arg(i));
+    }
+    s.common.as_ref().map(|c| Loc::Common(c.block.clone(), c.index))
+}
+
+/// Resolve an interface location back to a unit's symbol.
+pub fn sym_of(unit: &ProgramUnit, loc: &Loc) -> Option<SymId> {
+    match loc {
+        Loc::Arg(i) => unit.args.get(*i).copied(),
+        Loc::Common(b, o) => unit
+            .symbols
+            .iter()
+            .find(|(_, s)| {
+                s.common.as_ref().map(|c| (c.block.as_str(), c.index)) == Some((b.as_str(), *o))
+            })
+            .map(|(id, _)| id),
+    }
+}
+
+/// One dimension of a regular section.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SecDim {
+    /// The dimension is accessed at exactly this subscript (an expression
+    /// over the owning unit's call-invariant scalars).
+    Exact(Expr),
+    /// Whole dimension (or unknown).
+    Any,
+}
+
+/// A bounded regular section for one array location.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Section {
+    /// Per-dimension description.
+    pub dims: Vec<SecDim>,
+}
+
+impl Section {
+    /// The whole-array section of a given rank.
+    pub fn whole(rank: usize) -> Section {
+        Section { dims: vec![SecDim::Any; rank] }
+    }
+
+    /// Dimension-wise merge (Exact subscripts must agree, else Any).
+    pub fn merge(&self, other: &Section) -> Section {
+        if self.dims.len() != other.dims.len() {
+            return Section::whole(self.dims.len());
+        }
+        Section {
+            dims: self
+                .dims
+                .iter()
+                .zip(&other.dims)
+                .map(|(a, b)| match (a, b) {
+                    (SecDim::Exact(x), SecDim::Exact(y)) if x == y => SecDim::Exact(x.clone()),
+                    _ => SecDim::Any,
+                })
+                .collect(),
+        }
+    }
+
+    /// True if at least one dimension is exact (i.e. the section actually
+    /// refines the whole array).
+    pub fn is_refined(&self) -> bool {
+        self.dims.iter().any(|d| matches!(d, SecDim::Exact(_)))
+    }
+}
+
+/// The complete summary of one unit.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct UnitSummary {
+    /// May-write locations.
+    pub mods: HashSet<Loc>,
+    /// May-read locations (flow-insensitive).
+    pub refs: HashSet<Loc>,
+    /// Scalars possibly read before written (upward-exposed).
+    pub uses: HashSet<Loc>,
+    /// Scalars definitely written on every path to return.
+    pub kills: HashSet<Loc>,
+    /// Array write sections per location.
+    pub mod_secs: HashMap<Loc, Section>,
+    /// Array read sections per location.
+    pub ref_secs: HashMap<Loc, Section>,
+    /// Transitively reaches an unresolved (external) call.
+    pub calls_external: bool,
+}
+
+/// Compute all unit summaries to a fixed point.
+pub fn compute_summaries(program: &Program, cg: &CallGraph) -> Vec<UnitSummary> {
+    let mut sums: Vec<UnitSummary> = vec![UnitSummary::default(); program.units.len()];
+    // Monotone growth ⇒ the fixpoint terminates; bound rounds defensively.
+    for _round in 0..program.units.len() + 2 {
+        let mut changed = false;
+        for ui in 0..program.units.len() {
+            let new = summarize_unit(program, cg, ui, &sums);
+            if new != sums[ui] {
+                sums[ui] = new;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    sums
+}
+
+/// Scalars of a unit that are never written inside it (call-invariant), the
+/// precondition for using them in section subscripts.
+fn invariant_scalars(unit: &ProgramUnit) -> HashSet<SymId> {
+    let mut written = HashSet::new();
+    ped_fortran::visit::for_each_stmt(unit, &unit.body, &mut |sid| {
+        for acc in stmt_accesses(unit, sid) {
+            if acc.kind.may_write() {
+                written.insert(acc.sym);
+            }
+        }
+    });
+    unit.symbols
+        .iter()
+        .filter(|(id, s)| !s.is_array() && !written.contains(id))
+        .map(|(id, _)| id)
+        .collect()
+}
+
+fn expr_uses_only(e: &Expr, allowed: &HashSet<SymId>, unit: &ProgramUnit) -> bool {
+    let mut ok = true;
+    ped_fortran::visit::walk_expr(e, &mut |x| match x {
+        Expr::Var(s) => {
+            if !allowed.contains(s) && unit.symbols.sym(*s).param.is_none() {
+                ok = false;
+            }
+        }
+        Expr::ArrayRef { .. } | Expr::Call { .. } => ok = false,
+        _ => {}
+    });
+    ok
+}
+
+fn summarize_unit(
+    program: &Program,
+    cg: &CallGraph,
+    ui: usize,
+    sums: &[UnitSummary],
+) -> UnitSummary {
+    let unit = &program.units[ui];
+    let mut out = UnitSummary::default();
+    let invariant = invariant_scalars(unit);
+
+    // ---- flow-insensitive MOD/REF and local sections --------------------
+    ped_fortran::visit::for_each_stmt(unit, &unit.body, &mut |sid| {
+        for acc in stmt_accesses(unit, sid) {
+            let Some(loc) = loc_of(unit, acc.sym) else { continue };
+            let is_array = unit.symbols.sym(acc.sym).is_array();
+            match acc.kind {
+                AccessKind::Read => {
+                    out.refs.insert(loc.clone());
+                    if is_array {
+                        let sec = local_section(unit, &acc.subs, &invariant);
+                        merge_sec(&mut out.ref_secs, loc, sec);
+                    }
+                }
+                AccessKind::Write => {
+                    out.mods.insert(loc.clone());
+                    if is_array {
+                        let sec = local_section(unit, &acc.subs, &invariant);
+                        merge_sec(&mut out.mod_secs, loc, sec);
+                    }
+                }
+                AccessKind::CallArg => {} // handled through call sites below
+            }
+        }
+    });
+
+    // ---- call-site propagation ------------------------------------------
+    for &si in &cg.sites_of_unit[ui] {
+        let site = &cg.sites[si];
+        match site.callee {
+            None => {
+                out.calls_external = true;
+                // Worst case: every passed interface location and every
+                // COMMON member of this unit is read and written.
+                for a in &site.args {
+                    if let Some(sym) = base_sym(a) {
+                        if let Some(loc) = loc_of(unit, sym) {
+                            out.mods.insert(loc.clone());
+                            out.refs.insert(loc.clone());
+                            out.uses.insert(loc.clone());
+                            if unit.symbols.sym(sym).is_array() {
+                                let rank = unit.symbols.sym(sym).rank();
+                                merge_sec(&mut out.mod_secs, loc.clone(), Section::whole(rank));
+                                merge_sec(&mut out.ref_secs, loc, Section::whole(rank));
+                            }
+                        }
+                    }
+                }
+                for (id, s) in unit.symbols.iter() {
+                    if s.common.is_some() {
+                        let loc = loc_of(unit, id).expect("common has a loc");
+                        out.mods.insert(loc.clone());
+                        out.refs.insert(loc.clone());
+                        out.uses.insert(loc.clone());
+                        if s.is_array() {
+                            merge_sec(&mut out.mod_secs, loc.clone(), Section::whole(s.rank()));
+                            merge_sec(&mut out.ref_secs, loc, Section::whole(s.rank()));
+                        }
+                    }
+                }
+            }
+            Some(ci) => {
+                let callee = &program.units[ci];
+                let csum = &sums[ci];
+                out.calls_external |= csum.calls_external;
+                for loc in &csum.mods {
+                    for bound in bind_loc(program, unit, site, callee, loc) {
+                        // Bound sections (argument arrays).
+                        let sec = csum
+                            .mod_secs
+                            .get(loc)
+                            .map(|s| bind_section(program, unit, site, callee, s, &invariant));
+                        if let (Some(sym), Some(sec)) =
+                            (sym_of(unit, &bound), sec.clone().flatten())
+                        {
+                            if unit.symbols.sym(sym).is_array() {
+                                merge_sec(&mut out.mod_secs, bound.clone(), sec);
+                            }
+                        } else if let Some(sym) = sym_of(unit, &bound) {
+                            if unit.symbols.sym(sym).is_array() {
+                                let rank = unit.symbols.sym(sym).rank();
+                                merge_sec(
+                                    &mut out.mod_secs,
+                                    bound.clone(),
+                                    Section::whole(rank),
+                                );
+                            }
+                        }
+                        out.mods.insert(bound);
+                    }
+                }
+                for loc in &csum.refs {
+                    for bound in bind_loc(program, unit, site, callee, loc) {
+                        let sec = csum
+                            .ref_secs
+                            .get(loc)
+                            .map(|s| bind_section(program, unit, site, callee, s, &invariant));
+                        if let (Some(sym), Some(sec)) =
+                            (sym_of(unit, &bound), sec.clone().flatten())
+                        {
+                            if unit.symbols.sym(sym).is_array() {
+                                merge_sec(&mut out.ref_secs, bound.clone(), sec);
+                            }
+                        } else if let Some(sym) = sym_of(unit, &bound) {
+                            if unit.symbols.sym(sym).is_array() {
+                                let rank = unit.symbols.sym(sym).rank();
+                                merge_sec(
+                                    &mut out.ref_secs,
+                                    bound.clone(),
+                                    Section::whole(rank),
+                                );
+                            }
+                        }
+                        out.refs.insert(bound);
+                    }
+                }
+                // Callee `uses` are folded in by the flow-sensitive walk
+                // below, which respects kill ordering across consecutive
+                // calls (a scalar SET kills before a later USE reads is not
+                // upward-exposed here).
+            }
+        }
+    }
+
+    // ---- flow-sensitive USE/KILL ----------------------------------------
+    let fk = flow_scalars(program, cg, ui, sums);
+    for sym in fk.exposed {
+        if let Some(loc) = loc_of(unit, sym) {
+            if !unit.symbols.sym(sym).is_array() {
+                out.uses.insert(loc);
+            }
+        }
+    }
+    for sym in fk.killed {
+        if let Some(loc) = loc_of(unit, sym) {
+            if !unit.symbols.sym(sym).is_array() {
+                out.kills.insert(loc);
+            }
+        }
+    }
+    // KILL implies MOD; USE implies REF.
+    out.mods.extend(out.kills.iter().cloned());
+    out.refs.extend(out.uses.iter().cloned());
+    out
+}
+
+fn merge_sec(map: &mut HashMap<Loc, Section>, loc: Loc, sec: Section) {
+    match map.get_mut(&loc) {
+        Some(existing) => *existing = existing.merge(&sec),
+        None => {
+            map.insert(loc, sec);
+        }
+    }
+}
+
+/// Section of one local array access: each subscript is `Exact` when it is
+/// built only from call-invariant scalars and constants.
+fn local_section(
+    unit: &ProgramUnit,
+    subs: &Option<Vec<Expr>>,
+    invariant: &HashSet<SymId>,
+) -> Section {
+    match subs {
+        None => Section { dims: Vec::new() },
+        Some(subs) => Section {
+            dims: subs
+                .iter()
+                .map(|e| {
+                    if expr_uses_only(e, invariant, unit) {
+                        SecDim::Exact(e.clone())
+                    } else {
+                        SecDim::Any
+                    }
+                })
+                .collect(),
+        },
+    }
+}
+
+/// Base symbol of an actual argument expression (`x` or `a(…)`).
+pub fn base_sym(e: &Expr) -> Option<SymId> {
+    match e {
+        Expr::Var(s) => Some(*s),
+        Expr::ArrayRef { sym, .. } => Some(*sym),
+        _ => None,
+    }
+}
+
+/// Bind a callee interface location to caller interface locations at a call
+/// site. COMMON locations are global and transfer unchanged; argument
+/// locations follow the actual argument when it has an interface location
+/// itself (effects on caller locals stay invisible at the interface — the
+/// oracle re-binds per call site for intra-unit queries).
+fn bind_loc(
+    _program: &Program,
+    caller: &ProgramUnit,
+    site: &CallSite,
+    _callee: &ProgramUnit,
+    loc: &Loc,
+) -> Vec<Loc> {
+    match loc {
+        Loc::Common(b, o) => vec![Loc::Common(b.clone(), *o)],
+        Loc::Arg(i) => match site.args.get(*i).and_then(base_sym) {
+            Some(sym) => loc_of(caller, sym).into_iter().collect(),
+            None => Vec::new(),
+        },
+    }
+}
+
+/// Substitute callee-formal scalars in a section with the caller's actual
+/// expressions. Returns `None` when any exact dimension fails to translate
+/// (caller treats the effect as whole-array).
+fn bind_section(
+    program: &Program,
+    caller: &ProgramUnit,
+    site: &CallSite,
+    callee: &ProgramUnit,
+    sec: &Section,
+    caller_invariant: &HashSet<SymId>,
+) -> Option<Section> {
+    let _ = program;
+    let dims = sec
+        .dims
+        .iter()
+        .map(|d| match d {
+            SecDim::Any => Some(SecDim::Any),
+            SecDim::Exact(e) => {
+                let translated = subst_expr(e, caller, site, callee)?;
+                if expr_uses_only(&translated, caller_invariant, caller) {
+                    Some(SecDim::Exact(translated))
+                } else {
+                    Some(SecDim::Any)
+                }
+            }
+        })
+        .collect::<Option<Vec<_>>>()?;
+    Some(Section { dims })
+}
+
+/// Rewrite an expression over callee formals into caller terms.
+fn subst_expr(
+    e: &Expr,
+    caller: &ProgramUnit,
+    site: &CallSite,
+    callee: &ProgramUnit,
+) -> Option<Expr> {
+    Some(match e {
+        Expr::Int(v) => Expr::Int(*v),
+        Expr::Real(v) => Expr::Real(*v),
+        Expr::Double(v) => Expr::Double(*v),
+        Expr::Logical(b) => Expr::Logical(*b),
+        Expr::Var(s) => {
+            if let Some(c) = callee.symbols.sym(*s).param {
+                match c {
+                    ped_fortran::symbols::Const::Int(v) => return Some(Expr::Int(v)),
+                    ped_fortran::symbols::Const::Real(v) => return Some(Expr::Real(v)),
+                    ped_fortran::symbols::Const::Logical(b) => {
+                        return Some(Expr::Logical(b))
+                    }
+                }
+            }
+            match loc_of(callee, *s)? {
+                Loc::Arg(i) => site.args.get(i)?.clone(),
+                common => Expr::Var(sym_of(caller, &common)?),
+            }
+        }
+        Expr::Un { op, e } => Expr::Un {
+            op: *op,
+            e: Box::new(subst_expr(e, caller, site, callee)?),
+        },
+        Expr::Bin { op, l, r } => Expr::Bin {
+            op: *op,
+            l: Box::new(subst_expr(l, caller, site, callee)?),
+            r: Box::new(subst_expr(r, caller, site, callee)?),
+        },
+        _ => return None,
+    })
+}
+
+/// Result of the flow-sensitive scalar walk over a unit body.
+struct FlowScalars {
+    exposed: HashSet<SymId>,
+    killed: HashSet<SymId>,
+}
+
+/// Structured definite-assignment walk over the unit body, using current
+/// callee summaries at call statements.
+fn flow_scalars(
+    program: &Program,
+    cg: &CallGraph,
+    ui: usize,
+    sums: &[UnitSummary],
+) -> FlowScalars {
+    let unit = &program.units[ui];
+    let mut exposed = HashSet::new();
+    let mut assigned = HashSet::new();
+    let mut exits: Vec<HashSet<SymId>> = Vec::new();
+    walk(
+        program,
+        cg,
+        ui,
+        sums,
+        &unit.body,
+        &mut assigned,
+        &mut exposed,
+        &mut exits,
+    );
+    exits.push(assigned);
+    let killed = exits
+        .iter()
+        .skip(1)
+        .fold(exits[0].clone(), |acc, s| acc.intersection(s).copied().collect());
+    return FlowScalars { exposed, killed };
+
+    #[allow(clippy::too_many_arguments)]
+    fn walk(
+        program: &Program,
+        cg: &CallGraph,
+        ui: usize,
+        sums: &[UnitSummary],
+        block: &[StmtId],
+        assigned: &mut HashSet<SymId>,
+        exposed: &mut HashSet<SymId>,
+        exits: &mut Vec<HashSet<SymId>>,
+    ) {
+        let unit = &program.units[ui];
+        for &sid in block {
+            let st = unit.stmt(sid);
+            let is_call = matches!(st.kind, StmtKind::Call { .. });
+            for acc in stmt_accesses(unit, sid) {
+                if acc.subs.is_some() || unit.symbols.sym(acc.sym).is_array() {
+                    continue;
+                }
+                match acc.kind {
+                    AccessKind::Read => {
+                        if !assigned.contains(&acc.sym) {
+                            exposed.insert(acc.sym);
+                        }
+                    }
+                    AccessKind::CallArg if !is_call => {
+                        if !assigned.contains(&acc.sym) {
+                            exposed.insert(acc.sym);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            match &st.kind {
+                StmtKind::Assign { lhs: LValue::Var(s), .. } => {
+                    assigned.insert(*s);
+                }
+                StmtKind::Do(d) => {
+                    assigned.insert(d.var);
+                    let mut inner = assigned.clone();
+                    walk(program, cg, ui, sums, &d.body, &mut inner, exposed, exits);
+                }
+                StmtKind::If { arms, else_block } => {
+                    let entry = assigned.clone();
+                    let mut result: Option<HashSet<SymId>> = None;
+                    for (_, blk) in arms {
+                        let mut a = entry.clone();
+                        walk(program, cg, ui, sums, blk, &mut a, exposed, exits);
+                        result = Some(match result {
+                            None => a,
+                            Some(r) => r.intersection(&a).copied().collect(),
+                        });
+                    }
+                    match else_block {
+                        Some(blk) => {
+                            let mut a = entry.clone();
+                            walk(program, cg, ui, sums, blk, &mut a, exposed, exits);
+                            if let Some(r) = result {
+                                *assigned = r.intersection(&a).copied().collect();
+                            }
+                        }
+                        None => *assigned = entry,
+                    }
+                }
+                StmtKind::Call { .. } => {
+                    for site in cg.sites_at(ui, sid) {
+                        match site.callee {
+                            None => {
+                                // External: may read anything it can see.
+                                for a in &site.args {
+                                    if let Some(sym) = base_sym(a) {
+                                        if !unit.symbols.sym(sym).is_array()
+                                            && !assigned.contains(&sym)
+                                        {
+                                            exposed.insert(sym);
+                                        }
+                                    }
+                                }
+                                for (id, s) in unit.symbols.iter() {
+                                    if s.common.is_some()
+                                        && !s.is_array()
+                                        && !assigned.contains(&id)
+                                    {
+                                        exposed.insert(id);
+                                    }
+                                }
+                            }
+                            Some(ci) => {
+                                let callee = &program.units[ci];
+                                let csum = &sums[ci];
+                                for loc in &csum.uses {
+                                    for b in bind_loc(program, unit, site, callee, loc) {
+                                        if let Some(sym) = sym_of(unit, &b) {
+                                            if !assigned.contains(&sym) {
+                                                exposed.insert(sym);
+                                            }
+                                        }
+                                    }
+                                }
+                                for loc in &csum.kills {
+                                    for b in bind_loc(program, unit, site, callee, loc) {
+                                        if let Some(sym) = sym_of(unit, &b) {
+                                            assigned.insert(sym);
+                                        }
+                                    }
+                                }
+                                // Direct scalar actual bound to a killed
+                                // formal is assigned even if it is a caller
+                                // local (no interface loc).
+                                for loc in &csum.kills {
+                                    if let Loc::Arg(i) = loc {
+                                        if let Some(sym) =
+                                            site.args.get(*i).and_then(base_sym)
+                                        {
+                                            if !unit.symbols.sym(sym).is_array() {
+                                                assigned.insert(sym);
+                                            }
+                                        }
+                                    }
+                                }
+                                for loc in &csum.uses {
+                                    if let Loc::Arg(i) = loc {
+                                        if let Some(sym) =
+                                            site.args.get(*i).and_then(base_sym)
+                                        {
+                                            if !unit.symbols.sym(sym).is_array()
+                                                && !assigned.contains(&sym)
+                                            {
+                                                exposed.insert(sym);
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                StmtKind::Return | StmtKind::Stop => {
+                    exits.push(assigned.clone());
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ped_fortran::parse_program;
+
+    fn setup(src: &str) -> (Program, CallGraph, Vec<UnitSummary>) {
+        let p = parse_program(src).unwrap();
+        let cg = CallGraph::build(&p);
+        let sums = compute_summaries(&p, &cg);
+        (p, cg, sums)
+    }
+
+    #[test]
+    fn direct_mod_ref() {
+        let (p, _, sums) = setup(
+            "program t\ncall f(x, y)\nend\nsubroutine f(a, b)\nreal a, b\na = b + 1.0\nend\n",
+        );
+        let fi = p.unit_index("f").unwrap();
+        assert!(sums[fi].mods.contains(&Loc::Arg(0)));
+        assert!(!sums[fi].mods.contains(&Loc::Arg(1)));
+        assert!(sums[fi].refs.contains(&Loc::Arg(1)));
+        assert!(sums[fi].kills.contains(&Loc::Arg(0)), "a is assigned on every path");
+        assert!(sums[fi].uses.contains(&Loc::Arg(1)));
+        assert!(!sums[fi].uses.contains(&Loc::Arg(0)), "a is written before any read");
+    }
+
+    #[test]
+    fn transitive_mod_through_chain() {
+        let (p, _, sums) = setup(
+            "program t\ncall outer(x)\nend\nsubroutine outer(u)\nreal u\ncall inner(u)\nend\n\
+             subroutine inner(v)\nreal v\nv = 1.0\nend\n",
+        );
+        let oi = p.unit_index("outer").unwrap();
+        assert!(sums[oi].mods.contains(&Loc::Arg(0)));
+        assert!(sums[oi].kills.contains(&Loc::Arg(0)), "kill flows through the chain");
+    }
+
+    #[test]
+    fn conditional_write_not_killed() {
+        let (p, _, sums) = setup(
+            "subroutine f(a, c)\nreal a, c\nif (c .gt. 0.0) then\na = 1.0\nendif\nend\n",
+        );
+        let fi = p.unit_index("f").unwrap();
+        assert!(sums[fi].mods.contains(&Loc::Arg(0)));
+        assert!(!sums[fi].kills.contains(&Loc::Arg(0)));
+    }
+
+    #[test]
+    fn common_effects_are_global() {
+        let (p, _, sums) = setup(
+            "program t\ncommon /blk/ g, h\ncall f()\nend\nsubroutine f()\n\
+             common /blk/ p, q\np = q + 1.0\nend\n",
+        );
+        let fi = p.unit_index("f").unwrap();
+        assert!(sums[fi].mods.contains(&Loc::Common("blk".into(), 0)));
+        assert!(sums[fi].refs.contains(&Loc::Common("blk".into(), 1)));
+        // Main's symbol g aliases p through the block.
+        let main = &p.units[0];
+        let g = main.symbols.lookup("g").unwrap();
+        assert_eq!(loc_of(main, g), Some(Loc::Common("blk".into(), 0)));
+    }
+
+    #[test]
+    fn external_call_poisons() {
+        let (p, _, sums) = setup("subroutine f(a)\nreal a\ncall unknown(a)\nend\n");
+        let fi = p.unit_index("f").unwrap();
+        assert!(sums[fi].calls_external);
+        assert!(sums[fi].mods.contains(&Loc::Arg(0)));
+    }
+
+    #[test]
+    fn array_section_exact_column() {
+        // The callee writes column jc of a 2-d array: section (Any, Exact(jc)).
+        let (p, _, sums) = setup(
+            "subroutine colop(a, n, jc)\ninteger n, jc\nreal a(n, n)\ndo i = 1, n\n\
+             a(i, jc) = 0.0\nenddo\nend\n",
+        );
+        let fi = p.unit_index("colop").unwrap();
+        let sec = &sums[fi].mod_secs[&Loc::Arg(0)];
+        assert_eq!(sec.dims.len(), 2);
+        assert!(matches!(sec.dims[0], SecDim::Any), "loop-variant subscript");
+        assert!(matches!(sec.dims[1], SecDim::Exact(_)), "jc is call-invariant");
+        assert!(sec.is_refined());
+    }
+
+    #[test]
+    fn section_binding_to_caller() {
+        let (p, _, sums) = setup(
+            "subroutine caller(b, m, j)\ninteger m, j\nreal b(m, m)\n\
+             call colop(b, m, j + 1)\nend\nsubroutine colop(a, n, jc)\ninteger n, jc\n\
+             real a(n, n)\ndo i = 1, n\na(i, jc) = 0.0\nenddo\nend\n",
+        );
+        let ci = p.unit_index("caller").unwrap();
+        let sec = &sums[ci].mod_secs[&Loc::Arg(0)];
+        // Second dim should be exact `j + 1` in caller terms.
+        match &sec.dims[1] {
+            SecDim::Exact(e) => {
+                let s = ped_fortran::printer::print_expr(&p.units[ci], e);
+                assert_eq!(s, "j + 1");
+            }
+            other => panic!("expected exact, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn section_merges_conflicting_columns_to_any() {
+        let (p, _, sums) = setup(
+            "subroutine f(a, j, k)\ninteger j, k\nreal a(10, 10)\na(1, j) = 0.0\n\
+             a(2, k) = 0.0\nend\n",
+        );
+        let fi = p.unit_index("f").unwrap();
+        let sec = &sums[fi].mod_secs[&Loc::Arg(0)];
+        assert!(matches!(sec.dims[1], SecDim::Any), "j and k disagree");
+        assert!(matches!(sec.dims[0], SecDim::Any), "1 and 2 disagree");
+    }
+
+    #[test]
+    fn use_through_call_respects_kill_order() {
+        // g kills t before f reads it… caller: call set(t); call use(t):
+        // t must not be upward-exposed in the caller.
+        let (p, _, sums) = setup(
+            "subroutine top(t)\nreal t\ncall set(t)\ncall usee(t)\nend\n\
+             subroutine set(x)\nreal x\nx = 1.0\nend\n\
+             subroutine usee(y)\nreal y\nz = y\nend\n",
+        );
+        let ti = p.unit_index("top").unwrap();
+        assert!(!sums[ti].uses.contains(&Loc::Arg(0)), "killed by SET before USEE reads");
+        assert!(sums[ti].kills.contains(&Loc::Arg(0)));
+    }
+}

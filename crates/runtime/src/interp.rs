@@ -1,0 +1,1294 @@
+//! The interpreter: serial, simulated-parallel, and threaded execution.
+
+use crate::machine::Machine;
+use crate::memory::{Cell, Frame};
+use crate::value::Value;
+use ped_fortran::ast::Intrinsic;
+use ped_fortran::symbols::Const;
+use ped_fortran::{
+    BinOp, Expr, LValue, Program, ProgramUnit, RedOp, StmtId, StmtKind, SymId, Ty, UnOp,
+};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// How `PARALLEL DO` loops execute.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ParallelMode {
+    /// Ignore annotations; pure reference semantics.
+    Serial,
+    /// Sequential execution charged as a P-processor schedule (deterministic).
+    Simulate(Machine),
+    /// Real host threads.
+    Threads(usize),
+}
+
+/// Execution configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecConfig {
+    /// Parallel-loop handling.
+    pub mode: ParallelMode,
+    /// Record per-iteration access sets of parallel loops and report
+    /// cross-iteration conflicts (Simulate mode only).
+    pub detect_races: bool,
+    /// Abort after this many statement executions (runaway guard).
+    pub max_steps: u64,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig { mode: ParallelMode::Serial, detect_races: false, max_steps: 500_000_000 }
+    }
+}
+
+/// A runtime error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RtError {
+    /// Description, including the offending unit.
+    pub message: String,
+}
+
+impl RtError {
+    fn new(msg: impl Into<String>) -> RtError {
+        RtError { message: msg.into() }
+    }
+}
+
+impl std::fmt::Display for RtError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for RtError {}
+
+/// Per-loop execution statistics (the loop-level profile Ped's users got
+/// from Forge; feeds performance-estimation-based navigation).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LoopStats {
+    /// Times the loop was entered.
+    pub invocations: u64,
+    /// Total iterations executed.
+    pub iterations: u64,
+    /// Virtual operations spent inside (inclusive).
+    pub ops: f64,
+}
+
+/// A cross-iteration conflict found by the run-time dependence checker.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RaceReport {
+    /// Unit containing the loop.
+    pub unit: String,
+    /// The `PARALLEL DO` statement.
+    pub loop_stmt: StmtId,
+    /// Conflicting variable name.
+    pub var: String,
+    /// Flat element index (0 for scalars).
+    pub element: usize,
+}
+
+/// Result of running a program.
+#[derive(Debug, Clone, Default)]
+pub struct RunResult {
+    /// Lines produced by `PRINT *`.
+    pub printed: Vec<String>,
+    /// Virtual time (op count, with parallel charging applied).
+    pub vtime: f64,
+    /// Statements executed.
+    pub steps: u64,
+    /// Loop-level profile keyed by (unit name, DO statement).
+    pub profile: HashMap<(String, StmtId), LoopStats>,
+    /// Conflicts found by race detection.
+    pub races: Vec<RaceReport>,
+}
+
+enum Flow {
+    Normal,
+    Return,
+    Stop,
+}
+
+/// Per-iteration access recording for the race detector.
+struct RaceRec {
+    excluded: std::collections::HashSet<usize>,
+    /// (cell ptr, element) → (any_write, wmin, wmax, amin, amax)
+    locs: HashMap<(usize, usize), (bool, u64, u64, u64, u64)>,
+    names: HashMap<usize, (usize, SymId)>,
+    /// Keeps every recorded cell alive so freed-cell addresses are never
+    /// reused for new cells (which would alias distinct per-invocation
+    /// locals and produce false conflicts).
+    keep: Vec<Arc<Cell>>,
+    iter: u64,
+}
+
+struct ExecState {
+    printed: Vec<String>,
+    vtime: f64,
+    steps: u64,
+    max_steps: u64,
+    profile: HashMap<(String, StmtId), LoopStats>,
+    races: Vec<RaceReport>,
+    rec: Option<RaceRec>,
+    in_parallel: bool,
+}
+
+impl ExecState {
+    fn new(max_steps: u64) -> ExecState {
+        ExecState {
+            printed: Vec::new(),
+            vtime: 0.0,
+            steps: 0,
+            max_steps,
+            profile: HashMap::new(),
+            races: Vec::new(),
+            rec: None,
+            in_parallel: false,
+        }
+    }
+
+    fn tick(&mut self, ops: f64) -> Result<(), RtError> {
+        self.vtime += ops;
+        self.steps += 1;
+        if self.steps > self.max_steps {
+            return Err(RtError::new("statement step limit exceeded"));
+        }
+        Ok(())
+    }
+
+    fn record(&mut self, cell: &Arc<Cell>, element: usize, write: bool, unit_idx: usize, sym: SymId) {
+        let Some(rec) = self.rec.as_mut() else { return };
+        let ptr = Arc::as_ptr(cell) as usize;
+        if rec.excluded.contains(&ptr) {
+            return;
+        }
+        if let std::collections::hash_map::Entry::Vacant(e) = rec.names.entry(ptr) {
+            e.insert((unit_idx, sym));
+            rec.keep.push(cell.clone());
+        }
+        let e = rec.locs.entry((ptr, element)).or_insert((
+            false,
+            u64::MAX,
+            0,
+            rec.iter,
+            rec.iter,
+        ));
+        if write {
+            e.0 = true;
+            e.1 = e.1.min(rec.iter);
+            e.2 = e.2.max(rec.iter);
+        }
+        e.3 = e.3.min(rec.iter);
+        e.4 = e.4.max(rec.iter);
+    }
+}
+
+/// The interpreter for one program.
+pub struct Interp<'p> {
+    program: &'p Program,
+    config: ExecConfig,
+    commons: HashMap<String, Vec<Arc<Cell>>>,
+}
+
+impl<'p> Interp<'p> {
+    /// Build an interpreter; allocates COMMON storage.
+    pub fn new(program: &'p Program, config: ExecConfig) -> Result<Interp<'p>, RtError> {
+        let mut commons: HashMap<String, Vec<Arc<Cell>>> = HashMap::new();
+        for unit in &program.units {
+            for blk in &unit.commons {
+                let cells = commons.entry(blk.name.clone()).or_default();
+                for (i, &m) in blk.members.iter().enumerate() {
+                    if cells.len() <= i {
+                        let sym = unit.symbols.sym(m);
+                        let cell = if sym.is_array() {
+                            let dims = static_dims(unit, m)?;
+                            Cell::array(sym.ty, dims)
+                        } else {
+                            Cell::scalar(sym.ty)
+                        };
+                        cells.push(cell);
+                    }
+                }
+            }
+        }
+        Ok(Interp { program, config, commons })
+    }
+
+    /// Run the main program.
+    pub fn run(&self) -> Result<RunResult, RtError> {
+        let main_idx = self
+            .program
+            .units
+            .iter()
+            .position(|u| u.kind == ped_fortran::UnitKind::Main)
+            .ok_or_else(|| RtError::new("no main program unit"))?;
+        let mut state = ExecState::new(self.config.max_steps);
+        let frame = self.make_frame(main_idx, &[], &mut state)?;
+        self.exec_unit(main_idx, &frame, &mut state)?;
+        Ok(RunResult {
+            printed: state.printed,
+            vtime: state.vtime,
+            steps: state.steps,
+            profile: state.profile,
+            races: state.races,
+        })
+    }
+
+    /// Allocate a frame for a unit invocation; `bound` pairs formal symbols
+    /// with pre-bound cells (actual arguments).
+    fn make_frame(
+        &self,
+        unit_idx: usize,
+        bound: &[(SymId, Arc<Cell>)],
+        state: &mut ExecState,
+    ) -> Result<Frame, RtError> {
+        let unit = &self.program.units[unit_idx];
+        let mut frame = Frame::with_capacity(unit.symbols.len());
+        for (s, c) in bound {
+            frame.bind(*s, c.clone());
+        }
+        // COMMON members alias global storage.
+        for blk in &unit.commons {
+            let cells = &self.commons[&blk.name];
+            for (i, &m) in blk.members.iter().enumerate() {
+                frame.bind(m, cells[i].clone());
+            }
+        }
+        // Locals (anything unbound, except PARAMETERs).
+        for (id, sym) in unit.symbols.iter() {
+            if frame.get(id).is_some() || sym.param.is_some() {
+                continue;
+            }
+            let cell = if sym.is_array() {
+                let mut dims = Vec::with_capacity(sym.dims.len());
+                for d in &sym.dims {
+                    let lo = self.eval(unit_idx, &d.lo, &frame, state)?.as_int();
+                    let hi = match &d.hi {
+                        Some(e) => self.eval(unit_idx, e, &frame, state)?.as_int(),
+                        None => {
+                            return Err(RtError::new(format!(
+                                "assumed-size local array {} in {}",
+                                sym.name, unit.name
+                            )))
+                        }
+                    };
+                    dims.push((lo, hi));
+                }
+                Cell::array(sym.ty, dims)
+            } else {
+                Cell::scalar(sym.ty)
+            };
+            frame.bind(id, cell);
+        }
+        Ok(frame)
+    }
+
+    fn exec_unit(
+        &self,
+        unit_idx: usize,
+        frame: &Frame,
+        state: &mut ExecState,
+    ) -> Result<Flow, RtError> {
+        let body = self.program.units[unit_idx].body.clone();
+        self.exec_block(unit_idx, &body, frame, state)
+    }
+
+    fn exec_block(
+        &self,
+        unit_idx: usize,
+        block: &[StmtId],
+        frame: &Frame,
+        state: &mut ExecState,
+    ) -> Result<Flow, RtError> {
+        for &sid in block {
+            match self.exec_stmt(unit_idx, sid, frame, state)? {
+                Flow::Normal => {}
+                other => return Ok(other),
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    fn exec_stmt(
+        &self,
+        unit_idx: usize,
+        sid: StmtId,
+        frame: &Frame,
+        state: &mut ExecState,
+    ) -> Result<Flow, RtError> {
+        let unit = &self.program.units[unit_idx];
+        state.tick(1.0)?;
+        match &unit.stmt(sid).kind {
+            StmtKind::Assign { lhs, rhs } => {
+                let v = self.eval(unit_idx, rhs, frame, state)?;
+                match lhs {
+                    LValue::Var(s) => {
+                        let cell = self.cell(unit, frame, *s)?;
+                        state.record(cell, 0, true, unit_idx, *s);
+                        cell.store_scalar(v);
+                    }
+                    LValue::ArrayElem(s, subs) => {
+                        let mut idx = Vec::with_capacity(subs.len());
+                        for e in subs {
+                            idx.push(self.eval(unit_idx, e, frame, state)?.as_int());
+                        }
+                        let cell = self.cell(unit, frame, *s)?;
+                        let arr = cell.as_array();
+                        let flat = arr.linearize(&idx).ok_or_else(|| {
+                            RtError::new(format!(
+                                "subscript out of bounds: {}({idx:?}) in {}",
+                                unit.symbols.name(*s),
+                                unit.name
+                            ))
+                        })?;
+                        state.record(cell, flat, true, unit_idx, *s);
+                        arr.store_flat(flat, v);
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            StmtKind::If { arms, else_block } => {
+                for (cond, blk) in arms {
+                    if self.eval(unit_idx, cond, frame, state)?.as_logical() {
+                        return self.exec_block(unit_idx, blk, frame, state);
+                    }
+                }
+                if let Some(blk) = else_block {
+                    return self.exec_block(unit_idx, blk, frame, state);
+                }
+                Ok(Flow::Normal)
+            }
+            StmtKind::Do(_) => self.exec_do(unit_idx, sid, frame, state),
+            StmtKind::Call { name, args } => {
+                self.exec_call(unit_idx, name, args, frame, state)?;
+                Ok(Flow::Normal)
+            }
+            StmtKind::Print { items } => {
+                let mut parts = Vec::with_capacity(items.len());
+                for e in items {
+                    match e {
+                        Expr::Str(s) => parts.push(s.clone()),
+                        _ => parts.push(self.eval(unit_idx, e, frame, state)?.display()),
+                    }
+                }
+                state.printed.push(parts.join(" "));
+                Ok(Flow::Normal)
+            }
+            StmtKind::Return => Ok(Flow::Return),
+            StmtKind::Stop => Ok(Flow::Stop),
+            StmtKind::Continue | StmtKind::Removed => Ok(Flow::Normal),
+        }
+    }
+
+    /// Values the loop variable takes, computed once at entry (F77 rules).
+    fn iteration_values(
+        &self,
+        unit_idx: usize,
+        d: &ped_fortran::DoLoop,
+        frame: &Frame,
+        state: &mut ExecState,
+    ) -> Result<Vec<i64>, RtError> {
+        let lo = self.eval(unit_idx, &d.lo, frame, state)?.as_int();
+        let hi = self.eval(unit_idx, &d.hi, frame, state)?.as_int();
+        let step = match &d.step {
+            None => 1,
+            Some(e) => self.eval(unit_idx, e, frame, state)?.as_int(),
+        };
+        if step == 0 {
+            return Err(RtError::new("DO step is zero"));
+        }
+        let mut vals = Vec::new();
+        let mut x = lo;
+        if step > 0 {
+            while x <= hi {
+                vals.push(x);
+                x += step;
+            }
+        } else {
+            while x >= hi {
+                vals.push(x);
+                x += step;
+            }
+        }
+        Ok(vals)
+    }
+
+    fn exec_do(
+        &self,
+        unit_idx: usize,
+        sid: StmtId,
+        frame: &Frame,
+        state: &mut ExecState,
+    ) -> Result<Flow, RtError> {
+        let unit = &self.program.units[unit_idx];
+        let d = unit.loop_of(sid).clone();
+        let vals = self.iteration_values(unit_idx, &d, frame, state)?;
+        let vt0 = state.vtime;
+        let key = (unit.name.clone(), sid);
+
+        let flow = if d.is_parallel() && !state.in_parallel {
+            match self.config.mode {
+                ParallelMode::Serial => self.run_serial(unit_idx, &d, &vals, frame, state)?,
+                ParallelMode::Simulate(machine) => {
+                    self.run_simulated(unit_idx, sid, &d, &vals, frame, state, machine)?
+                }
+                ParallelMode::Threads(n) => {
+                    self.run_threads(unit_idx, &d, &vals, frame, state, n)?
+                }
+            }
+        } else {
+            self.run_serial(unit_idx, &d, &vals, frame, state)?
+        };
+
+        let entry = state.profile.entry(key).or_default();
+        entry.invocations += 1;
+        entry.iterations += vals.len() as u64;
+        entry.ops += state.vtime - vt0;
+        Ok(flow)
+    }
+
+    fn run_serial(
+        &self,
+        unit_idx: usize,
+        d: &ped_fortran::DoLoop,
+        vals: &[i64],
+        frame: &Frame,
+        state: &mut ExecState,
+    ) -> Result<Flow, RtError> {
+        let unit = &self.program.units[unit_idx];
+        let var_cell = self.cell(unit, frame, d.var)?.clone();
+        for &v in vals {
+            state.tick(2.0)?;
+            var_cell.store_scalar(Value::Int(v));
+            match self.exec_block(unit_idx, &d.body, frame, state)? {
+                Flow::Normal => {}
+                other => return Ok(other),
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_simulated(
+        &self,
+        unit_idx: usize,
+        sid: StmtId,
+        d: &ped_fortran::DoLoop,
+        vals: &[i64],
+        frame: &Frame,
+        state: &mut ExecState,
+        machine: Machine,
+    ) -> Result<Flow, RtError> {
+        let unit = &self.program.units[unit_idx];
+        let var_cell = self.cell(unit, frame, d.var)?.clone();
+        // Exclusion set: cells the parallel semantics privatize.
+        let prev_rec = state.rec.take();
+        if self.config.detect_races {
+            let mut excluded = std::collections::HashSet::new();
+            excluded.insert(Arc::as_ptr(&var_cell) as usize);
+            if let Some(info) = &d.parallel {
+                for &s in info
+                    .private
+                    .iter()
+                    .chain(info.lastprivate.iter())
+                    .chain(info.reductions.iter().map(|(_, s)| s))
+                {
+                    if let Some(c) = frame.get(s) {
+                        excluded.insert(Arc::as_ptr(c) as usize);
+                    }
+                }
+            }
+            state.rec = Some(RaceRec {
+                excluded,
+                locs: HashMap::new(),
+                names: HashMap::new(),
+                keep: Vec::new(),
+                iter: 0,
+            });
+        }
+        let vt0 = state.vtime;
+        let mut iter_costs = Vec::with_capacity(vals.len());
+        let mut flow = Flow::Normal;
+        state.in_parallel = true;
+        for (k, &v) in vals.iter().enumerate() {
+            if let Some(rec) = state.rec.as_mut() {
+                rec.iter = k as u64;
+            }
+            let t0 = state.vtime;
+            state.tick(2.0)?;
+            var_cell.store_scalar(Value::Int(v));
+            match self.exec_block(unit_idx, &d.body, frame, state) {
+                Ok(Flow::Normal) => {}
+                Ok(other) => {
+                    flow = other;
+                    iter_costs.push(state.vtime - t0);
+                    break;
+                }
+                Err(e) => {
+                    state.in_parallel = false;
+                    state.rec = prev_rec;
+                    return Err(e);
+                }
+            }
+            iter_costs.push(state.vtime - t0);
+        }
+        state.in_parallel = false;
+        // Harvest races.
+        if let Some(rec) = state.rec.take() {
+            for (&(ptr, element), &(any_write, wmin, wmax, amin, amax)) in &rec.locs {
+                if any_write && (amin < wmax || wmin < amax) {
+                    let var = rec
+                        .names
+                        .get(&ptr)
+                        .map(|&(ui, s)| {
+                            self.program.units[ui].symbols.name(s).to_string()
+                        })
+                        .unwrap_or_else(|| "?".to_string());
+                    state.races.push(RaceReport {
+                        unit: unit.name.clone(),
+                        loop_stmt: sid,
+                        var,
+                        element,
+                    });
+                }
+            }
+            state.races.sort_by(|a, b| (a.var.clone(), a.element).cmp(&(b.var.clone(), b.element)));
+            state.races.dedup();
+        }
+        state.rec = prev_rec;
+        // Replace the serial charge with the machine schedule.
+        state.vtime = vt0 + machine.parallel_charge(&iter_costs);
+        Ok(flow)
+    }
+
+    fn run_threads(
+        &self,
+        unit_idx: usize,
+        d: &ped_fortran::DoLoop,
+        vals: &[i64],
+        frame: &Frame,
+        state: &mut ExecState,
+        nthreads: usize,
+    ) -> Result<Flow, RtError> {
+        let unit = &self.program.units[unit_idx];
+        let n = nthreads.max(1);
+        let info = d.parallel.clone().unwrap_or_default();
+        let chunk = vals.len().div_ceil(n).max(1);
+        let chunks: Vec<&[i64]> = vals.chunks(chunk).collect();
+
+        struct ChunkOut {
+            state: ExecState,
+            reductions: Vec<(RedOp, SymId, Value)>,
+            lastprivates: Vec<(SymId, Value)>,
+            has_last: bool,
+            err: Option<RtError>,
+        }
+
+        let remaining = state.max_steps.saturating_sub(state.steps);
+        let per_thread_budget = remaining; // each thread shares the global cap loosely
+        let outs: Vec<ChunkOut> = std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (ci, ch) in chunks.iter().enumerate() {
+                let info = info.clone();
+                let is_last_chunk = ci == chunks.len() - 1;
+                let base_frame = frame.clone();
+                handles.push(scope.spawn(move || {
+                    let mut st = ExecState::new(per_thread_budget);
+                    st.in_parallel = true;
+                    let mut fr = base_frame;
+                    // Private copies.
+                    let var_cell = Cell::scalar(Ty::Integer);
+                    fr.bind(d.var, var_cell.clone());
+                    for &s in info.private.iter().chain(info.lastprivate.iter()) {
+                        let ty = self.program.units[unit_idx].symbols.sym(s).ty;
+                        fr.bind(s, Cell::scalar(ty));
+                    }
+                    let mut red_cells = Vec::new();
+                    for &(op, s) in &info.reductions {
+                        let ty = self.program.units[unit_idx].symbols.sym(s).ty;
+                        let c = Cell::scalar(ty);
+                        c.store_scalar(red_identity(op, ty));
+                        fr.bind(s, c.clone());
+                        red_cells.push((op, s, c));
+                    }
+                    let mut err = None;
+                    for &v in *ch {
+                        if st.tick(2.0).is_err() {
+                            err = Some(RtError::new("step limit in parallel chunk"));
+                            break;
+                        }
+                        var_cell.store_scalar(Value::Int(v));
+                        match self.exec_block(unit_idx, &d.body, &fr, &mut st) {
+                            Ok(Flow::Normal) => {}
+                            Ok(_) => {
+                                err = Some(RtError::new(
+                                    "RETURN/STOP inside a PARALLEL DO is not supported",
+                                ));
+                                break;
+                            }
+                            Err(e) => {
+                                err = Some(e);
+                                break;
+                            }
+                        }
+                    }
+                    let reductions = red_cells
+                        .iter()
+                        .map(|(op, s, c)| (*op, *s, c.load_scalar()))
+                        .collect();
+                    let lastprivates = info
+                        .lastprivate
+                        .iter()
+                        .map(|&s| (s, fr.get(s).expect("bound above").load_scalar()))
+                        .collect();
+                    ChunkOut {
+                        state: st,
+                        reductions,
+                        lastprivates,
+                        has_last: is_last_chunk,
+                        err,
+                    }
+                }));
+            }
+            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        });
+
+        // Merge: first error wins; printed output in chunk order; vtime is
+        // the max thread time (plus what we already had).
+        let mut max_vt = 0.0f64;
+        for out in &outs {
+            if let Some(e) = &out.err {
+                return Err(e.clone());
+            }
+            max_vt = max_vt.max(out.state.vtime);
+        }
+        for out in &outs {
+            state.printed.extend(out.state.printed.iter().cloned());
+            state.steps += out.state.steps;
+            for (k, v) in &out.state.profile {
+                let e = state.profile.entry(k.clone()).or_default();
+                e.invocations += v.invocations;
+                e.iterations += v.iterations;
+                e.ops += v.ops;
+            }
+        }
+        state.vtime += max_vt;
+        // Combine reductions in chunk order (deterministic float sums).
+        for out in &outs {
+            for &(op, s, v) in &out.reductions {
+                let cell = self.cell(unit, frame, s)?;
+                let cur = cell.load_scalar();
+                cell.store_scalar(combine(op, cur, v));
+            }
+        }
+        for out in &outs {
+            if out.has_last {
+                for &(s, v) in &out.lastprivates {
+                    self.cell(unit, frame, s)?.store_scalar(v);
+                }
+            }
+        }
+        // The loop variable's final value (F77 leaves it past the end).
+        if let Some(&last) = vals.last() {
+            self.cell(unit, frame, d.var)?.store_scalar(Value::Int(last + 1));
+        }
+        Ok(Flow::Normal)
+    }
+
+    fn exec_call(
+        &self,
+        unit_idx: usize,
+        name: &str,
+        args: &[Expr],
+        frame: &Frame,
+        state: &mut ExecState,
+    ) -> Result<Option<Value>, RtError> {
+        let unit = &self.program.units[unit_idx];
+        let callee_idx = self
+            .program
+            .unit_index(name)
+            .ok_or_else(|| RtError::new(format!("call to unknown procedure {name}")))?;
+        let callee = &self.program.units[callee_idx];
+        if callee.args.len() != args.len() {
+            return Err(RtError::new(format!(
+                "{name} expects {} arguments, got {}",
+                callee.args.len(),
+                args.len()
+            )));
+        }
+        state.tick(8.0)?; // call overhead
+        let mut bound: Vec<(SymId, Arc<Cell>)> = Vec::with_capacity(args.len());
+        // Copy-out obligations: (caller cell, flat index, temp cell).
+        let mut writebacks: Vec<(Arc<Cell>, usize, Arc<Cell>)> = Vec::new();
+        for (&formal, actual) in callee.args.iter().zip(args) {
+            match actual {
+                Expr::Var(s) if unit.symbols.sym(*s).param.is_none() => {
+                    // Binding by reference is not itself a data access; the
+                    // callee's actual reads/writes are recorded as they run.
+                    let cell = self.cell(unit, frame, *s)?.clone();
+                    bound.push((formal, cell));
+                }
+                Expr::Var(s) => {
+                    // PARAMETER constant: pass by value in a temp cell.
+                    let tmp = Cell::scalar(callee.symbols.sym(formal).ty);
+                    tmp.store_scalar(const_value(
+                        unit.symbols.sym(*s).param.expect("checked above"),
+                    ));
+                    bound.push((formal, tmp));
+                }
+                Expr::ArrayRef { sym, subs } => {
+                    // Element passed by reference: copy-in/copy-out.
+                    let mut idx = Vec::with_capacity(subs.len());
+                    for e in subs {
+                        idx.push(self.eval(unit_idx, e, frame, state)?.as_int());
+                    }
+                    let cell = self.cell(unit, frame, *sym)?.clone();
+                    let arr = cell.as_array();
+                    let flat = arr.linearize(&idx).ok_or_else(|| {
+                        RtError::new(format!(
+                            "argument subscript out of bounds in call to {name}"
+                        ))
+                    })?;
+                    state.record(&cell, flat, true, unit_idx, *sym);
+                    let tmp = Cell::scalar(callee.symbols.sym(formal).ty);
+                    tmp.store_scalar(arr.load_flat(flat));
+                    writebacks.push((cell.clone(), flat, tmp.clone()));
+                    bound.push((formal, tmp));
+                }
+                other => {
+                    let v = self.eval(unit_idx, other, frame, state)?;
+                    let tmp = Cell::scalar(callee.symbols.sym(formal).ty);
+                    tmp.store_scalar(v);
+                    bound.push((formal, tmp));
+                }
+            }
+        }
+        let callee_frame = self.make_frame(callee_idx, &bound, state)?;
+        match self.exec_unit(callee_idx, &callee_frame, state)? {
+            Flow::Stop => return Err(RtError::new("STOP inside a procedure")),
+            _ => {}
+        }
+        for (cell, flat, tmp) in writebacks {
+            cell.as_array().store_flat(flat, tmp.load_scalar());
+        }
+        // Function result.
+        if let ped_fortran::UnitKind::Function(_) = callee.kind {
+            let ret = callee
+                .symbols
+                .lookup(&callee.name)
+                .ok_or_else(|| RtError::new(format!("function {name} has no result var")))?;
+            let v = callee_frame
+                .get(ret)
+                .ok_or_else(|| RtError::new("unbound function result"))?
+                .load_scalar();
+            Ok(Some(v))
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn cell<'f>(
+        &self,
+        unit: &ProgramUnit,
+        frame: &'f Frame,
+        sym: SymId,
+    ) -> Result<&'f Arc<Cell>, RtError> {
+        frame.get(sym).ok_or_else(|| {
+            RtError::new(format!("unbound symbol {} in {}", unit.symbols.name(sym), unit.name))
+        })
+    }
+
+    fn eval(
+        &self,
+        unit_idx: usize,
+        e: &Expr,
+        frame: &Frame,
+        state: &mut ExecState,
+    ) -> Result<Value, RtError> {
+        let unit = &self.program.units[unit_idx];
+        state.vtime += 1.0;
+        match e {
+            Expr::Int(v) => Ok(Value::Int(*v)),
+            Expr::Real(v) | Expr::Double(v) => Ok(Value::Real(*v)),
+            Expr::Logical(b) => Ok(Value::Logical(*b)),
+            Expr::Str(_) => Err(RtError::new("character value outside PRINT")),
+            Expr::Var(s) => {
+                if let Some(c) = unit.symbols.sym(*s).param {
+                    return Ok(const_value(c));
+                }
+                let cell = self.cell(unit, frame, *s)?;
+                state.record(cell, 0, false, unit_idx, *s);
+                Ok(cell.load_scalar())
+            }
+            Expr::ArrayRef { sym, subs } => {
+                let mut idx = Vec::with_capacity(subs.len());
+                for s in subs {
+                    idx.push(self.eval(unit_idx, s, frame, state)?.as_int());
+                }
+                let cell = self.cell(unit, frame, *sym)?;
+                let arr = cell.as_array();
+                let flat = arr.linearize(&idx).ok_or_else(|| {
+                    RtError::new(format!(
+                        "subscript out of bounds: {}({idx:?}) in {}",
+                        unit.symbols.name(*sym),
+                        unit.name
+                    ))
+                })?;
+                state.record(cell, flat, false, unit_idx, *sym);
+                Ok(arr.load_flat(flat))
+            }
+            Expr::Un { op: UnOp::Neg, e } => {
+                let v = self.eval(unit_idx, e, frame, state)?;
+                Ok(match v {
+                    Value::Int(i) => Value::Int(-i),
+                    Value::Real(r) => Value::Real(-r),
+                    Value::Logical(_) => return Err(RtError::new("negating a LOGICAL")),
+                })
+            }
+            Expr::Un { op: UnOp::Not, e } => {
+                let v = self.eval(unit_idx, e, frame, state)?;
+                Ok(Value::Logical(!v.as_logical()))
+            }
+            Expr::Bin { op, l, r } => {
+                let lv = self.eval(unit_idx, l, frame, state)?;
+                // Short-circuit logicals for speed (F77 leaves order free).
+                if *op == BinOp::And && !lv.as_logical() {
+                    return Ok(Value::Logical(false));
+                }
+                if *op == BinOp::Or && lv.as_logical() {
+                    return Ok(Value::Logical(true));
+                }
+                let rv = self.eval(unit_idx, r, frame, state)?;
+                eval_bin(*op, lv, rv)
+            }
+            Expr::Intrinsic { op, args } => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(self.eval(unit_idx, a, frame, state)?);
+                }
+                state.vtime += 6.0;
+                eval_intrinsic(*op, &vals)
+            }
+            Expr::Call { name, args } => {
+                let v = self.exec_call(unit_idx, name, args, frame, state)?;
+                v.ok_or_else(|| RtError::new(format!("{name} is a subroutine, not a function")))
+            }
+        }
+    }
+}
+
+fn const_value(c: Const) -> Value {
+    match c {
+        Const::Int(v) => Value::Int(v),
+        Const::Real(v) => Value::Real(v),
+        Const::Logical(b) => Value::Logical(b),
+    }
+}
+
+fn red_identity(op: RedOp, ty: Ty) -> Value {
+    match (op, ty) {
+        (RedOp::Sum, Ty::Integer) => Value::Int(0),
+        (RedOp::Sum, _) => Value::Real(0.0),
+        (RedOp::Product, Ty::Integer) => Value::Int(1),
+        (RedOp::Product, _) => Value::Real(1.0),
+        (RedOp::Min, Ty::Integer) => Value::Int(i64::MAX),
+        (RedOp::Min, _) => Value::Real(f64::INFINITY),
+        (RedOp::Max, Ty::Integer) => Value::Int(i64::MIN),
+        (RedOp::Max, _) => Value::Real(f64::NEG_INFINITY),
+    }
+}
+
+fn combine(op: RedOp, a: Value, b: Value) -> Value {
+    match op {
+        RedOp::Sum => num2(a, b, |x, y| x + y, |x, y| x + y),
+        RedOp::Product => num2(a, b, |x, y| x * y, |x, y| x * y),
+        RedOp::Min => num2(a, b, i64::min, f64::min),
+        RedOp::Max => num2(a, b, i64::max, f64::max),
+    }
+}
+
+fn num2(a: Value, b: Value, fi: impl Fn(i64, i64) -> i64, fr: impl Fn(f64, f64) -> f64) -> Value {
+    match (a, b) {
+        (Value::Int(x), Value::Int(y)) => Value::Int(fi(x, y)),
+        _ => Value::Real(fr(a.as_real(), b.as_real())),
+    }
+}
+
+fn eval_bin(op: BinOp, l: Value, r: Value) -> Result<Value, RtError> {
+    use BinOp::*;
+    match op {
+        Add => Ok(num2(l, r, |a, b| a.wrapping_add(b), |a, b| a + b)),
+        Sub => Ok(num2(l, r, |a, b| a.wrapping_sub(b), |a, b| a - b)),
+        Mul => Ok(num2(l, r, |a, b| a.wrapping_mul(b), |a, b| a * b)),
+        Div => match (l, r) {
+            (Value::Int(_), Value::Int(0)) => Err(RtError::new("integer division by zero")),
+            (Value::Int(a), Value::Int(b)) => Ok(Value::Int(a / b)),
+            _ => Ok(Value::Real(l.as_real() / r.as_real())),
+        },
+        Pow => match (l, r) {
+            (Value::Int(a), Value::Int(b)) if b >= 0 => {
+                Ok(Value::Int(a.wrapping_pow(b.min(63) as u32)))
+            }
+            _ => Ok(Value::Real(l.as_real().powf(r.as_real()))),
+        },
+        Lt | Le | Gt | Ge | Eq | Ne => {
+            let res = match (l, r) {
+                (Value::Int(a), Value::Int(b)) => cmp(op, a.partial_cmp(&b)),
+                _ => cmp(op, l.as_real().partial_cmp(&r.as_real())),
+            };
+            Ok(Value::Logical(res))
+        }
+        And => Ok(Value::Logical(l.as_logical() && r.as_logical())),
+        Or => Ok(Value::Logical(l.as_logical() || r.as_logical())),
+        Concat => Err(RtError::new("character concatenation outside PRINT")),
+    }
+}
+
+fn cmp(op: BinOp, ord: Option<std::cmp::Ordering>) -> bool {
+    use std::cmp::Ordering::*;
+    match (op, ord) {
+        (BinOp::Lt, Some(Less)) => true,
+        (BinOp::Le, Some(Less | Equal)) => true,
+        (BinOp::Gt, Some(Greater)) => true,
+        (BinOp::Ge, Some(Greater | Equal)) => true,
+        (BinOp::Eq, Some(Equal)) => true,
+        (BinOp::Ne, Some(Less | Greater)) => true,
+        _ => false,
+    }
+}
+
+fn eval_intrinsic(op: Intrinsic, vals: &[Value]) -> Result<Value, RtError> {
+    use Intrinsic::*;
+    let need = |n: usize| -> Result<(), RtError> {
+        if vals.len() == n {
+            Ok(())
+        } else {
+            Err(RtError::new(format!("{} expects {n} arguments", op.name())))
+        }
+    };
+    match op {
+        Min | Max => {
+            if vals.is_empty() {
+                return Err(RtError::new("MIN/MAX need arguments"));
+            }
+            let mut acc = vals[0];
+            for &v in &vals[1..] {
+                acc = match op {
+                    Min => num2(acc, v, i64::min, f64::min),
+                    _ => num2(acc, v, i64::max, f64::max),
+                };
+            }
+            Ok(acc)
+        }
+        Mod => {
+            need(2)?;
+            match (vals[0], vals[1]) {
+                (Value::Int(_), Value::Int(0)) => Err(RtError::new("MOD by zero")),
+                (Value::Int(a), Value::Int(b)) => Ok(Value::Int(a % b)),
+                (a, b) => Ok(Value::Real(a.as_real() % b.as_real())),
+            }
+        }
+        Abs => {
+            need(1)?;
+            Ok(match vals[0] {
+                Value::Int(v) => Value::Int(v.abs()),
+                v => Value::Real(v.as_real().abs()),
+            })
+        }
+        Sqrt => {
+            need(1)?;
+            Ok(Value::Real(vals[0].as_real().sqrt()))
+        }
+        Sin => {
+            need(1)?;
+            Ok(Value::Real(vals[0].as_real().sin()))
+        }
+        Cos => {
+            need(1)?;
+            Ok(Value::Real(vals[0].as_real().cos()))
+        }
+        Exp => {
+            need(1)?;
+            Ok(Value::Real(vals[0].as_real().exp()))
+        }
+        Log => {
+            need(1)?;
+            Ok(Value::Real(vals[0].as_real().ln()))
+        }
+        Float | Dble => {
+            need(1)?;
+            Ok(Value::Real(vals[0].as_real()))
+        }
+        Int => {
+            need(1)?;
+            Ok(Value::Int(vals[0].as_int()))
+        }
+        Sign => {
+            need(2)?;
+            let mag = vals[0].as_real().abs();
+            let s = if vals[1].as_real() < 0.0 { -mag } else { mag };
+            Ok(match (vals[0], vals[1]) {
+                (Value::Int(a), Value::Int(b)) => {
+                    Value::Int(if b < 0 { -a.abs() } else { a.abs() })
+                }
+                _ => Value::Real(s),
+            })
+        }
+    }
+}
+
+/// Evaluate constant array dims for COMMON allocation (literals/PARAMETERs).
+fn static_dims(unit: &ProgramUnit, sym: SymId) -> Result<Vec<(i64, i64)>, RtError> {
+    let mut out = Vec::new();
+    for d in &unit.symbols.sym(sym).dims {
+        let lo = static_int(unit, &d.lo)?;
+        let hi = match &d.hi {
+            Some(e) => static_int(unit, e)?,
+            None => return Err(RtError::new("assumed-size COMMON array")),
+        };
+        out.push((lo, hi));
+    }
+    Ok(out)
+}
+
+fn static_int(unit: &ProgramUnit, e: &Expr) -> Result<i64, RtError> {
+    match ped_analysis::constants::eval(unit, &ped_analysis::constants::Facts::new(), e) {
+        Some(Const::Int(v)) => Ok(v),
+        _ => Err(RtError::new("COMMON array bound is not a constant")),
+    }
+}
+
+/// Parse-and-run helper used across tests and benches.
+pub fn run_source(src: &str, config: ExecConfig) -> Result<RunResult, RtError> {
+    let program =
+        ped_fortran::parse_program(src).map_err(|e| RtError::new(format!("parse: {e}")))?;
+    Interp::new(&program, config)?.run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> RunResult {
+        run_source(src, ExecConfig::default()).expect("run failed")
+    }
+
+    #[test]
+    fn arithmetic_and_print() {
+        let r = run("program t\nx = 2.0\ny = x ** 2 + 1.0\nn = 7 / 2\nprint *, y, n\nend\n");
+        assert_eq!(r.printed, vec!["5.0 3"]);
+    }
+
+    #[test]
+    fn loops_and_arrays() {
+        let r = run(
+            "program t\nreal a(10)\ndo i = 1, 10\na(i) = i * 2.0\nenddo\ns = 0.0\n\
+             do i = 1, 10\ns = s + a(i)\nenddo\nprint *, s\nend\n",
+        );
+        assert_eq!(r.printed, vec!["110.0"]);
+    }
+
+    #[test]
+    fn two_dim_column_major() {
+        let r = run(
+            "program t\nreal a(3,3)\ndo j = 1, 3\ndo i = 1, 3\na(i,j) = i * 10 + j\nenddo\n\
+             enddo\nprint *, a(2,3)\nend\n",
+        );
+        assert_eq!(r.printed, vec!["23.0"]);
+    }
+
+    #[test]
+    fn if_elseif_else() {
+        let r = run(
+            "program t\nx = 5.0\nif (x .lt. 0.0) then\nprint *, 'neg'\nelse if (x .lt. 10.0) then\n\
+             print *, 'small'\nelse\nprint *, 'big'\nendif\nend\n",
+        );
+        assert_eq!(r.printed, vec!["small"]);
+    }
+
+    #[test]
+    fn subroutine_by_reference() {
+        let r = run(
+            "program t\nreal a(5)\ncall fill(a, 5)\nprint *, a(1), a(5)\nend\n\
+             subroutine fill(x, n)\ninteger n\nreal x(n)\ndo i = 1, n\nx(i) = i * 1.0\nenddo\nend\n",
+        );
+        assert_eq!(r.printed, vec!["1.0 5.0"]);
+    }
+
+    #[test]
+    fn function_result() {
+        let r = run(
+            "program t\nreal v(4)\ndo i = 1, 4\nv(i) = 1.0\nenddo\nprint *, norm2(v, 4)\nend\n\
+             real function norm2(x, n)\ninteger n\nreal x(n)\nnorm2 = 0.0\ndo i = 1, n\n\
+             norm2 = norm2 + x(i) * x(i)\nenddo\nnorm2 = sqrt(norm2)\nend\n",
+        );
+        assert_eq!(r.printed, vec!["2.0"]);
+    }
+
+    #[test]
+    fn common_shared_between_units() {
+        let r = run(
+            "program t\ncommon /c/ g\ng = 1.0\ncall bump()\ncall bump()\nprint *, g\nend\n\
+             subroutine bump()\ncommon /c/ h\nh = h + 1.0\nend\n",
+        );
+        assert_eq!(r.printed, vec!["3.0"]);
+    }
+
+    #[test]
+    fn out_of_bounds_caught() {
+        let e = run_source(
+            "program t\nreal a(5)\na(6) = 1.0\nend\n",
+            ExecConfig::default(),
+        )
+        .unwrap_err();
+        assert!(e.message.contains("out of bounds"), "{e}");
+    }
+
+    #[test]
+    fn step_limit_catches_runaway() {
+        let e = run_source(
+            "program t\nreal a(5)\ndo i = 1, 1000000\ndo j = 1, 1000000\na(1) = 1.0\nenddo\nenddo\nend\n",
+            ExecConfig { max_steps: 10_000, ..ExecConfig::default() },
+        )
+        .unwrap_err();
+        assert!(e.message.contains("step limit"), "{e}");
+    }
+
+    #[test]
+    fn parameters_fold() {
+        let r = run(
+            "program t\ninteger n\nparameter (n = 4)\nreal a(n)\ndo i = 1, n\na(i) = 1.0\nenddo\n\
+             print *, n\nend\n",
+        );
+        assert_eq!(r.printed, vec!["4"]);
+    }
+
+    #[test]
+    fn do_with_step_and_negative() {
+        let r = run(
+            "program t\nk = 0\ndo i = 1, 10, 3\nk = k + 1\nenddo\nm = 0\ndo i = 5, 1, -2\n\
+             m = m + 1\nenddo\nprint *, k, m\nend\n",
+        );
+        assert_eq!(r.printed, vec!["4 3"]);
+    }
+
+    #[test]
+    fn parallel_threads_match_serial() {
+        let src = "program t\nreal a(1000), b(1000)\ndo i = 1, 1000\nb(i) = i * 1.0\nenddo\n\
+                   parallel do i = 1, 1000 private(t1)\nt1 = b(i) * 2.0\na(i) = t1 + 1.0\nenddo\n\
+                   s = 0.0\ndo i = 1, 1000\ns = s + a(i)\nenddo\nprint *, s\nend\n";
+        let serial = run_source(src, ExecConfig::default()).unwrap();
+        let par = run_source(
+            src,
+            ExecConfig { mode: ParallelMode::Threads(4), ..ExecConfig::default() },
+        )
+        .unwrap();
+        assert_eq!(serial.printed, par.printed);
+    }
+
+    #[test]
+    fn parallel_reduction_matches_serial() {
+        let src = "program t\nreal a(1000)\ndo i = 1, 1000\na(i) = 1.5\nenddo\ns = 0.0\n\
+                   parallel do i = 1, 1000 reduction(+:s)\ns = s + a(i)\nenddo\nprint *, s\nend\n";
+        let serial = run_source(src, ExecConfig::default()).unwrap();
+        let par = run_source(
+            src,
+            ExecConfig { mode: ParallelMode::Threads(8), ..ExecConfig::default() },
+        )
+        .unwrap();
+        assert_eq!(serial.printed, par.printed);
+        assert_eq!(par.printed, vec!["1500.0"]);
+    }
+
+    #[test]
+    fn lastprivate_writes_back() {
+        let src = "program t\nreal a(100)\nparallel do i = 1, 100 lastprivate(t1)\n\
+                   t1 = i * 1.0\na(i) = t1\nenddo\nprint *, t1\nend\n";
+        let par = run_source(
+            src,
+            ExecConfig { mode: ParallelMode::Threads(4), ..ExecConfig::default() },
+        )
+        .unwrap();
+        assert_eq!(par.printed, vec!["100.0"]);
+    }
+
+    #[test]
+    fn simulate_charges_less_than_serial_sum() {
+        let src = "program t\nreal a(10000)\nparallel do i = 1, 10000\n\
+                   a(i) = sqrt(i * 1.0)\nenddo\nprint *, a(100)\nend\n";
+        let serial = run_source(src, ExecConfig::default()).unwrap();
+        let sim = run_source(
+            src,
+            ExecConfig {
+                mode: ParallelMode::Simulate(Machine::with_procs(8)),
+                ..ExecConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(serial.printed, sim.printed);
+        let speedup = serial.vtime / sim.vtime;
+        assert!(speedup > 4.0, "speedup was {speedup}");
+    }
+
+    #[test]
+    fn race_detector_flags_bad_parallelization() {
+        // A genuine recurrence wrongly marked parallel.
+        let src = "program t\nreal a(100)\na(1) = 1.0\nparallel do i = 2, 100\n\
+                   a(i) = a(i-1) + 1.0\nenddo\nprint *, a(100)\nend\n";
+        let sim = run_source(
+            src,
+            ExecConfig {
+                mode: ParallelMode::Simulate(Machine::alliant8()),
+                detect_races: true,
+                ..ExecConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(!sim.races.is_empty(), "race must be detected");
+        assert_eq!(sim.races[0].var, "a");
+    }
+
+    #[test]
+    fn race_detector_clean_on_good_parallelization() {
+        let src = "program t\nreal a(100), b(100)\nparallel do i = 1, 100 private(t1)\n\
+                   t1 = i * 1.0\na(i) = t1\nenddo\nprint *, a(5)\nend\n";
+        let _ = src;
+        let sim = run_source(
+            "program t\nreal a(100)\nparallel do i = 1, 100 private(t1)\nt1 = i * 1.0\n\
+             a(i) = t1\nenddo\nprint *, a(5)\nend\n",
+            ExecConfig {
+                mode: ParallelMode::Simulate(Machine::alliant8()),
+                detect_races: true,
+                ..ExecConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(sim.races.is_empty(), "{:?}", sim.races);
+    }
+
+    #[test]
+    fn profile_counts_loops() {
+        let r = run(
+            "program t\nreal a(10)\ndo i = 1, 10\na(i) = 1.0\nenddo\ndo i = 1, 5\na(i) = 2.0\n\
+             enddo\nend\n",
+        );
+        let mut iters: Vec<u64> = r.profile.values().map(|s| s.iterations).collect();
+        iters.sort();
+        assert_eq!(iters, vec![5, 10]);
+    }
+
+    #[test]
+    fn intrinsics_work() {
+        let r = run(
+            "program t\nprint *, max(1, 7, 3), min(2.0, 1.5), mod(10, 3), abs(-4)\nend\n",
+        );
+        assert_eq!(r.printed, vec!["7 1.5 1 4"]);
+    }
+
+    #[test]
+    fn element_argument_copy_in_out() {
+        let r = run(
+            "program t\nreal a(3)\na(2) = 5.0\ncall twice(a(2))\nprint *, a(2)\nend\n\
+             subroutine twice(x)\nreal x\nx = x * 2.0\nend\n",
+        );
+        assert_eq!(r.printed, vec!["10.0"]);
+    }
+}

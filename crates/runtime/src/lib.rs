@@ -1,0 +1,34 @@
+//! # ped-runtime — the execution substrate
+//!
+//! The paper's users ran their parallelized codes on an 8-processor
+//! Alliant FX/8 or a Cray Y-MP; our stand-in is an interpreter for the
+//! `ped-fortran` subset with three execution modes:
+//!
+//! * **serial** — reference semantics, with loop-level profiling (the role
+//!   gprof / Forge loop profiles played for the workshop users) and a
+//!   virtual-time cost model;
+//! * **simulated parallel** — deterministic: `PARALLEL DO` loops execute
+//!   sequentially but are *charged* as a P-processor static schedule
+//!   (fork + max-chunk + barrier), so speedup curves and crossover points
+//!   are stable across host machines — this mode regenerates the paper's
+//!   performance shapes;
+//! * **real parallel** — `PARALLEL DO` iterations actually run on host
+//!   threads (scoped), with private/reduction/lastprivate semantics. All
+//!   storage cells are relaxed atomics, so concurrent element access is
+//!   data-race-free by construction; *correctness* of a parallelization is
+//!   still the analysis' job, which is why the
+//!   [`racedetect`](interp::ExecConfig::detect_races) mode exists: it
+//!   re-runs a parallel loop sequentially while recording per-iteration
+//!   access sets and reports genuine cross-iteration conflicts — the
+//!   "run-time dependence testing" the paper's related work points to, and
+//!   the safety net for user-deleted dependences.
+
+pub mod interp;
+pub mod machine;
+pub mod memory;
+pub mod value;
+
+pub use interp::{ExecConfig, Interp, ParallelMode, RtError, RunResult};
+pub use machine::Machine;
+pub use memory::{ArrayCell, Cell, Frame};
+pub use value::Value;

@@ -1,0 +1,94 @@
+//! The simulated parallel machine.
+//!
+//! A deterministic cost model standing in for the paper's 8-processor
+//! Alliant FX/8: `PARALLEL DO` loops are charged as a static block schedule
+//! — fork overhead, the maximum per-processor chunk cost, and a barrier.
+//! Because the charge is computed from interpreter op counts, speedup
+//! *shapes* (who wins, where granularity crossovers fall) are reproducible
+//! on any host.
+
+/// Machine parameters in virtual operation units.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Machine {
+    /// Number of processors.
+    pub procs: usize,
+    /// Cost to fork a parallel region.
+    pub fork_cost: f64,
+    /// Cost of the closing barrier.
+    pub barrier_cost: f64,
+    /// Per-iteration scheduling overhead.
+    pub dispatch_cost: f64,
+}
+
+impl Machine {
+    /// An 8-processor machine with Alliant-like relative overheads.
+    pub fn alliant8() -> Machine {
+        Machine { procs: 8, fork_cost: 800.0, barrier_cost: 200.0, dispatch_cost: 2.0 }
+    }
+
+    /// Same overheads with a different processor count.
+    pub fn with_procs(procs: usize) -> Machine {
+        Machine { procs, ..Machine::alliant8() }
+    }
+
+    /// Charge for a parallel loop whose iterations cost `iter_costs`
+    /// (virtual ops each), under static block scheduling.
+    pub fn parallel_charge(&self, iter_costs: &[f64]) -> f64 {
+        if iter_costs.is_empty() {
+            return self.fork_cost + self.barrier_cost;
+        }
+        let n = iter_costs.len();
+        let p = self.procs.max(1);
+        let chunk = n.div_ceil(p);
+        let mut worst: f64 = 0.0;
+        for c in iter_costs.chunks(chunk) {
+            let cost: f64 = c.iter().sum::<f64>() + self.dispatch_cost * c.len() as f64;
+            worst = worst.max(cost);
+        }
+        self.fork_cost + worst + self.barrier_cost
+    }
+
+    /// Serial charge for the same iterations (no overheads).
+    pub fn serial_charge(&self, iter_costs: &[f64]) -> f64 {
+        iter_costs.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_split_speedup() {
+        let m = Machine::with_procs(4);
+        let iters = vec![100.0; 400];
+        let par = m.parallel_charge(&iters);
+        let ser = m.serial_charge(&iters);
+        let speedup = ser / par;
+        assert!(speedup > 3.5 && speedup <= 4.0, "speedup {speedup}");
+    }
+
+    #[test]
+    fn tiny_loop_slower_in_parallel() {
+        // Granularity: a 4-iteration cheap loop loses to fork+barrier.
+        let m = Machine::alliant8();
+        let iters = vec![3.0; 4];
+        assert!(m.parallel_charge(&iters) > m.serial_charge(&iters));
+    }
+
+    #[test]
+    fn empty_loop_costs_overhead_only() {
+        let m = Machine::alliant8();
+        assert_eq!(m.parallel_charge(&[]), m.fork_cost + m.barrier_cost);
+    }
+
+    #[test]
+    fn imbalanced_chunks_bound_by_worst() {
+        let m = Machine::with_procs(2);
+        // First half expensive, second half cheap: static blocks suffer.
+        let mut iters = vec![10.0; 50];
+        iters.extend(vec![1.0; 50]);
+        let par = m.parallel_charge(&iters);
+        assert!(par >= 500.0 + m.fork_cost + m.barrier_cost);
+    }
+}

@@ -1,0 +1,227 @@
+//! Storage cells and frames.
+//!
+//! Fortran argument passing is by reference; we model every scalar and
+//! array as a reference-counted [`Cell`] whose payload is relaxed atomics.
+//! Binding a formal to an actual is an `Arc` clone; COMMON blocks are
+//! shared cell vectors keyed by block name. Relaxed atomics cost a plain
+//! load/store on mainstream hardware while making the *real-parallel*
+//! execution mode free of data races by construction (the `PARALLEL DO`
+//! semantics — not memory safety — remain the analysis' responsibility).
+
+use crate::value::Value;
+use ped_fortran::Ty;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// An array cell: flat atomic payload plus dimension bounds.
+#[derive(Debug)]
+pub struct ArrayCell {
+    /// Element type.
+    pub ty: Ty,
+    /// Per-dimension `(lower, upper)` bounds, in declaration order.
+    pub dims: Vec<(i64, i64)>,
+    data: Vec<AtomicU64>,
+}
+
+impl ArrayCell {
+    /// Allocate with zeroed elements.
+    pub fn new(ty: Ty, dims: Vec<(i64, i64)>) -> ArrayCell {
+        let len: i64 = dims.iter().map(|&(lo, hi)| (hi - lo + 1).max(0)).product();
+        let zero = Value::zero(ty).to_bits();
+        let data = (0..len).map(|_| AtomicU64::new(zero)).collect();
+        ArrayCell { ty, dims, data }
+    }
+
+    /// Total element count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the array has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Column-major linearization (Fortran order). `None` when any
+    /// subscript is out of bounds.
+    pub fn linearize(&self, subs: &[i64]) -> Option<usize> {
+        if subs.len() != self.dims.len() {
+            return None;
+        }
+        let mut off: i64 = 0;
+        let mut stride: i64 = 1;
+        for (&s, &(lo, hi)) in subs.iter().zip(&self.dims) {
+            if s < lo || s > hi {
+                return None;
+            }
+            off += (s - lo) * stride;
+            stride *= hi - lo + 1;
+        }
+        usize::try_from(off).ok().filter(|&o| o < self.data.len())
+    }
+
+    /// Load an element by flat index.
+    pub fn load_flat(&self, idx: usize) -> Value {
+        Value::from_bits(self.data[idx].load(Ordering::Relaxed), self.ty)
+    }
+
+    /// Store an element by flat index (coerced to the element type).
+    pub fn store_flat(&self, idx: usize, v: Value) {
+        self.data[idx].store(v.coerce(self.ty).to_bits(), Ordering::Relaxed);
+    }
+}
+
+/// A storage cell: scalar or array.
+#[derive(Debug)]
+pub enum Cell {
+    /// Scalar payload with its type.
+    Scalar {
+        /// Declared type.
+        ty: Ty,
+        /// 64-bit payload.
+        bits: AtomicU64,
+    },
+    /// Array payload.
+    Array(ArrayCell),
+}
+
+impl Cell {
+    /// New zeroed scalar.
+    pub fn scalar(ty: Ty) -> Arc<Cell> {
+        Arc::new(Cell::Scalar { ty, bits: AtomicU64::new(Value::zero(ty).to_bits()) })
+    }
+
+    /// New zeroed array.
+    pub fn array(ty: Ty, dims: Vec<(i64, i64)>) -> Arc<Cell> {
+        Arc::new(Cell::Array(ArrayCell::new(ty, dims)))
+    }
+
+    /// Read a scalar cell.
+    pub fn load_scalar(&self) -> Value {
+        match self {
+            Cell::Scalar { ty, bits } => Value::from_bits(bits.load(Ordering::Relaxed), *ty),
+            Cell::Array(_) => panic!("scalar access to array cell"),
+        }
+    }
+
+    /// Write a scalar cell (coerced).
+    pub fn store_scalar(&self, v: Value) {
+        match self {
+            Cell::Scalar { ty, bits } => {
+                bits.store(v.coerce(*ty).to_bits(), Ordering::Relaxed)
+            }
+            Cell::Array(_) => panic!("scalar store to array cell"),
+        }
+    }
+
+    /// Array view.
+    pub fn as_array(&self) -> &ArrayCell {
+        match self {
+            Cell::Array(a) => a,
+            Cell::Scalar { .. } => panic!("array access to scalar cell"),
+        }
+    }
+
+    /// Is this an array cell?
+    pub fn is_array(&self) -> bool {
+        matches!(self, Cell::Array(_))
+    }
+
+    /// Deep copy (used for private overlays).
+    pub fn duplicate(&self) -> Arc<Cell> {
+        match self {
+            Cell::Scalar { ty, bits } => Arc::new(Cell::Scalar {
+                ty: *ty,
+                bits: AtomicU64::new(bits.load(Ordering::Relaxed)),
+            }),
+            Cell::Array(a) => {
+                let copy = ArrayCell::new(a.ty, a.dims.clone());
+                for i in 0..a.len() {
+                    copy.store_flat(i, a.load_flat(i));
+                }
+                Arc::new(Cell::Array(copy))
+            }
+        }
+    }
+}
+
+/// A unit invocation's name bindings.
+#[derive(Debug, Clone, Default)]
+pub struct Frame {
+    slots: Vec<Option<Arc<Cell>>>,
+}
+
+impl Frame {
+    /// Frame sized for a unit's symbol table.
+    pub fn with_capacity(nsyms: usize) -> Frame {
+        Frame { slots: vec![None; nsyms] }
+    }
+
+    /// Bind a symbol to a cell.
+    pub fn bind(&mut self, sym: ped_fortran::SymId, cell: Arc<Cell>) {
+        if sym.index() >= self.slots.len() {
+            self.slots.resize(sym.index() + 1, None);
+        }
+        self.slots[sym.index()] = Some(cell);
+    }
+
+    /// The cell bound to a symbol.
+    pub fn get(&self, sym: ped_fortran::SymId) -> Option<&Arc<Cell>> {
+        self.slots.get(sym.index()).and_then(|s| s.as_ref())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn column_major_linearization() {
+        // a(2,3): element (i,j) at (i-1) + 2*(j-1).
+        let a = ArrayCell::new(Ty::Real, vec![(1, 2), (1, 3)]);
+        assert_eq!(a.len(), 6);
+        assert_eq!(a.linearize(&[1, 1]), Some(0));
+        assert_eq!(a.linearize(&[2, 1]), Some(1));
+        assert_eq!(a.linearize(&[1, 2]), Some(2));
+        assert_eq!(a.linearize(&[2, 3]), Some(5));
+        assert_eq!(a.linearize(&[3, 1]), None, "out of bounds");
+        assert_eq!(a.linearize(&[0, 1]), None);
+    }
+
+    #[test]
+    fn nonunit_lower_bounds() {
+        let a = ArrayCell::new(Ty::Integer, vec![(0, 4)]);
+        assert_eq!(a.len(), 5);
+        assert_eq!(a.linearize(&[0]), Some(0));
+        assert_eq!(a.linearize(&[4]), Some(4));
+        assert_eq!(a.linearize(&[5]), None);
+    }
+
+    #[test]
+    fn store_coerces_to_element_type() {
+        let a = ArrayCell::new(Ty::Integer, vec![(1, 3)]);
+        a.store_flat(0, Value::Real(2.7));
+        assert_eq!(a.load_flat(0), Value::Int(2));
+    }
+
+    #[test]
+    fn frame_binding_aliases() {
+        let mut f1 = Frame::with_capacity(2);
+        let mut f2 = Frame::with_capacity(1);
+        let c = Cell::scalar(Ty::Real);
+        f1.bind(ped_fortran::SymId(0), c.clone());
+        f2.bind(ped_fortran::SymId(0), c.clone());
+        f1.get(ped_fortran::SymId(0)).unwrap().store_scalar(Value::Real(9.0));
+        assert_eq!(f2.get(ped_fortran::SymId(0)).unwrap().load_scalar(), Value::Real(9.0));
+    }
+
+    #[test]
+    fn duplicate_is_independent() {
+        let c = Cell::scalar(Ty::Integer);
+        c.store_scalar(Value::Int(5));
+        let d = c.duplicate();
+        d.store_scalar(Value::Int(7));
+        assert_eq!(c.load_scalar(), Value::Int(5));
+        assert_eq!(d.load_scalar(), Value::Int(7));
+    }
+}

@@ -1,0 +1,127 @@
+//! Runtime values.
+//!
+//! Every storage cell holds 64 bits interpreted through the symbol's
+//! declared type: integers as `i64`, `REAL`/`DOUBLE PRECISION` as `f64`
+//! bits, logicals as 0/1. Keeping one width makes the atomic cells of
+//! [`crate::memory`] uniform.
+
+use ped_fortran::Ty;
+
+/// A runtime scalar value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    /// INTEGER
+    Int(i64),
+    /// REAL / DOUBLE PRECISION
+    Real(f64),
+    /// LOGICAL
+    Logical(bool),
+}
+
+impl Value {
+    /// Encode into the 64-bit cell representation.
+    pub fn to_bits(self) -> u64 {
+        match self {
+            Value::Int(v) => v as u64,
+            Value::Real(v) => v.to_bits(),
+            Value::Logical(b) => b as u64,
+        }
+    }
+
+    /// Decode from the cell representation under a type.
+    pub fn from_bits(bits: u64, ty: Ty) -> Value {
+        match ty {
+            Ty::Integer => Value::Int(bits as i64),
+            Ty::Real | Ty::Double => Value::Real(f64::from_bits(bits)),
+            Ty::Logical => Value::Logical(bits != 0),
+        }
+    }
+
+    /// Integer view with Fortran conversion (truncation from real).
+    pub fn as_int(self) -> i64 {
+        match self {
+            Value::Int(v) => v,
+            Value::Real(v) => v as i64,
+            Value::Logical(b) => b as i64,
+        }
+    }
+
+    /// Real view with Fortran conversion.
+    pub fn as_real(self) -> f64 {
+        match self {
+            Value::Int(v) => v as f64,
+            Value::Real(v) => v,
+            Value::Logical(b) => b as i64 as f64,
+        }
+    }
+
+    /// Logical view.
+    pub fn as_logical(self) -> bool {
+        match self {
+            Value::Logical(b) => b,
+            Value::Int(v) => v != 0,
+            Value::Real(v) => v != 0.0,
+        }
+    }
+
+    /// Coerce to a storage type (assignment conversion).
+    pub fn coerce(self, ty: Ty) -> Value {
+        match ty {
+            Ty::Integer => Value::Int(self.as_int()),
+            Ty::Real | Ty::Double => Value::Real(self.as_real()),
+            Ty::Logical => Value::Logical(self.as_logical()),
+        }
+    }
+
+    /// Zero of a type.
+    pub fn zero(ty: Ty) -> Value {
+        match ty {
+            Ty::Integer => Value::Int(0),
+            Ty::Real | Ty::Double => Value::Real(0.0),
+            Ty::Logical => Value::Logical(false),
+        }
+    }
+
+    /// Format like Fortran list-directed output (close enough for tests).
+    pub fn display(self) -> String {
+        match self {
+            Value::Int(v) => v.to_string(),
+            Value::Real(v) => format!("{v:?}"),
+            Value::Logical(true) => "T".to_string(),
+            Value::Logical(false) => "F".to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_round_trip() {
+        for (v, ty) in [
+            (Value::Int(-42), Ty::Integer),
+            (Value::Real(3.25), Ty::Real),
+            (Value::Real(-0.0), Ty::Double),
+            (Value::Logical(true), Ty::Logical),
+        ] {
+            assert_eq!(Value::from_bits(v.to_bits(), ty), v);
+        }
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::Real(2.9).as_int(), 2, "Fortran INT truncates");
+        assert_eq!(Value::Real(-2.9).as_int(), -2);
+        assert_eq!(Value::Int(3).as_real(), 3.0);
+        assert_eq!(Value::Int(7).coerce(Ty::Real), Value::Real(7.0));
+        assert_eq!(Value::Real(7.9).coerce(Ty::Integer), Value::Int(7));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Int(5).display(), "5");
+        assert_eq!(Value::Logical(true).display(), "T");
+        assert_eq!(Value::Real(1.5).display(), "1.5");
+    }
+}

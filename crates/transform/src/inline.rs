@@ -1,0 +1,342 @@
+//! Procedure inlining ("embedding").
+//!
+//! The experiences paper lists embedding as a wanted-but-unimplemented
+//! feature ("embedding and extraction are not currently implemented in
+//! Ped"); we implement the restricted form that covers the workshop use
+//! case — exposing a callee's loops to the caller's dependence analysis so
+//! interchange across the call boundary becomes expressible:
+//!
+//! * every actual argument is a bare variable or whole array whose rank
+//!   matches the formal's;
+//! * the callee is a subroutine with at most a trailing `RETURN`;
+//! * the callee's COMMON blocks must match the caller's declarations
+//!   (member-for-member), or not exist.
+//!
+//! Callee locals are renamed fresh in the caller; formals are substituted
+//! by the actual symbols.
+
+use crate::edit::fresh_scalar;
+use crate::{Applied, Diagnosis, Profit, Safety, XformError};
+use ped_fortran::visit::{for_each_root_expr_of_stmt_mut, walk_expr_mut};
+use ped_fortran::{
+    Block, DoLoop, Expr, LValue, Program, ProgramUnit, StmtId, StmtKind, SymId,
+};
+use std::collections::HashMap;
+
+/// Diagnose inlining the CALL at `call` (requires program context at apply
+/// time; diagnosis checks the caller side only).
+pub fn diagnose(unit: &ProgramUnit, call: StmtId) -> Diagnosis {
+    let StmtKind::Call { args, .. } = &unit.stmt(call).kind else {
+        return Diagnosis::not_applicable("target is not a CALL statement");
+    };
+    for a in args {
+        if !matches!(a, Expr::Var(_)) {
+            return Diagnosis::not_applicable(
+                "only bare-variable actual arguments are supported",
+            );
+        }
+    }
+    Diagnosis {
+        applicable: Ok(()),
+        safe: Safety::Safe,
+        profitable: Profit::Yes(
+            "exposes the callee's loops to the caller's dependence analysis".into(),
+        ),
+    }
+}
+
+/// Inline the callee at `call` inside `program.units[unit_idx]`.
+pub fn apply_in_program(
+    program: &mut Program,
+    unit_idx: usize,
+    call: StmtId,
+) -> Result<Applied, XformError> {
+    let (callee_name, actuals) = {
+        let unit = &program.units[unit_idx];
+        match &unit.stmt(call).kind {
+            StmtKind::Call { name, args } => (name.clone(), args.clone()),
+            _ => return Err(XformError("target is not a CALL statement".into())),
+        }
+    };
+    let callee_idx = program
+        .unit_index(&callee_name)
+        .ok_or_else(|| XformError(format!("callee {callee_name} is not in the program")))?;
+    if callee_idx == unit_idx {
+        return Err(XformError("recursive inlining is not supported".into()));
+    }
+    let callee = program.units[callee_idx].clone();
+    if callee.kind != ped_fortran::UnitKind::Subroutine {
+        return Err(XformError("only subroutines are inlined".into()));
+    }
+    if callee.args.len() != actuals.len() {
+        return Err(XformError("argument count mismatch".into()));
+    }
+
+    // Build the symbol map callee → caller.
+    let mut map: HashMap<SymId, SymId> = HashMap::new();
+    {
+        let caller = &mut program.units[unit_idx];
+        for (pos, &formal) in callee.args.iter().enumerate() {
+            let actual_sym = match &actuals[pos] {
+                Expr::Var(s) => *s,
+                _ => return Err(XformError("only bare-variable actuals are supported".into())),
+            };
+            let frank = callee.symbols.sym(formal).rank();
+            let arank = caller.symbols.sym(actual_sym).rank();
+            if frank != arank {
+                return Err(XformError(format!(
+                    "rank mismatch for argument {} ({arank} vs {frank})",
+                    pos + 1
+                )));
+            }
+            map.insert(formal, actual_sym);
+        }
+        // COMMON members map by (block, offset); locals get fresh names.
+        for (id, sym) in callee.symbols.iter() {
+            if map.contains_key(&id) {
+                continue;
+            }
+            if let Some(c) = &sym.common {
+                let found = caller
+                    .symbols
+                    .iter()
+                    .find(|(_, s)| {
+                        s.common.as_ref().map(|x| (x.block.as_str(), x.index))
+                            == Some((c.block.as_str(), c.index))
+                    })
+                    .map(|(i, _)| i);
+                match found {
+                    Some(caller_sym) => {
+                        map.insert(id, caller_sym);
+                        continue;
+                    }
+                    None => {
+                        return Err(XformError(format!(
+                            "caller lacks COMMON /{}/ member {}",
+                            c.block, sym.name
+                        )))
+                    }
+                }
+            }
+            if sym.param.is_some() {
+                // PARAMETER: recreate under a fresh name with the value.
+                let fresh = fresh_scalar(caller, &sym.name, sym.ty);
+                caller.symbols.sym_mut(fresh).param = sym.param;
+                map.insert(id, fresh);
+                continue;
+            }
+            let fresh = fresh_scalar(caller, &sym.name, sym.ty);
+            caller.symbols.sym_mut(fresh).dims = sym.dims.clone();
+            map.insert(id, fresh);
+        }
+    }
+
+    // Copy the callee body into the caller arena with symbols remapped.
+    let mut trailing_return_ok = true;
+    check_returns(&callee, &callee.body, true, &mut trailing_return_ok);
+    if !trailing_return_ok {
+        return Err(XformError("callee has a RETURN that is not the final statement".into()));
+    }
+    let caller = &mut program.units[unit_idx];
+    let new_body = copy_block(caller, &callee, &callee.body, &map);
+    if !crate::edit::replace_stmt(caller, call, &new_body) {
+        return Err(XformError("call statement not found".into()));
+    }
+    caller.stmt_mut(call).kind = StmtKind::Removed;
+    Ok(Applied {
+        description: format!("inlined {callee_name} ({} statements)", new_body.len()),
+        new_stmts: new_body,
+    })
+}
+
+/// Only a trailing top-level RETURN is allowed.
+fn check_returns(callee: &ProgramUnit, block: &Block, top: bool, ok: &mut bool) {
+    for (i, &s) in block.iter().enumerate() {
+        match &callee.stmt(s).kind {
+            StmtKind::Return => {
+                if !(top && i == block.len() - 1) {
+                    *ok = false;
+                }
+            }
+            StmtKind::Stop => *ok = false,
+            StmtKind::Do(d) => check_returns(callee, &d.body, false, ok),
+            StmtKind::If { arms, else_block } => {
+                for (_, b) in arms {
+                    check_returns(callee, b, false, ok);
+                }
+                if let Some(b) = else_block {
+                    check_returns(callee, b, false, ok);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+fn copy_block(
+    caller: &mut ProgramUnit,
+    callee: &ProgramUnit,
+    block: &Block,
+    map: &HashMap<SymId, SymId>,
+) -> Vec<StmtId> {
+    let mut out = Vec::new();
+    for &s in block {
+        match &callee.stmt(s).kind {
+            StmtKind::Return | StmtKind::Removed => continue,
+            _ => {}
+        }
+        out.push(copy_stmt(caller, callee, s, map));
+    }
+    out
+}
+
+fn copy_stmt(
+    caller: &mut ProgramUnit,
+    callee: &ProgramUnit,
+    s: StmtId,
+    map: &HashMap<SymId, SymId>,
+) -> StmtId {
+    let span = callee.stmt(s).span;
+    let kind = match &callee.stmt(s).kind {
+        StmtKind::Do(d) => {
+            let body = copy_block(caller, callee, &d.body, map);
+            StmtKind::Do(DoLoop {
+                var: map[&d.var],
+                lo: d.lo.clone(),
+                hi: d.hi.clone(),
+                step: d.step.clone(),
+                body,
+                term_label: None,
+                parallel: d.parallel.clone().map(|mut p| {
+                    for v in p.private.iter_mut().chain(p.lastprivate.iter_mut()) {
+                        *v = map[v];
+                    }
+                    for (_, v) in p.reductions.iter_mut() {
+                        *v = map[v];
+                    }
+                    p
+                }),
+            })
+        }
+        StmtKind::If { arms, else_block } => {
+            let arms = arms
+                .iter()
+                .map(|(c, b)| (c.clone(), copy_block(caller, callee, b, map)))
+                .collect();
+            let else_block = else_block.as_ref().map(|b| copy_block(caller, callee, b, map));
+            StmtKind::If { arms, else_block }
+        }
+        other => other.clone(),
+    };
+    let mut kind = kind;
+    // Remap symbols in expressions and lhs.
+    for_each_root_expr_of_stmt_mut(&mut kind, &mut |e| remap_expr(e, map));
+    if let StmtKind::Assign { lhs, .. } = &mut kind {
+        match lhs {
+            LValue::Var(v) => *v = map[v],
+            LValue::ArrayElem(v, _) => *v = map[v],
+        }
+    }
+    caller.alloc_stmt(kind, span)
+}
+
+fn remap_expr(e: &mut Expr, map: &HashMap<SymId, SymId>) {
+    walk_expr_mut(e, &mut |node| match node {
+        Expr::Var(s) => {
+            if let Some(&m) = map.get(s) {
+                *s = m;
+            }
+        }
+        Expr::ArrayRef { sym, .. } => {
+            if let Some(&m) = map.get(sym) {
+                *sym = m;
+            }
+        }
+        _ => {}
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ped_dep::graph::{build_graph, GraphConfig};
+    use ped_fortran::parse_program;
+    use ped_fortran::printer::print_program;
+
+    #[test]
+    fn inline_simple_subroutine() {
+        let mut p = parse_program(
+            "program t\nreal a(100)\ninteger n\nn = 100\ncall fill(a, n)\nprint *, a(1)\nend\n\
+             subroutine fill(x, m)\ninteger m\nreal x(m)\ndo i = 1, m\nx(i) = 1.0\nenddo\n\
+             return\nend\n",
+        )
+        .unwrap();
+        let call = p.units[0].body[1];
+        let d = diagnose(&p.units[0], call);
+        assert!(d.ok(), "{d:?}");
+        apply_in_program(&mut p, 0, call).unwrap();
+        let s = print_program(&p);
+        let main_part = s.split("subroutine").next().unwrap();
+        assert!(main_part.contains("do i$1 = 1, n"), "{main_part}");
+        assert!(main_part.contains("a(i$1) = 1.0"), "{main_part}");
+        assert!(!main_part.contains("call fill"), "{main_part}");
+    }
+
+    #[test]
+    fn inline_rejects_expression_actuals() {
+        let p = parse_program(
+            "program t\nreal a(100)\ncall f(a(1))\nend\nsubroutine f(x)\nreal x\nx = 1.0\nend\n",
+        )
+        .unwrap();
+        let call = p.units[0].body[0];
+        assert!(diagnose(&p.units[0], call).applicable.is_err());
+    }
+
+    #[test]
+    fn inline_exposes_parallel_loop() {
+        // After inlining, the caller's loop nest is visible and the outer
+        // loop can be analyzed directly (interchange across the boundary).
+        let mut p = parse_program(
+            "program t\nreal a(32,32)\ninteger n\nn = 32\ndo j = 1, 32\n\
+             call col(a, n, j)\nenddo\nend\n\
+             subroutine col(x, n, jc)\ninteger n, jc\nreal x(n, n)\ndo i = 1, n\n\
+             x(i, jc) = 1.0\nenddo\nreturn\nend\n",
+        )
+        .unwrap();
+        let call = {
+            let u = &p.units[0];
+            let h = *u.body.iter().find(|&&s| u.is_loop(s)).unwrap();
+            u.loop_of(h).body[0]
+        };
+        apply_in_program(&mut p, 0, call).unwrap();
+        let u = &p.units[0];
+        let h = *u.body.iter().find(|&&s| u.is_loop(s)).unwrap();
+        let g = build_graph(u, h, &GraphConfig::conservative());
+        assert!(g.parallelizable(), "{}\n{:?}", print_program(&p), g.blocking());
+    }
+
+    #[test]
+    fn inline_maps_common_members() {
+        let mut p = parse_program(
+            "program t\ncommon /ctl/ tol\ntol = 0.5\ncall bump()\nprint *, tol\nend\n\
+             subroutine bump()\ncommon /ctl/ eps\neps = eps + 1.0\nreturn\nend\n",
+        )
+        .unwrap();
+        let call = p.units[0].body[1];
+        apply_in_program(&mut p, 0, call).unwrap();
+        let s = print_program(&p);
+        let main_part = s.split("subroutine").next().unwrap();
+        assert!(main_part.contains("tol = tol + 1.0"), "{main_part}");
+    }
+
+    #[test]
+    fn inline_rejects_midbody_return() {
+        let mut p = parse_program(
+            "program t\ncall f(x)\nend\nsubroutine f(a)\nreal a\nif (a .gt. 0.0) then\n\
+             return\nendif\na = 1.0\nend\n",
+        )
+        .unwrap();
+        let call = p.units[0].body[0];
+        assert!(apply_in_program(&mut p, 0, call).is_err());
+    }
+}

@@ -1,0 +1,258 @@
+//! # ped-transform — the power-steering transformation catalog
+//!
+//! "Ped supports a large set of transformations proven useful for
+//! introducing, discovering, and exploiting parallelism and for enhancing
+//! memory hierarchy use … a power steering paradigm: the user specifies the
+//! transformations to be made, and the system provides advice and carries
+//! out the mechanical details. The system advises whether the
+//! transformation is applicable (is syntactically correct), safe (preserves
+//! the semantics of the program) and profitable (contributes to
+//! parallelization)."
+//!
+//! Every transformation in the catalog implements that triple:
+//! [`diagnose`] returns a [`Diagnosis`] (applicable / safe / profitable,
+//! with reasons), and [`apply`] performs the mechanical rewrite on the AST
+//! — in place, preserving the statement ids of surviving statements so the
+//! editor's dependence display and undo stack stay valid.
+//!
+//! Catalog (the SC'89 set plus the extensions the experiences paper calls
+//! for): parallelize (with private/reduction/lastprivate classification),
+//! loop interchange, loop distribution, loop fusion, loop reversal, loop
+//! skewing, strip mining, unrolling, unroll-and-jam, scalar expansion,
+//! induction-variable substitution, statement interchange, and procedure
+//! inlining (embedding).
+
+pub mod edit;
+pub mod inline;
+pub mod loops;
+pub mod memory;
+pub mod parallelize;
+pub mod restructure;
+
+use ped_dep::DepGraph;
+use ped_fortran::{ProgramUnit, StmtId, SymId};
+
+/// A transformation request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Xform {
+    /// Convert the loop to `PARALLEL DO` with variable classification.
+    Parallelize,
+    /// Interchange the loop with its immediately nested loop.
+    Interchange,
+    /// Distribute the loop around the strongly connected components of its
+    /// body dependences.
+    Distribute,
+    /// Fuse the loop with the given following loop.
+    Fuse {
+        /// Header of the loop to fuse with (must directly follow).
+        with: StmtId,
+    },
+    /// Run the iterations backwards.
+    Reverse,
+    /// Skew the inner loop of a perfect 2-nest by `factor` × outer index.
+    Skew {
+        /// Skewing factor.
+        factor: i64,
+    },
+    /// Strip-mine into tiles of the given size.
+    StripMine {
+        /// Tile size (> 1).
+        size: i64,
+    },
+    /// Unroll by the given factor.
+    Unroll {
+        /// Unroll factor (> 1).
+        factor: u32,
+    },
+    /// Unroll the outer loop of a perfect 2-nest and jam the copies.
+    UnrollAndJam {
+        /// Unroll factor (> 1).
+        factor: u32,
+    },
+    /// Expand a scalar into a per-iteration array element.
+    ScalarExpand {
+        /// The scalar to expand.
+        var: SymId,
+    },
+    /// Substitute an auxiliary induction variable by a closed form.
+    IvSub {
+        /// The induction variable.
+        var: SymId,
+    },
+    /// Swap two adjacent statements of the loop body.
+    StatementInterchange {
+        /// First statement (must directly precede `b` in the same block).
+        a: StmtId,
+        /// Second statement.
+        b: StmtId,
+    },
+    /// Inline (embed) the callee at the given CALL statement.
+    Inline {
+        /// The CALL statement.
+        call: StmtId,
+    },
+}
+
+impl Xform {
+    /// Display name matching Ped's menu entries.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Xform::Parallelize => "parallelize",
+            Xform::Interchange => "loop interchange",
+            Xform::Distribute => "loop distribution",
+            Xform::Fuse { .. } => "loop fusion",
+            Xform::Reverse => "loop reversal",
+            Xform::Skew { .. } => "loop skewing",
+            Xform::StripMine { .. } => "strip mining",
+            Xform::Unroll { .. } => "loop unrolling",
+            Xform::UnrollAndJam { .. } => "unroll and jam",
+            Xform::ScalarExpand { .. } => "scalar expansion",
+            Xform::IvSub { .. } => "induction variable substitution",
+            Xform::StatementInterchange { .. } => "statement interchange",
+            Xform::Inline { .. } => "inlining",
+        }
+    }
+}
+
+/// Safety verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Safety {
+    /// Semantics are preserved.
+    Safe,
+    /// Semantics may change; the reason names the offending dependence or
+    /// condition. The user may overrule via dependence marking upstream.
+    Unsafe(String),
+}
+
+/// Profitability advice (never blocks application — power steering leaves
+/// the user in control).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Profit {
+    /// Expected to help, with the reason.
+    Yes(String),
+    /// Not expected to help.
+    No(String),
+    /// Depends on information the tool lacks.
+    Unknown,
+}
+
+/// The advice triple for one transformation on one target.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnosis {
+    /// Syntactically applicable?
+    pub applicable: Result<(), String>,
+    /// Semantics-preserving?
+    pub safe: Safety,
+    /// Worth doing?
+    pub profitable: Profit,
+}
+
+impl Diagnosis {
+    /// Applicable and safe.
+    pub fn ok(&self) -> bool {
+        self.applicable.is_ok() && self.safe == Safety::Safe
+    }
+
+    pub(crate) fn not_applicable(reason: impl Into<String>) -> Diagnosis {
+        Diagnosis {
+            applicable: Err(reason.into()),
+            safe: Safety::Unsafe("not applicable".into()),
+            profitable: Profit::Unknown,
+        }
+    }
+}
+
+/// Result of a successful application.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Applied {
+    /// Human-readable description of what changed.
+    pub description: String,
+    /// Statements created by the rewrite.
+    pub new_stmts: Vec<StmtId>,
+}
+
+/// Error applying a transformation (diagnosis said no, or the caller forced
+/// an inapplicable rewrite).
+#[derive(Debug, Clone, PartialEq)]
+pub struct XformError(pub String);
+
+impl std::fmt::Display for XformError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for XformError {}
+
+/// Diagnose a transformation against a target statement. `graph` is the
+/// dependence graph of the target loop (or of the enclosing loop for
+/// statement-level transformations); `live_blocking` is the set of
+/// dependences still considered live after user marking (rejected
+/// dependences removed) — pass `graph.blocking()` when no marks exist.
+pub fn diagnose(
+    unit: &ProgramUnit,
+    target: StmtId,
+    xform: &Xform,
+    graph: &DepGraph,
+    live_dep_ids: &dyn Fn(usize) -> bool,
+) -> Diagnosis {
+    match xform {
+        Xform::Parallelize => parallelize::diagnose(unit, target, graph, live_dep_ids),
+        Xform::Interchange => loops::diagnose_interchange(unit, target, graph, live_dep_ids),
+        Xform::Distribute => restructure::diagnose_distribute(unit, target),
+        Xform::Fuse { with } => restructure::diagnose_fuse(unit, target, *with),
+        Xform::Reverse => loops::diagnose_reverse(unit, target, graph, live_dep_ids),
+        Xform::Skew { factor } => loops::diagnose_skew(unit, target, *factor),
+        Xform::StripMine { size } => loops::diagnose_stripmine(unit, target, *size),
+        Xform::Unroll { factor } => loops::diagnose_unroll(unit, target, *factor),
+        Xform::UnrollAndJam { factor } => {
+            loops::diagnose_unroll_and_jam(unit, target, *factor, graph, live_dep_ids)
+        }
+        Xform::ScalarExpand { var } => memory::diagnose_scalar_expand(unit, target, *var),
+        Xform::IvSub { var } => memory::diagnose_ivsub(unit, target, *var),
+        Xform::StatementInterchange { a, b } => {
+            restructure::diagnose_stmt_interchange(unit, target, *a, *b, graph, live_dep_ids)
+        }
+        Xform::Inline { call } => inline::diagnose(unit, *call),
+    }
+}
+
+/// Apply a transformation. Callers normally [`diagnose`] first; `apply`
+/// re-checks applicability (never safety — overruling safety is the user's
+/// prerogative after dependence marking) and performs the rewrite.
+pub fn apply(
+    unit: &mut ProgramUnit,
+    target: StmtId,
+    xform: &Xform,
+    graph: &DepGraph,
+) -> Result<Applied, XformError> {
+    match xform {
+        Xform::Parallelize => parallelize::apply(unit, target, graph),
+        Xform::Interchange => loops::apply_interchange(unit, target),
+        Xform::Distribute => restructure::apply_distribute(unit, target, graph),
+        Xform::Fuse { with } => restructure::apply_fuse(unit, target, *with),
+        Xform::Reverse => loops::apply_reverse(unit, target),
+        Xform::Skew { factor } => loops::apply_skew(unit, target, *factor),
+        Xform::StripMine { size } => loops::apply_stripmine(unit, target, *size),
+        Xform::Unroll { factor } => loops::apply_unroll(unit, target, *factor),
+        Xform::UnrollAndJam { factor } => loops::apply_unroll_and_jam(unit, target, *factor),
+        Xform::ScalarExpand { var } => memory::apply_scalar_expand(unit, target, *var),
+        Xform::IvSub { var } => memory::apply_ivsub(unit, target, *var),
+        Xform::StatementInterchange { a, b } => {
+            restructure::apply_stmt_interchange(unit, target, *a, *b)
+        }
+        Xform::Inline { .. } => Err(XformError(
+            "inlining needs whole-program access: use apply_inline".into(),
+        )),
+    }
+}
+
+/// Apply inlining (embedding): replace the CALL at `call` inside
+/// `program.units[unit_idx]` with the callee's renamed body.
+pub fn apply_inline(
+    program: &mut ped_fortran::Program,
+    unit_idx: usize,
+    call: StmtId,
+) -> Result<Applied, XformError> {
+    inline::apply_in_program(program, unit_idx, call)
+}

@@ -1,0 +1,566 @@
+//! Loop-reordering transformations: interchange, reversal, skewing, strip
+//! mining, unrolling, unroll-and-jam.
+
+use crate::edit::{clone_stmt_subst, perfect_nest, replace_stmt};
+use crate::{Applied, Diagnosis, Profit, Safety, XformError};
+use ped_analysis::constants::{eval, Facts};
+use ped_dep::vectors::Direction;
+use ped_dep::DepGraph;
+use ped_fortran::ast::Intrinsic;
+use ped_fortran::{BinOp, DoLoop, Expr, ProgramUnit, StmtId, StmtKind};
+
+/// Fold an expression to an integer using only literals and PARAMETERs.
+fn const_int(unit: &ProgramUnit, e: &Expr) -> Option<i64> {
+    match eval(unit, &Facts::new(), e)? {
+        ped_fortran::symbols::Const::Int(v) => Some(v),
+        _ => None,
+    }
+}
+
+fn require_loop(unit: &ProgramUnit, target: StmtId) -> Result<(), String> {
+    if unit.is_loop(target) {
+        Ok(())
+    } else {
+        Err("target is not a DO loop".into())
+    }
+}
+
+/// Does any live dependence have a direction vector that could realize
+/// `(<, >)` on the first two levels? (The classic interchange-illegality
+/// pattern.)
+fn has_lt_gt(graph: &DepGraph, live: &dyn Fn(usize) -> bool) -> Option<String> {
+    for d in &graph.deps {
+        if !live(d.id) || d.dirs.len() < 2 {
+            continue;
+        }
+        if d.dirs.0[0].contains(Direction::Lt) && d.dirs.0[1].contains(Direction::Gt) {
+            return Some(format!(
+                "dependence on {} with vector {} would be reversed",
+                d.var.map(|v| graph_var_name(d, v)).unwrap_or_default(),
+                d.dirs
+            ));
+        }
+    }
+    None
+}
+
+fn graph_var_name(_d: &ped_dep::Dependence, v: ped_fortran::SymId) -> String {
+    format!("sym{}", v.0)
+}
+
+// ----------------------------------------------------------- interchange ----
+
+/// Diagnose loop interchange of `target` with its immediately nested loop.
+pub fn diagnose_interchange(
+    unit: &ProgramUnit,
+    target: StmtId,
+    graph: &DepGraph,
+    live: &dyn Fn(usize) -> bool,
+) -> Diagnosis {
+    if let Err(e) = require_loop(unit, target) {
+        return Diagnosis::not_applicable(e);
+    }
+    let Some(inner) = perfect_nest(unit, target) else {
+        return Diagnosis::not_applicable("loop is not perfectly nested");
+    };
+    // Rectangularity: inner bounds must not use the outer index.
+    let outer_var = unit.loop_of(target).var;
+    let di = unit.loop_of(inner);
+    let mut rect = true;
+    for e in [&di.lo, &di.hi].into_iter().chain(di.step.as_ref()) {
+        ped_fortran::visit::walk_expr(e, &mut |x| {
+            if matches!(x, Expr::Var(s) if *s == outer_var) {
+                rect = false;
+            }
+        });
+    }
+    if !rect {
+        return Diagnosis::not_applicable("inner bounds depend on the outer index (triangular)");
+    }
+    let safe = match has_lt_gt(graph, live) {
+        Some(why) => Safety::Unsafe(why),
+        None => Safety::Safe,
+    };
+    let profitable = profit_interchange(graph, live);
+    Diagnosis { applicable: Ok(()), safe, profitable }
+}
+
+fn profit_interchange(graph: &DepGraph, live: &dyn Fn(usize) -> bool) -> Profit {
+    let carried1 = graph.deps.iter().any(|d| live(d.id) && d.blocks_parallel());
+    let carried2 = graph
+        .deps
+        .iter()
+        .any(|d| live(d.id) && d.level == Some(2) && d.kind != ped_dep::DepKind::Input);
+    match (carried1, carried2) {
+        (true, false) => Profit::Yes(
+            "inner loop is parallel; interchange moves parallelism outward for granularity"
+                .into(),
+        ),
+        (false, _) => Profit::No("outer loop is already parallel".into()),
+        _ => Profit::Unknown,
+    }
+}
+
+/// Swap the loop controls of `target` and its nested loop.
+pub fn apply_interchange(unit: &mut ProgramUnit, target: StmtId) -> Result<Applied, XformError> {
+    let inner =
+        perfect_nest(unit, target).ok_or_else(|| XformError("not perfectly nested".into()))?;
+    let (ivar, ilo, ihi, istep) = {
+        let d = unit.loop_of(inner);
+        (d.var, d.lo.clone(), d.hi.clone(), d.step.clone())
+    };
+    let (ovar, olo, ohi, ostep) = {
+        let d = unit.loop_of(target);
+        (d.var, d.lo.clone(), d.hi.clone(), d.step.clone())
+    };
+    {
+        let d = unit.loop_of_mut(target);
+        d.var = ivar;
+        d.lo = ilo;
+        d.hi = ihi;
+        d.step = istep;
+        d.parallel = None;
+    }
+    {
+        let d = unit.loop_of_mut(inner);
+        d.var = ovar;
+        d.lo = olo;
+        d.hi = ohi;
+        d.step = ostep;
+        d.parallel = None;
+    }
+    Ok(Applied { description: "interchanged loop controls".into(), new_stmts: Vec::new() })
+}
+
+// -------------------------------------------------------------- reversal ----
+
+/// Diagnose loop reversal.
+pub fn diagnose_reverse(
+    unit: &ProgramUnit,
+    target: StmtId,
+    graph: &DepGraph,
+    live: &dyn Fn(usize) -> bool,
+) -> Diagnosis {
+    if let Err(e) = require_loop(unit, target) {
+        return Diagnosis::not_applicable(e);
+    }
+    let carried = graph.deps.iter().find(|d| {
+        live(d.id)
+            && d.level == Some(1)
+            && d.kind != ped_dep::DepKind::Input
+            && !matches!(d.cause, ped_dep::DepCause::Control)
+    });
+    let safe = match carried {
+        Some(d) => Safety::Unsafe(format!(
+            "loop-carried {} dependence {} would be reversed",
+            d.kind, d.dirs
+        )),
+        None => Safety::Safe,
+    };
+    Diagnosis {
+        applicable: Ok(()),
+        safe,
+        profitable: Profit::Unknown,
+    }
+}
+
+/// Reverse the iteration order of the loop.
+pub fn apply_reverse(unit: &mut ProgramUnit, target: StmtId) -> Result<Applied, XformError> {
+    if !unit.is_loop(target) {
+        return Err(XformError("target is not a DO loop".into()));
+    }
+    let d = unit.loop_of_mut(target);
+    let lo = d.lo.clone();
+    let hi = d.hi.clone();
+    d.lo = hi;
+    d.hi = lo;
+    d.step = Some(match d.step.take() {
+        None => Expr::Int(-1),
+        Some(Expr::Int(v)) => Expr::Int(-v),
+        Some(e) => Expr::neg(e),
+    });
+    Ok(Applied { description: "reversed iteration order".into(), new_stmts: Vec::new() })
+}
+
+// -------------------------------------------------------------- skewing ----
+
+/// Diagnose loop skewing of a perfect 2-nest (always safe; reshapes the
+/// iteration space so interchange becomes legal on wavefronts).
+pub fn diagnose_skew(unit: &ProgramUnit, target: StmtId, factor: i64) -> Diagnosis {
+    if let Err(e) = require_loop(unit, target) {
+        return Diagnosis::not_applicable(e);
+    }
+    if factor == 0 {
+        return Diagnosis::not_applicable("skew factor must be non-zero");
+    }
+    if perfect_nest(unit, target).is_none() {
+        return Diagnosis::not_applicable("loop is not perfectly nested");
+    }
+    Diagnosis {
+        applicable: Ok(()),
+        safe: Safety::Safe,
+        profitable: Profit::Yes("skewing can legalize interchange for wavefront parallelism".into()),
+    }
+}
+
+/// Skew the inner loop: `j' = j + f·i`, body references rewritten.
+pub fn apply_skew(
+    unit: &mut ProgramUnit,
+    target: StmtId,
+    factor: i64,
+) -> Result<Applied, XformError> {
+    let inner =
+        perfect_nest(unit, target).ok_or_else(|| XformError("not perfectly nested".into()))?;
+    let outer_var = unit.loop_of(target).var;
+    let inner_var = unit.loop_of(inner).var;
+    let shift = Expr::bin(BinOp::Mul, Expr::Int(factor), Expr::Var(outer_var));
+    // Bounds: lo' = lo + f·i, hi' = hi + f·i.
+    {
+        let d = unit.loop_of_mut(inner);
+        d.lo = Expr::bin(BinOp::Add, d.lo.clone(), shift.clone());
+        d.hi = Expr::bin(BinOp::Add, d.hi.clone(), shift.clone());
+    }
+    // Body: j → (j − f·i).
+    let unshift = Expr::bin(BinOp::Sub, Expr::Var(inner_var), shift);
+    let body = unit.loop_of(inner).body.clone();
+    for s in body {
+        crate::edit::subst_var_in_stmt(unit, s, inner_var, &unshift);
+    }
+    Ok(Applied {
+        description: format!("skewed inner loop by factor {factor}"),
+        new_stmts: Vec::new(),
+    })
+}
+
+// ----------------------------------------------------------- strip mining ----
+
+/// Diagnose strip mining.
+pub fn diagnose_stripmine(unit: &ProgramUnit, target: StmtId, size: i64) -> Diagnosis {
+    if let Err(e) = require_loop(unit, target) {
+        return Diagnosis::not_applicable(e);
+    }
+    if size < 2 {
+        return Diagnosis::not_applicable("tile size must be at least 2");
+    }
+    let d = unit.loop_of(target);
+    if d.step.as_ref().map(|s| !s.is_int(1)).unwrap_or(false) {
+        return Diagnosis::not_applicable("only unit-step loops are strip mined");
+    }
+    Diagnosis {
+        applicable: Ok(()),
+        safe: Safety::Safe,
+        profitable: Profit::Yes("creates a tile loop for scheduling/locality".into()),
+    }
+}
+
+/// Strip-mine the loop into tiles of `size`.
+pub fn apply_stripmine(
+    unit: &mut ProgramUnit,
+    target: StmtId,
+    size: i64,
+) -> Result<Applied, XformError> {
+    if !unit.is_loop(target) {
+        return Err(XformError("target is not a DO loop".into()));
+    }
+    let (var, lo, hi) = {
+        let d = unit.loop_of(target);
+        (d.var, d.lo.clone(), d.hi.clone())
+    };
+    let base = unit.symbols.name(var).to_string();
+    let tile = crate::edit::fresh_scalar(unit, &format!("{base}t"), ped_fortran::Ty::Integer);
+    // Inner: do var = tile, min(tile + size − 1, hi).
+    {
+        let d = unit.loop_of_mut(target);
+        d.lo = Expr::Var(tile);
+        d.hi = Expr::Intrinsic {
+            op: Intrinsic::Min,
+            args: vec![
+                Expr::bin(BinOp::Add, Expr::Var(tile), Expr::Int(size - 1)),
+                hi.clone(),
+            ],
+        };
+        d.parallel = None;
+    }
+    let span = unit.stmt(target).span;
+    let outer = unit.alloc_stmt(
+        StmtKind::Do(DoLoop {
+            var: tile,
+            lo,
+            hi,
+            step: Some(Expr::Int(size)),
+            body: vec![target],
+            term_label: None,
+            parallel: None,
+        }),
+        span,
+    );
+    if !replace_stmt(unit, target, &[outer]) {
+        return Err(XformError("target not found in unit body".into()));
+    }
+    Ok(Applied {
+        description: format!("strip mined with tile size {size}"),
+        new_stmts: vec![outer],
+    })
+}
+
+// -------------------------------------------------------------- unrolling ----
+
+/// Diagnose unrolling by `factor` (requires a constant, divisible trip).
+pub fn diagnose_unroll(unit: &ProgramUnit, target: StmtId, factor: u32) -> Diagnosis {
+    if let Err(e) = require_loop(unit, target) {
+        return Diagnosis::not_applicable(e);
+    }
+    if factor < 2 {
+        return Diagnosis::not_applicable("unroll factor must be at least 2");
+    }
+    let d = unit.loop_of(target);
+    let (Some(lo), Some(hi)) = (const_int(unit, &d.lo), const_int(unit, &d.hi)) else {
+        return Diagnosis::not_applicable("loop bounds are not compile-time constants");
+    };
+    let step = match &d.step {
+        None => 1,
+        Some(e) => match const_int(unit, e) {
+            Some(v) if v != 0 => v,
+            _ => return Diagnosis::not_applicable("step is not a non-zero constant"),
+        },
+    };
+    let trip = ((hi - lo + step) / step).max(0);
+    if trip % factor as i64 != 0 {
+        return Diagnosis::not_applicable(format!(
+            "trip count {trip} is not divisible by {factor}"
+        ));
+    }
+    Diagnosis {
+        applicable: Ok(()),
+        safe: Safety::Safe,
+        profitable: Profit::Yes("reduces loop overhead and exposes scheduling freedom".into()),
+    }
+}
+
+/// Unroll by `factor`: replicate the body with `var → var + k·step`.
+pub fn apply_unroll(
+    unit: &mut ProgramUnit,
+    target: StmtId,
+    factor: u32,
+) -> Result<Applied, XformError> {
+    let diag = diagnose_unroll(unit, target, factor);
+    if let Err(e) = diag.applicable {
+        return Err(XformError(e));
+    }
+    let (var, step_val, body) = {
+        let d = unit.loop_of(target);
+        let step = d.step.as_ref().map(|e| const_int(unit, e).expect("checked")).unwrap_or(1);
+        (d.var, step, d.body.clone())
+    };
+    let mut new_stmts = Vec::new();
+    let mut full_body = body.clone();
+    for k in 1..factor as i64 {
+        let offset = Expr::bin(BinOp::Add, Expr::Var(var), Expr::Int(k * step_val));
+        for &s in &body {
+            let copy = clone_stmt_subst(unit, s, var, &offset);
+            new_stmts.push(copy);
+            full_body.push(copy);
+        }
+    }
+    {
+        let d = unit.loop_of_mut(target);
+        d.body = full_body;
+        d.step = Some(Expr::Int(step_val * factor as i64));
+    }
+    Ok(Applied { description: format!("unrolled by {factor}"), new_stmts })
+}
+
+// --------------------------------------------------------- unroll and jam ----
+
+/// Diagnose unroll-and-jam of a perfect 2-nest.
+pub fn diagnose_unroll_and_jam(
+    unit: &ProgramUnit,
+    target: StmtId,
+    factor: u32,
+    graph: &DepGraph,
+    live: &dyn Fn(usize) -> bool,
+) -> Diagnosis {
+    if let Err(e) = require_loop(unit, target) {
+        return Diagnosis::not_applicable(e);
+    }
+    if perfect_nest(unit, target).is_none() {
+        return Diagnosis::not_applicable("loop is not perfectly nested");
+    }
+    let base = diagnose_unroll(unit, target, factor);
+    if let Err(e) = base.applicable {
+        return Diagnosis::not_applicable(e);
+    }
+    // Jam legality matches interchange legality.
+    let safe = match has_lt_gt(graph, live) {
+        Some(why) => Safety::Unsafe(why),
+        None => Safety::Safe,
+    };
+    Diagnosis {
+        applicable: Ok(()),
+        safe,
+        profitable: Profit::Yes("improves register reuse across outer iterations".into()),
+    }
+}
+
+/// Unroll the outer loop and jam the copies into the inner body.
+pub fn apply_unroll_and_jam(
+    unit: &mut ProgramUnit,
+    target: StmtId,
+    factor: u32,
+) -> Result<Applied, XformError> {
+    let inner =
+        perfect_nest(unit, target).ok_or_else(|| XformError("not perfectly nested".into()))?;
+    let diag = diagnose_unroll(unit, target, factor);
+    if let Err(e) = diag.applicable {
+        return Err(XformError(e));
+    }
+    let (ovar, ostep) = {
+        let d = unit.loop_of(target);
+        let step = d.step.as_ref().map(|e| const_int(unit, e).expect("checked")).unwrap_or(1);
+        (d.var, step)
+    };
+    let inner_body = unit.loop_of(inner).body.clone();
+    let mut new_stmts = Vec::new();
+    let mut jammed = inner_body.clone();
+    for k in 1..factor as i64 {
+        let offset = Expr::bin(BinOp::Add, Expr::Var(ovar), Expr::Int(k * ostep));
+        for &s in &inner_body {
+            let copy = clone_stmt_subst(unit, s, ovar, &offset);
+            new_stmts.push(copy);
+            jammed.push(copy);
+        }
+    }
+    unit.loop_of_mut(inner).body = jammed;
+    unit.loop_of_mut(target).step = Some(Expr::Int(ostep * factor as i64));
+    Ok(Applied { description: format!("unrolled outer by {factor} and jammed"), new_stmts })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ped_dep::graph::{build_graph, GraphConfig};
+    use ped_fortran::parse_program;
+    use ped_fortran::printer::print_unit;
+
+    fn setup(src: &str) -> (ProgramUnit, StmtId, DepGraph) {
+        let u = parse_program(src).unwrap().units.remove(0);
+        let h = *u.body.iter().find(|&&s| u.is_loop(s)).unwrap();
+        let g = build_graph(&u, h, &GraphConfig::conservative());
+        (u, h, g)
+    }
+
+    fn text(u: &ProgramUnit) -> String {
+        let mut s = String::new();
+        print_unit(u, &mut s);
+        s
+    }
+
+    const ALL: fn(usize) -> bool = |_| true;
+
+    #[test]
+    fn interchange_swaps_controls() {
+        let (mut u, h, g) = setup(
+            "program t\nreal a(10,20)\ndo i = 1, 10\ndo j = 1, 20\na(i,j) = 0.0\nenddo\nenddo\nend\n",
+        );
+        let d = diagnose_interchange(&u, h, &g, &ALL);
+        assert!(d.ok(), "{d:?}");
+        apply_interchange(&mut u, h).unwrap();
+        let s = text(&u);
+        let i1 = s.find("do j = 1, 20").expect("outer j");
+        let i2 = s.find("do i = 1, 10").expect("inner i");
+        assert!(i1 < i2, "{s}");
+    }
+
+    #[test]
+    fn interchange_unsafe_on_lt_gt() {
+        let (u, h, g) = setup(
+            "program t\nreal a(12,12)\ndo i = 2, 10\ndo j = 2, 10\n\
+             a(i,j) = a(i-1,j+1)\nenddo\nenddo\nend\n",
+        );
+        let d = diagnose_interchange(&u, h, &g, &ALL);
+        assert!(matches!(d.safe, Safety::Unsafe(_)), "{d:?}");
+    }
+
+    #[test]
+    fn interchange_rejects_triangular() {
+        let (u, h, g) = setup(
+            "program t\nreal a(10,10)\ndo i = 1, 10\ndo j = 1, i\na(i,j) = 0.0\nenddo\nenddo\nend\n",
+        );
+        let d = diagnose_interchange(&u, h, &g, &ALL);
+        assert!(d.applicable.is_err());
+    }
+
+    #[test]
+    fn reverse_safe_only_without_carried() {
+        let (mut u, h, g) = setup(
+            "program t\nreal a(10)\ndo i = 1, 10\na(i) = 2.0\nenddo\nend\n",
+        );
+        assert!(diagnose_reverse(&u, h, &g, &ALL).ok());
+        apply_reverse(&mut u, h).unwrap();
+        assert!(text(&u).contains("do i = 10, 1, -1"), "{}", text(&u));
+
+        let (u2, h2, g2) = setup(
+            "program t\nreal a(10)\ndo i = 2, 10\na(i) = a(i-1)\nenddo\nend\n",
+        );
+        assert!(matches!(diagnose_reverse(&u2, h2, &g2, &ALL).safe, Safety::Unsafe(_)));
+    }
+
+    #[test]
+    fn stripmine_structure() {
+        let (mut u, h, _) = setup(
+            "program t\nreal a(100)\ndo i = 1, 100\na(i) = 1.0\nenddo\nend\n",
+        );
+        assert!(diagnose_stripmine(&u, h, 16).ok());
+        apply_stripmine(&mut u, h, 16).unwrap();
+        let s = text(&u);
+        assert!(s.contains("do it$1 = 1, 100, 16"), "{s}");
+        assert!(s.contains("do i = it$1, min(it$1 + 15, 100)"), "{s}");
+    }
+
+    #[test]
+    fn unroll_replicates_and_strides() {
+        let (mut u, h, _) = setup(
+            "program t\nreal a(100)\ndo i = 1, 100\na(i) = 1.0\nenddo\nend\n",
+        );
+        assert!(diagnose_unroll(&u, h, 4).ok());
+        let r = apply_unroll(&mut u, h, 4).unwrap();
+        assert_eq!(r.new_stmts.len(), 3);
+        let s = text(&u);
+        assert!(s.contains("do i = 1, 100, 4"), "{s}");
+        assert!(s.contains("a(i + 1) = 1.0"), "{s}");
+        assert!(s.contains("a(i + 3) = 1.0"), "{s}");
+    }
+
+    #[test]
+    fn unroll_rejects_indivisible() {
+        let (u, h, _) = setup(
+            "program t\nreal a(10)\ndo i = 1, 10\na(i) = 1.0\nenddo\nend\n",
+        );
+        assert!(diagnose_unroll(&u, h, 3).applicable.is_err());
+    }
+
+    #[test]
+    fn skew_rewrites_bounds_and_body() {
+        let (mut u, h, _) = setup(
+            "program t\nreal a(10,30)\ndo i = 1, 10\ndo j = 1, 10\na(i,j) = 0.0\nenddo\nenddo\nend\n",
+        );
+        assert!(diagnose_skew(&u, h, 1).ok());
+        apply_skew(&mut u, h, 1).unwrap();
+        let s = text(&u);
+        assert!(s.contains("do j = 1 + 1 * i, 10 + 1 * i"), "{s}");
+        assert!(s.contains("a(i, j - 1 * i) = 0.0"), "{s}");
+    }
+
+    #[test]
+    fn unroll_and_jam_jams_inner() {
+        let (mut u, h, g) = setup(
+            "program t\nreal a(8,8), b(8,8)\ndo i = 1, 8\ndo j = 1, 8\n\
+             a(i,j) = b(i,j)\nenddo\nenddo\nend\n",
+        );
+        assert!(diagnose_unroll_and_jam(&u, h, 2, &g, &ALL).ok());
+        apply_unroll_and_jam(&mut u, h, 2).unwrap();
+        let s = text(&u);
+        assert!(s.contains("do i = 1, 8, 2"), "{s}");
+        assert!(s.contains("a(i + 1, j) = b(i + 1, j)"), "{s}");
+    }
+}

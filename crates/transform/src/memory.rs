@@ -1,0 +1,336 @@
+//! Memory-oriented transformations: scalar expansion and induction-variable
+//! substitution.
+//!
+//! Scalar expansion gives each iteration its own element of a compiler
+//! temporary array, breaking the anti/output dependences a shared scalar
+//! causes (the one transformation Blume & Eigenmann found consistently
+//! profitable in KAP). Induction-variable substitution replaces `k = k + c`
+//! chains with closed forms so subscripts become affine in the loop index.
+
+use crate::edit::{fresh_scalar, remove_stmt, subst_var_in_stmt};
+use crate::{Applied, Diagnosis, Profit, Safety, XformError};
+use ped_analysis::scalars::{classify_scalars, ScalarClass};
+use ped_fortran::symbols::ArrayDim;
+use ped_fortran::{
+    BinOp, Expr, LValue, ProgramUnit, StmtId, StmtKind, SymId,
+};
+
+// --------------------------------------------------------- scalar expand ----
+
+/// Diagnose scalar expansion of `var` in the loop at `target`.
+pub fn diagnose_scalar_expand(unit: &ProgramUnit, target: StmtId, var: SymId) -> Diagnosis {
+    if !unit.is_loop(target) {
+        return Diagnosis::not_applicable("target is not a DO loop");
+    }
+    if unit.symbols.sym(var).is_array() {
+        return Diagnosis::not_applicable("variable is already an array");
+    }
+    let d = unit.loop_of(target);
+    if var == d.var {
+        return Diagnosis::not_applicable("cannot expand the loop index");
+    }
+    if !d.step_expr().is_int(1) {
+        return Diagnosis::not_applicable("only unit-step loops are expanded");
+    }
+    // The scalar must actually be written in the loop.
+    let classes = classify_scalars(unit, target, &|_| false);
+    match classes.get(&var) {
+        None => Diagnosis::not_applicable("variable is not referenced in the loop"),
+        Some(ScalarClass::ReadOnly) => {
+            Diagnosis::not_applicable("variable is read-only in the loop")
+        }
+        Some(class) => {
+            // Live-out values: expansion keeps the last element, so a
+            // final copy-out is emitted; that is only correct when the
+            // scalar is assigned on every iteration path — the Private
+            // classification already tracks exposure, and expansion of an
+            // exposed (loop-carried) scalar changes semantics.
+            let safe = match class {
+                ScalarClass::Private { .. } | ScalarClass::Reduction(_) => Safety::Safe,
+                _ => Safety::Unsafe(
+                    "the scalar carries a cross-iteration value; expansion would break it"
+                        .into(),
+                ),
+            };
+            Diagnosis {
+                applicable: Ok(()),
+                safe,
+                profitable: Profit::Yes(
+                    "removes the scalar's anti and output dependences".into(),
+                ),
+            }
+        }
+    }
+}
+
+/// Expand `var` into `var$n(trip)` indexed by the normalized iteration.
+pub fn apply_scalar_expand(
+    unit: &mut ProgramUnit,
+    target: StmtId,
+    var: SymId,
+) -> Result<Applied, XformError> {
+    let diag = diagnose_scalar_expand(unit, target, var);
+    if let Err(e) = diag.applicable {
+        return Err(XformError(e));
+    }
+    let (loop_var, lo, hi) = {
+        let d = unit.loop_of(target);
+        (d.var, d.lo.clone(), d.hi.clone())
+    };
+    let ty = unit.symbols.sym(var).ty;
+    let base = unit.symbols.name(var).to_string();
+    let arr = fresh_scalar(unit, &format!("{base}x"), ty);
+    // Extent: hi − lo + 1.
+    let extent = Expr::bin(BinOp::Add, Expr::bin(BinOp::Sub, hi, lo.clone()), Expr::Int(1));
+    unit.symbols.sym_mut(arr).dims = vec![ArrayDim::upto(extent.clone())];
+    // Index: loop_var − lo + 1.
+    let index = Expr::bin(
+        BinOp::Add,
+        Expr::bin(BinOp::Sub, Expr::Var(loop_var), lo),
+        Expr::Int(1),
+    );
+    // Rewrite uses (expressions) and definitions (assignment lhs).
+    let elem = Expr::ArrayRef { sym: arr, subs: vec![index.clone()] };
+    let body = unit.loop_of(target).body.clone();
+    for s in &body {
+        rewrite_lhs(unit, *s, var, arr, &index);
+        subst_var_in_stmt(unit, *s, var, &elem);
+    }
+    // Copy-out the final value for consumers after the loop.
+    let last_index = extent;
+    let copy = unit.alloc_stmt(
+        StmtKind::Assign {
+            lhs: LValue::Var(var),
+            rhs: Expr::ArrayRef { sym: arr, subs: vec![last_index] },
+        },
+        ped_fortran::Span::synthetic(),
+    );
+    let seq = vec![target, copy];
+    if !crate::edit::replace_stmt(unit, target, &seq) {
+        return Err(XformError("target not found".into()));
+    }
+    Ok(Applied {
+        description: format!("expanded {base} into {}", unit.symbols.name(arr)),
+        new_stmts: vec![copy],
+    })
+}
+
+/// Rewrite `var = …` into `arr(index) = …` recursively.
+fn rewrite_lhs(unit: &mut ProgramUnit, stmt: StmtId, var: SymId, arr: SymId, index: &Expr) {
+    let mut kind = std::mem::replace(&mut unit.stmt_mut(stmt).kind, StmtKind::Removed);
+    match &mut kind {
+        StmtKind::Assign { lhs, .. } => {
+            if matches!(lhs, LValue::Var(s) if *s == var) {
+                *lhs = LValue::ArrayElem(arr, vec![index.clone()]);
+            }
+        }
+        StmtKind::Do(d) => {
+            let body = d.body.clone();
+            for &s in &body {
+                rewrite_lhs(unit, s, var, arr, index);
+            }
+        }
+        StmtKind::If { arms, else_block } => {
+            for (_, b) in arms.iter() {
+                for &s in b.iter() {
+                    rewrite_lhs(unit, s, var, arr, index);
+                }
+            }
+            if let Some(b) = else_block {
+                for &s in b.iter() {
+                    rewrite_lhs(unit, s, var, arr, index);
+                }
+            }
+        }
+        _ => {}
+    }
+    unit.stmt_mut(stmt).kind = kind;
+}
+
+// ------------------------------------------ induction variable substitution ----
+
+/// Diagnose induction-variable substitution for `var`.
+pub fn diagnose_ivsub(unit: &ProgramUnit, target: StmtId, var: SymId) -> Diagnosis {
+    if !unit.is_loop(target) {
+        return Diagnosis::not_applicable("target is not a DO loop");
+    }
+    let d = unit.loop_of(target);
+    if !d.step_expr().is_int(1) {
+        return Diagnosis::not_applicable("only unit-step loops are substituted");
+    }
+    let classes = classify_scalars(unit, target, &|_| true);
+    match classes.get(&var) {
+        Some(ScalarClass::AuxInduction { .. }) => Diagnosis {
+            applicable: Ok(()),
+            safe: Safety::Safe,
+            profitable: Profit::Yes("subscripts become affine in the loop index".into()),
+        },
+        _ => Diagnosis::not_applicable("variable is not an auxiliary induction variable"),
+    }
+}
+
+/// Replace the induction variable by its closed form and delete the update.
+///
+/// For `DO i = lo, hi` with top-level `k = k + c`, references before the
+/// update see `k0 + c·(i − lo)` and references after see `k0 + c·(i − lo + 1)`;
+/// after the loop `k = k0 + c·(hi − lo + 1)`. `k0` is `k`'s value at loop
+/// entry, captured in a fresh scalar just before the loop.
+pub fn apply_ivsub(
+    unit: &mut ProgramUnit,
+    target: StmtId,
+    var: SymId,
+) -> Result<Applied, XformError> {
+    let diag = diagnose_ivsub(unit, target, var);
+    if let Err(e) = diag.applicable {
+        return Err(XformError(e));
+    }
+    let classes = classify_scalars(unit, target, &|_| true);
+    let step = match classes.get(&var) {
+        Some(ScalarClass::AuxInduction { step }) => step.clone(),
+        _ => return Err(XformError("not an induction variable".into())),
+    };
+    let (loop_var, lo, hi, body) = {
+        let d = unit.loop_of(target);
+        (d.var, d.lo.clone(), d.hi.clone(), d.body.clone())
+    };
+    // Find the top-level update statement.
+    let update = body
+        .iter()
+        .copied()
+        .find(|&s| {
+            matches!(&unit.stmt(s).kind,
+                StmtKind::Assign { lhs: LValue::Var(v), .. } if *v == var)
+        })
+        .ok_or_else(|| XformError("update statement not found at the top level".into()))?;
+    let upos = body.iter().position(|&s| s == update).expect("found above");
+
+    // k0 = k just before the loop.
+    let ty = unit.symbols.sym(var).ty;
+    let base = unit.symbols.name(var).to_string();
+    let k0 = fresh_scalar(unit, &format!("{base}0"), ty);
+    let capture = unit.alloc_stmt(
+        StmtKind::Assign { lhs: LValue::Var(k0), rhs: Expr::Var(var) },
+        ped_fortran::Span::synthetic(),
+    );
+
+    // t = i − lo  (iterations completed before this one).
+    let t = Expr::bin(BinOp::Sub, Expr::Var(loop_var), lo.clone());
+    let before = closed_form(k0, &step, &t);
+    let after = closed_form(k0, &step, &Expr::bin(BinOp::Add, t, Expr::Int(1)));
+    for (pos, &s) in body.iter().enumerate() {
+        if s == update {
+            continue;
+        }
+        let form = if pos < upos { &before } else { &after };
+        subst_var_in_stmt(unit, s, var, form);
+    }
+    remove_stmt(unit, update);
+
+    // Final value after the loop: k = k0 + c·trip.
+    let trip = Expr::bin(BinOp::Add, Expr::bin(BinOp::Sub, hi, lo), Expr::Int(1));
+    let fin = unit.alloc_stmt(
+        StmtKind::Assign { lhs: LValue::Var(var), rhs: closed_form(k0, &step, &trip) },
+        ped_fortran::Span::synthetic(),
+    );
+    if !crate::edit::replace_stmt(unit, target, &[capture, target, fin]) {
+        return Err(XformError("target not found".into()));
+    }
+    Ok(Applied {
+        description: format!("substituted induction variable {base}"),
+        new_stmts: vec![capture, fin],
+    })
+}
+
+/// `k0 + step·count`
+fn closed_form(k0: SymId, step: &Expr, count: &Expr) -> Expr {
+    Expr::bin(
+        BinOp::Add,
+        Expr::Var(k0),
+        Expr::bin(BinOp::Mul, step.clone(), count.clone()),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ped_dep::graph::{build_graph, GraphConfig};
+    use ped_fortran::parse_program;
+    use ped_fortran::printer::print_unit;
+
+    fn setup(src: &str) -> (ProgramUnit, StmtId) {
+        let u = parse_program(src).unwrap().units.remove(0);
+        let h = *u.body.iter().find(|&&s| u.is_loop(s)).unwrap();
+        (u, h)
+    }
+
+    fn text(u: &ProgramUnit) -> String {
+        let mut s = String::new();
+        print_unit(u, &mut s);
+        s
+    }
+
+    #[test]
+    fn expand_private_scalar() {
+        let (mut u, h) = setup(
+            "program t\nreal a(100), b(100)\ndo i = 1, 100\nt1 = b(i) * 2.0\n\
+             a(i) = t1 + 1.0\nenddo\nend\n",
+        );
+        let t1 = u.symbols.lookup("t1").unwrap();
+        assert!(diagnose_scalar_expand(&u, h, t1).ok());
+        apply_scalar_expand(&mut u, h, t1).unwrap();
+        let s = text(&u);
+        assert!(s.contains("t1x$1(i - 1 + 1) = b(i) * 2.0"), "{s}");
+        assert!(s.contains("a(i) = t1x$1(i - 1 + 1) + 1.0"), "{s}");
+        assert!(s.contains("t1 = t1x$1(100 - 1 + 1)"), "copy-out: {s}");
+        assert!(s.contains("real t1x$1(100 - 1 + 1)") || s.contains("t1x$1(100 - 1 + 1)"), "{s}");
+    }
+
+    #[test]
+    fn expand_rejects_loop_carried_scalar() {
+        let (u, h) = setup(
+            "program t\nreal a(100)\ns = 0.0\ndo i = 1, 100\na(i) = s\ns = a(i) + 1.0\nenddo\nend\n",
+        );
+        let s = u.symbols.lookup("s").unwrap();
+        let d = diagnose_scalar_expand(&u, h, s);
+        assert!(matches!(d.safe, Safety::Unsafe(_)), "{d:?}");
+    }
+
+    #[test]
+    fn expand_rejects_array_and_index() {
+        let (u, h) = setup("program t\nreal a(10)\ndo i = 1, 10\na(i) = 1.0\nenddo\nend\n");
+        let a = u.symbols.lookup("a").unwrap();
+        let i = u.symbols.lookup("i").unwrap();
+        assert!(diagnose_scalar_expand(&u, h, a).applicable.is_err());
+        assert!(diagnose_scalar_expand(&u, h, i).applicable.is_err());
+    }
+
+    #[test]
+    fn ivsub_substitutes_and_unlocks_parallelism() {
+        let (mut u, h) = setup(
+            "program t\nreal a(200)\nk = 0\ndo i = 1, 100\nk = k + 2\na(k) = 1.0\nenddo\n\
+             print *, k\nend\n",
+        );
+        let k = u.symbols.lookup("k").unwrap();
+        assert!(diagnose_ivsub(&u, h, k).ok());
+        apply_ivsub(&mut u, h, k).unwrap();
+        let s = text(&u);
+        assert!(s.contains("k0$1 = k"), "{s}");
+        assert!(s.contains("a(k0$1 + 2 * (i - 1 + 1)) = 1.0"), "{s}");
+        assert!(s.contains("k = k0$1 + 2 * (100 - 1 + 1)"), "{s}");
+        // After substitution the loop is parallel (stride-2 disjoint writes
+        // are affine now; k0$1 is symbolic but the write-write distance
+        // test sees equal symbolic parts cancel).
+        let g = build_graph(&u, h, &GraphConfig::conservative());
+        assert!(g.parallelizable(), "{s}\n{:?}", g.blocking());
+    }
+
+    #[test]
+    fn ivsub_rejects_non_induction() {
+        let (u, h) = setup(
+            "program t\nreal a(100)\ns = 0.0\ndo i = 1, 100\ns = s + a(i)\nenddo\n\
+             print *, s\nend\n",
+        );
+        let s = u.symbols.lookup("s").unwrap();
+        assert!(diagnose_ivsub(&u, h, s).applicable.is_err(), "reduction is not induction");
+    }
+}

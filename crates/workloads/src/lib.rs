@@ -1,0 +1,18 @@
+//! # ped-workloads — the synthetic evaluation suite
+//!
+//! The experiences paper evaluated Ped on nine proprietary scientific codes
+//! (Table 1: spec77, pneoss, nxsns, arc3d, slab2d, gloop, onedim, euler,
+//! banded). We cannot ship those sources, so each program here is a
+//! synthetic stand-in reproducing the *parallelization phenomena* the paper
+//! reports for that code — the analyses exercise the same code paths (see
+//! DESIGN.md, "Substitutions"). Every program runs deterministically and
+//! prints a checksum so transformed/parallelized variants can be validated
+//! against the serial original.
+//!
+//! [`generator`] additionally builds parameterized programs of arbitrary
+//! size for the scalability benchmarks (E10/E11).
+
+pub mod generator;
+pub mod suite;
+
+pub use suite::{all_programs, program_by_name, Phenomenon, Workload};

@@ -1,0 +1,604 @@
+//! The nine-program synthetic suite (stand-ins for the paper's Table 1).
+
+/// The parallelization phenomenon a workload exercises (Table 3's rows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phenomenon {
+    /// Sum/min/max reductions that must be recognized.
+    Reductions,
+    /// Scalars killed every iteration → privatizable.
+    PrivatizableScalars,
+    /// Scalar killed inside a called procedure (interprocedural KILL).
+    InterprocKill,
+    /// Call in loop writing an exact array section (regular sections).
+    InterprocSections,
+    /// Loop bounds/subscripts constant only via interprocedural constants.
+    InterprocConstants,
+    /// Index-array subscripts needing user assertions.
+    IndexArrays,
+    /// Symbolic terms that must cancel in dependence testing.
+    SymbolicSubscripts,
+    /// Symbolic loop bounds needing assertions for precise tests.
+    SymbolicBounds,
+    /// Linearized (MIV) subscripts.
+    LinearizedArrays,
+    /// Interprocedural array kill needed (beyond this tool, as in the paper).
+    ArrayKillNeeded,
+    /// Outer-loop parallelism via inlining/interchange for granularity.
+    GranularityInterchange,
+    /// Crossing subscripts (weak-crossing SIV decides).
+    CrossingSubscripts,
+}
+
+/// One evaluation program.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Program name (matches the paper's Table 1 entry it stands in for).
+    pub name: &'static str,
+    /// One-line description.
+    pub description: &'static str,
+    /// The paper's contributor credit (for the Table 1 reproduction).
+    pub contributor: &'static str,
+    /// Fortran source.
+    pub source: &'static str,
+    /// Phenomena the program exercises.
+    pub phenomena: &'static [Phenomenon],
+}
+
+impl Workload {
+    /// Source line count (Table 1's "lines" column).
+    pub fn lines(&self) -> usize {
+        self.source.lines().filter(|l| !l.trim().is_empty()).count()
+    }
+
+    /// Number of program units (Table 1's "procedures" column).
+    pub fn procedures(&self) -> usize {
+        ped_fortran::parse_program(self.source).map(|p| p.units.len()).unwrap_or(0)
+    }
+}
+
+/// All nine programs in Table 1 order.
+pub fn all_programs() -> Vec<Workload> {
+    vec![
+        SPEC77.clone(),
+        PNEOSS.clone(),
+        NXSNS.clone(),
+        ARC3D.clone(),
+        SLAB2D.clone(),
+        GLOOP.clone(),
+        ONEDIM.clone(),
+        EULER.clone(),
+        BANDED.clone(),
+    ]
+}
+
+/// Look up a program by name.
+pub fn program_by_name(name: &str) -> Option<Workload> {
+    all_programs().into_iter().find(|w| w.name == name)
+}
+
+/// Weather simulation: many procedures, column sweeps behind calls
+/// (interprocedural MOD/REF + regular sections), plus a diagnostics
+/// reduction.
+pub static SPEC77: Workload = Workload {
+    name: "spec77",
+    description: "weather simulation code",
+    contributor: "Steve Poole, IBM Kingston & Lo Hsieh, IBM Palo Alto",
+    phenomena: &[
+        Phenomenon::InterprocSections,
+        Phenomenon::Reductions,
+        Phenomenon::InterprocConstants,
+    ],
+    source: "\
+program spec77
+integer nlat, nlon, ntime
+parameter (nlat = 24, nlon = 24, ntime = 4)
+real u(nlat, nlon), v(nlat, nlon), tq(nlat, nlon), flux(nlat, nlon)
+real dt, etot
+integer t
+common /phys/ dt
+dt = 0.01
+call init(u, v, tq, nlat, nlon)
+do t = 1, ntime
+  call advect(u, v, flux, nlat, nlon)
+  call diffuse(tq, flux, nlat, nlon)
+  call border(u, nlat, nlon)
+enddo
+etot = 0.0
+call energy(tq, nlat, nlon, etot)
+print *, etot
+end
+
+subroutine init(u, v, tq, n, m)
+integer n, m
+real u(n, m), v(n, m), tq(n, m)
+do j = 1, m
+  do i = 1, n
+    u(i, j) = 0.01 * i + 0.02 * j
+    v(i, j) = 0.03 * i - 0.01 * j
+    tq(i, j) = 280.0 + 0.1 * i
+  enddo
+enddo
+return
+end
+
+subroutine advect(u, v, flux, n, m)
+integer n, m
+real u(n, m), v(n, m), flux(n, m)
+do j = 2, m - 1
+  call colflux(u, v, flux, n, m, j)
+enddo
+return
+end
+
+subroutine colflux(u, v, flux, n, m, jc)
+integer n, m, jc
+real u(n, m), v(n, m), flux(n, m)
+real up, vp
+do i = 2, n - 1
+  up = u(i, jc) + u(i, jc - 1)
+  vp = v(i, jc) + v(i, jc + 1)
+  flux(i, jc) = 0.5 * (up - vp)
+enddo
+return
+end
+
+subroutine diffuse(tq, flux, n, m)
+integer n, m
+real tq(n, m), flux(n, m)
+common /phys/ dt
+do j = 2, m - 1
+  do i = 2, n - 1
+    tq(i, j) = tq(i, j) + dt * flux(i, j)
+  enddo
+enddo
+return
+end
+
+subroutine border(u, n, m)
+integer n, m
+real u(n, m)
+do j = 1, m
+  u(1, j) = u(2, j)
+  u(n, j) = u(n - 1, j)
+enddo
+return
+end
+
+subroutine energy(tq, n, m, etot)
+integer n, m
+real tq(n, m), etot
+etot = 0.0
+do j = 1, m
+  do i = 1, n
+    etot = etot + tq(i, j) * tq(i, j)
+  enddo
+enddo
+return
+end
+",
+};
+
+/// Thermodynamics: small code dominated by reductions and privatizable
+/// temporaries.
+pub static PNEOSS: Workload = Workload {
+    name: "pneoss",
+    description: "thermodynamics code",
+    contributor: "Mary Zosel, Lawrence Livermore National Laboratory",
+    phenomena: &[Phenomenon::Reductions, Phenomenon::PrivatizableScalars],
+    source: "\
+program pneoss
+integer n
+parameter (n = 64)
+real p(n), vol(n), temp(n)
+real esum, pmax, work
+call setup(p, vol, temp, n)
+esum = 0.0
+pmax = p(1)
+do i = 1, n
+  work = p(i) * vol(i)
+  esum = esum + work
+  pmax = max(pmax, p(i))
+enddo
+call relax(temp, n)
+print *, esum, pmax, temp(n)
+end
+
+subroutine setup(p, vol, temp, n)
+integer n
+real p(n), vol(n), temp(n)
+do i = 1, n
+  p(i) = 1.0 + 0.5 * i
+  vol(i) = 2.0 - 0.01 * i
+  temp(i) = 300.0
+enddo
+return
+end
+
+subroutine relax(temp, n)
+integer n
+real temp(n)
+real tnew
+do i = 2, n
+  tnew = 0.5 * (temp(i) + temp(i - 1))
+  temp(i) = tnew
+enddo
+return
+end
+",
+};
+
+/// Quantum mechanics: the key scalar is *killed inside a procedure called
+/// in the loop* — interprocedural KILL analysis makes it privatizable.
+pub static NXSNS: Workload = Workload {
+    name: "nxsns",
+    description: "quantum mechanics code",
+    contributor: "John Engle, Lawrence Livermore National Laboratory",
+    phenomena: &[Phenomenon::InterprocKill, Phenomenon::Reductions],
+    source: "\
+program nxsns
+integer n
+parameter (n = 48)
+real psi(n), xs(n), w
+real total
+call fill(xs, n)
+do i = 1, n
+  call getwt(w, xs, n, i)
+  psi(i) = w * xs(i)
+enddo
+total = 0.0
+do i = 1, n
+  total = total + psi(i)
+enddo
+print *, total
+end
+
+subroutine fill(xs, n)
+integer n
+real xs(n)
+do i = 1, n
+  xs(i) = 0.1 * i
+enddo
+return
+end
+
+subroutine getwt(w, xs, n, k)
+integer n, k
+real w, xs(n)
+w = 1.0 + xs(k) * 0.5
+if (k .gt. n / 2) then
+  w = w * 2.0
+endif
+return
+end
+",
+};
+
+/// Fluid dynamics: symbolic subscript offsets that must cancel in the
+/// tests (the paper's `filter3d` pattern), and a sweep needing
+/// interprocedural *array kill* that correctly stays sequential.
+pub static ARC3D: Workload = Workload {
+    name: "arc3d",
+    description: "fluid dynamics code",
+    contributor: "workshop attendee, NASA Ames",
+    phenomena: &[
+        Phenomenon::SymbolicSubscripts,
+        Phenomenon::ArrayKillNeeded,
+        Phenomenon::PrivatizableScalars,
+    ],
+    source: "\
+program arc3d
+integer jmax, kmax
+parameter (jmax = 30, kmax = 20)
+real x(jmax + 2, kmax), work(3 * jmax)
+real smu, total
+integer jplus
+call seed(x, jmax + 2, kmax)
+jplus = jmax + 1
+smu = 0.1
+call filter(work, x, jmax, kmax, jplus, smu)
+do k = 1, kmax
+  call sweep(work, x, jmax, kmax, k)
+enddo
+total = 0.0
+do k = 1, kmax
+  do j = 1, jmax
+    total = total + x(j, k)
+  enddo
+enddo
+print *, total
+end
+
+subroutine seed(x, n, m)
+integer n, m
+real x(n, m)
+do k = 1, m
+  do j = 1, n
+    x(j, k) = 0.001 * j * k
+  enddo
+enddo
+return
+end
+
+subroutine filter(work, x, jmax, kmax, jplus, smu)
+integer jmax, kmax, jplus
+real work(3 * jmax), x(jmax + 2, kmax), smu
+do j = 1, jmax
+  work(jplus + j) = x(j, 1) * smu
+enddo
+do j = 2, jmax
+  work(jplus + j) = work(jplus + j) + work(jplus + j - 1)
+enddo
+return
+end
+
+subroutine sweep(work, x, jmax, kmax, k)
+integer jmax, kmax, k
+real work(3 * jmax), x(jmax + 2, kmax)
+real t
+do j = 1, jmax
+  work(j) = x(j, k) * 2.0
+enddo
+do j = 1, jmax
+  t = work(j) + 1.0
+  x(j, k) = t * 0.5
+enddo
+return
+end
+",
+};
+
+/// Slab decomposition: a workspace array rewritten per slab — *array
+/// privatization* (kill + transformation) would be needed, as the paper
+/// reports for slab2d; loop distribution separates the parallel part.
+pub static SLAB2D: Workload = Workload {
+    name: "slab2d",
+    description: "plasma slab model",
+    contributor: "workshop attendee, LLNL",
+    phenomena: &[Phenomenon::ArrayKillNeeded, Phenomenon::PrivatizableScalars],
+    source: "\
+program slab2d
+integer ns, np
+parameter (ns = 16, np = 32)
+real field(np, ns), dens(np, ns), w(np)
+real total
+call start(field, np, ns)
+do is = 1, ns
+  do ip = 1, np
+    w(ip) = field(ip, is) * 0.25
+  enddo
+  do ip = 1, np
+    dens(ip, is) = w(ip) + 1.0
+  enddo
+enddo
+total = 0.0
+do is = 1, ns
+  do ip = 1, np
+    total = total + dens(ip, is)
+  enddo
+enddo
+print *, total
+end
+
+subroutine start(field, n, m)
+integer n, m
+real field(n, m)
+do j = 1, m
+  do i = 1, n
+    field(i, j) = 0.01 * i + 0.1 * j
+  enddo
+enddo
+return
+end
+",
+};
+
+/// The paper's gloop story: outer loops invoke procedures whose *inner*
+/// loops hold the parallelism; sections make the outer loop parallel, and
+/// inlining + interchange recover granularity.
+pub static GLOOP: Workload = Workload {
+    name: "gloop",
+    description: "global spectral loop driver",
+    contributor: "Joseph Stein, Syracuse University",
+    phenomena: &[Phenomenon::GranularityInterchange, Phenomenon::InterprocSections],
+    source: "\
+program gloop
+integer n
+parameter (n = 40)
+real g(n, n)
+real total
+call prep(g, n)
+do k = 1, n
+  call colop(g, n, k)
+enddo
+total = 0.0
+do k = 1, n
+  total = total + g(k, k)
+enddo
+print *, total
+end
+
+subroutine prep(g, n)
+integer n
+real g(n, n)
+do j = 1, n
+  do i = 1, n
+    g(i, j) = 1.0 / (i + j)
+  enddo
+enddo
+return
+end
+
+subroutine colop(g, n, kc)
+integer n, kc
+real g(n, n)
+do i = 1, n
+  g(i, kc) = g(i, kc) * 2.0 + 0.5
+enddo
+return
+end
+",
+};
+
+/// Index-array scatter: the dependences are pending (non-affine) and only
+/// the user's permutation assertion deletes them.
+pub static ONEDIM: Workload = Workload {
+    name: "onedim",
+    description: "1-d particle reordering",
+    contributor: "workshop attendee, Rice University",
+    phenomena: &[Phenomenon::IndexArrays],
+    source: "\
+program onedim
+integer n
+parameter (n = 50)
+real a(n), b(n)
+integer ind(n)
+real s
+do i = 1, n
+  ind(i) = n + 1 - i
+  b(i) = 0.5 * i
+enddo
+do i = 1, n
+  a(ind(i)) = b(i) * b(i)
+enddo
+s = 0.0
+do i = 1, n
+  s = s + a(i)
+enddo
+print *, s
+end
+",
+};
+
+/// Euler solver fragment: crossing subscripts (weak-crossing SIV) and
+/// min/max limiter reductions.
+pub static EULER: Workload = Workload {
+    name: "euler",
+    description: "1-d Euler flux kernel",
+    contributor: "workshop attendee, NASA Ames",
+    phenomena: &[Phenomenon::CrossingSubscripts, Phenomenon::Reductions],
+    source: "\
+program euler
+integer n
+parameter (n = 60)
+real q(n), qr(n)
+real cmax
+call load(q, n)
+do i = 1, n / 2 - 1
+  qr(i) = q(n + 1 - i)
+enddo
+cmax = 0.0
+do i = 1, n
+  cmax = max(cmax, abs(q(i)))
+enddo
+print *, cmax, qr(5)
+end
+
+subroutine load(q, n)
+integer n
+real q(n)
+do i = 1, n
+  q(i) = sin(0.1 * i)
+enddo
+return
+end
+",
+};
+
+/// Banded solver: linearized (MIV) subscripts and symbolic bounds that
+/// need a value assertion before the tests become exact.
+pub static BANDED: Workload = Workload {
+    name: "banded",
+    description: "banded matrix kernel",
+    contributor: "workshop attendee, Cray Research",
+    phenomena: &[
+        Phenomenon::LinearizedArrays,
+        Phenomenon::SymbolicBounds,
+        Phenomenon::InterprocConstants,
+    ],
+    source: "\
+program banded
+integer n
+parameter (n = 24)
+real ab(n * n), rhs(n)
+real total
+call form(ab, rhs, n)
+call scalerows(ab, rhs, n)
+total = 0.0
+do i = 1, n
+  total = total + rhs(i)
+enddo
+print *, total
+end
+
+subroutine form(ab, rhs, n)
+integer n
+real ab(n * n), rhs(n)
+do j = 1, n
+  do i = 1, n
+    ab(i + n * (j - 1)) = 0.0
+  enddo
+enddo
+do i = 1, n
+  ab(i + n * (i - 1)) = 4.0
+  rhs(i) = 1.0 * i
+enddo
+return
+end
+
+subroutine scalerows(ab, rhs, n)
+integer n
+real ab(n * n), rhs(n)
+real d
+do i = 1, n
+  d = ab(i + n * (i - 1))
+  rhs(i) = rhs(i) / d
+enddo
+return
+end
+",
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ped_runtime::interp::run_source;
+    use ped_runtime::ExecConfig;
+
+    #[test]
+    fn all_programs_parse() {
+        for w in all_programs() {
+            let p = ped_fortran::parse_program(w.source)
+                .unwrap_or_else(|e| panic!("{} failed to parse: {e}", w.name));
+            assert!(p.main().is_some(), "{} lacks a main unit", w.name);
+            assert!(w.lines() > 10);
+            assert_eq!(w.procedures(), p.units.len());
+        }
+    }
+
+    #[test]
+    fn all_programs_run_and_print() {
+        for w in all_programs() {
+            let r = run_source(w.source, ExecConfig::default())
+                .unwrap_or_else(|e| panic!("{} failed to run: {e}", w.name));
+            assert!(!r.printed.is_empty(), "{} printed nothing", w.name);
+            assert!(r.steps > 50, "{} did too little work", w.name);
+        }
+    }
+
+    #[test]
+    fn deterministic_output() {
+        for w in all_programs() {
+            let a = run_source(w.source, ExecConfig::default()).unwrap();
+            let b = run_source(w.source, ExecConfig::default()).unwrap();
+            assert_eq!(a.printed, b.printed, "{} is nondeterministic", w.name);
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(program_by_name("spec77").is_some());
+        assert!(program_by_name("arc3d").is_some());
+        assert!(program_by_name("nosuch").is_none());
+        assert_eq!(all_programs().len(), 9);
+    }
+}

@@ -1,0 +1,65 @@
+//! Quickstart: open a program, look at its dependences, parallelize a
+//! loop, and run both versions.
+//!
+//! ```sh
+//! cargo run -p ped-bench --example quickstart
+//! ```
+
+use ped_core::{render, DepFilter, Ped, SourceFilter};
+use ped_runtime::{ExecConfig, ParallelMode};
+use ped_transform::Xform;
+
+const SRC: &str = "\
+program quick
+integer n
+parameter (n = 1000)
+real a(n), b(n)
+real s
+do i = 1, n
+  b(i) = 0.5 * i
+enddo
+do i = 1, n
+  a(i) = sqrt(b(i)) + 1.0
+enddo
+s = 0.0
+do i = 1, n
+  s = s + a(i)
+enddo
+print *, s
+end
+";
+
+fn main() {
+    // 1. Open the program in a Ped session.
+    let mut ped = Ped::open(SRC).expect("parses");
+    println!("opened program with {} loops\n", ped.loops(0).len());
+
+    // 2. Look at the second loop's dependence view (the Ped window).
+    let target = ped.loops(0)[1].0;
+    let view =
+        render::render_loop_view(&mut ped, 0, target, &DepFilter::default(), &SourceFilter::All)
+            .unwrap();
+    println!("{view}");
+
+    // 3. Ask power steering about parallelization, then apply it.
+    let diag = ped.diagnose(0, target, &Xform::Parallelize).unwrap();
+    println!("parallelize? applicable={:?} safe={:?}\n", diag.applicable.is_ok(), diag.safe);
+    ped.apply(0, target, &Xform::Parallelize).unwrap();
+
+    // Also parallelize the reduction loop (recognized automatically).
+    let red = ped.loops(0)[2].0;
+    ped.apply(0, red, &Xform::Parallelize).unwrap();
+    println!("transformed source:\n{}", ped.source());
+
+    // 4. Run serial and parallel (real threads), compare.
+    let serial = ped.run(ExecConfig::default()).unwrap();
+    let threads =
+        ped.run(ExecConfig { mode: ParallelMode::Threads(4), ..Default::default() }).unwrap();
+    println!("serial output:   {:?}", serial.printed);
+    println!("threaded output: {:?}", threads.printed);
+    // The reduction reassociates across threads, so compare numerically.
+    let a: f64 = serial.printed[0].parse().unwrap();
+    let b: f64 = threads.printed[0].parse().unwrap();
+    assert!((a - b).abs() < 1e-6 * a.abs());
+    println!("outputs match (to reduction rounding) ✓");
+}
