@@ -114,15 +114,13 @@ fn meet(a: &Facts, b: &Facts) -> Facts {
 fn transfer(unit: &ProgramUnit, cfg: &Cfg, node: NodeId, mut facts: Facts) -> Facts {
     let Some(sid) = cfg.stmt[node.index()] else { return facts };
     match &unit.stmt(sid).kind {
-        StmtKind::Assign { lhs, rhs } => {
-            if let ped_fortran::LValue::Var(s) = lhs {
-                match eval(unit, &facts, rhs) {
-                    Some(v) => {
-                        facts.insert(*s, v);
-                    }
-                    None => {
-                        facts.remove(s);
-                    }
+        StmtKind::Assign { lhs: ped_fortran::LValue::Var(s), rhs } => {
+            match eval(unit, &facts, rhs) {
+                Some(v) => {
+                    facts.insert(*s, v);
+                }
+                None => {
+                    facts.remove(s);
                 }
             }
         }

@@ -1,54 +1,88 @@
-//! E11 — analysis time vs program size.
+//! E11 — analysis time vs program size; batch analysis and the pair cache.
 //!
 //! Ped had to stay interactive on 5600-line codes. This bench sweeps
-//! generated programs (units × loops) and measures: parsing, the per-unit
-//! scalar analyses, whole-program interprocedural analysis, and dependence
-//! graphs for every loop.
+//! generated programs (units × loops) and measures: parsing, whole-program
+//! interprocedural analysis, dependence graphs for every loop built
+//! sequentially, and the same work through `Ped::analyze_all` (worker
+//! threads sharing one memoized pair cache). It asserts that the batch
+//! pass produces exactly the sequential dependence counts and that the
+//! pair cache observes hits on the generated mix.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ped_bench::harness::bench;
 use ped_core::Ped;
 use ped_workloads::generator::{gen_source, GenConfig};
 use std::hint::black_box;
 
-fn bench_scale(c: &mut Criterion) {
-    let mut g = c.benchmark_group("analysis_scale");
-    g.sample_size(10);
+fn main() {
+    println!("E11: analysis time vs program size");
     for (units, loops) in [(2usize, 4usize), (6, 6), (12, 10)] {
         let cfg = GenConfig { units, loops_per_unit: loops, ..GenConfig::default() };
         let src = gen_source(cfg);
         let lines = src.lines().count();
-        g.bench_with_input(
-            BenchmarkId::new("parse", lines),
-            &src,
-            |b, src| b.iter(|| black_box(ped_fortran::parse_program(src).unwrap())),
+        println!("-- {units} units x {loops} loops ({lines} lines)");
+
+        bench(&format!("parse/{lines}"), 10, || {
+            black_box(ped_fortran::parse_program(&src).unwrap())
+        });
+
+        let p = ped_fortran::parse_program(&src).unwrap();
+        bench(&format!("interproc/{lines}"), 10, || {
+            black_box(ped_interproc::IpAnalysis::analyze(&p))
+        });
+
+        bench(&format!("all_dep_graphs_sequential/{lines}"), 10, || {
+            let mut ped = Ped::open(&src).unwrap();
+            let mut total = 0usize;
+            for ui in 0..ped.program().units.len() {
+                for (h, _) in ped.loops(ui) {
+                    total += ped.graph(ui, h).unwrap().deps.len();
+                }
+            }
+            black_box(total)
+        });
+
+        bench(&format!("all_dep_graphs_batch/{lines}"), 10, || {
+            let mut ped = Ped::open(&src).unwrap();
+            black_box(ped.analyze_all().deps)
+        });
+
+        // Correctness riders: the parallel batch pass must agree with the
+        // sequential one dependence-for-dependence, and the shared pair
+        // cache must actually be earning hits on this workload.
+        let mut seq = Ped::open(&src).unwrap();
+        let mut seq_deps = 0usize;
+        for ui in 0..seq.program().units.len() {
+            for (h, _) in seq.loops(ui) {
+                seq_deps += seq.graph(ui, h).unwrap().deps.len();
+            }
+        }
+        let mut batch = Ped::open(&src).unwrap();
+        let report = batch.analyze_all();
+        assert_eq!(
+            report.deps, seq_deps,
+            "batch analysis changed the dependence count at {lines} lines"
         );
-        g.bench_with_input(
-            BenchmarkId::new("interproc", lines),
-            &src,
-            |b, src| {
-                let p = ped_fortran::parse_program(src).unwrap();
-                b.iter(|| black_box(ped_interproc::IpAnalysis::analyze(&p)))
-            },
+        for ui in 0..seq.program().units.len() {
+            for (h, _) in seq.loops(ui) {
+                assert_eq!(
+                    batch.graph(ui, h).unwrap(),
+                    seq.graph(ui, h).unwrap(),
+                    "graph mismatch at unit {ui}"
+                );
+            }
+        }
+        let stats = batch.pair_cache_stats();
+        assert!(
+            stats.hits > 0,
+            "pair cache saw no hits at {lines} lines ({stats:?})"
         );
-        g.bench_with_input(
-            BenchmarkId::new("all_dep_graphs", lines),
-            &src,
-            |b, src| {
-                b.iter(|| {
-                    let mut ped = Ped::open(src).unwrap();
-                    let mut total = 0usize;
-                    for ui in 0..ped.program().units.len() {
-                        for (h, _) in ped.loops(ui) {
-                            total += ped.graph(ui, h).unwrap().deps.len();
-                        }
-                    }
-                    black_box(total)
-                })
-            },
+        println!(
+            "   deps {} (batch == sequential), {} threads, pair cache {}/{} hits ({:.0}%)",
+            report.deps,
+            report.threads,
+            stats.hits,
+            stats.hits + stats.misses,
+            stats.hit_rate() * 100.0
         );
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_scale);
-criterion_main!(benches);

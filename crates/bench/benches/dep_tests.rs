@@ -4,9 +4,11 @@
 //! inexpensive tests". This bench measures each test class on
 //! representative subscript pairs and the full driver on mixes dominated
 //! by cheap cases, confirming the cost ordering ZIV < SIV < MIV/Banerjee
-//! and the win from dispatching cheap tests first.
+//! and the win from dispatching cheap tests first — plus the memoized
+//! pair cache short-circuiting repeated pairs entirely.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ped_bench::harness::bench;
+use ped_dep::cache::PairCache;
 use ped_dep::driver::test_pair;
 use ped_dep::nest::{LoopCtx, NestCtx};
 use ped_fortran::builder::ex;
@@ -36,81 +38,74 @@ fn var(v: u32) -> Expr {
     Expr::Var(SymId(v))
 }
 
-fn bench_tests(c: &mut Criterion) {
-    let mut g = c.benchmark_group("dep_test_kinds");
-    g.sample_size(40);
-
+fn main() {
+    println!("E7: dependence-test hierarchy costs");
     let n1 = nest(1);
     let n2 = nest(2);
 
     // ZIV: a(3) vs a(5).
     let ziv = (vec![ex::int(3)], vec![ex::int(5)]);
-    g.bench_function("ziv", |b| {
-        b.iter(|| black_box(test_pair(&ziv.0, &ziv.1, &n1)))
-    });
+    bench("ziv", 40, || black_box(test_pair(&ziv.0, &ziv.1, &n1)));
 
     // Strong SIV: a(i) vs a(i-1).
     let siv = (vec![var(0)], vec![ex::sub(var(0), ex::int(1))]);
-    g.bench_function("strong_siv", |b| {
-        b.iter(|| black_box(test_pair(&siv.0, &siv.1, &n1)))
-    });
+    bench("strong_siv", 40, || black_box(test_pair(&siv.0, &siv.1, &n1)));
 
     // Exact SIV: a(2i+1) vs a(3i).
     let exact = (
         vec![ex::add(ex::mul(ex::int(2), var(0)), ex::int(1))],
         vec![ex::mul(ex::int(3), var(0))],
     );
-    g.bench_function("exact_siv", |b| {
-        b.iter(|| black_box(test_pair(&exact.0, &exact.1, &n1)))
-    });
+    bench("exact_siv", 40, || black_box(test_pair(&exact.0, &exact.1, &n1)));
 
     // MIV + Banerjee refinement: a(i+j) vs a(i+j+1) over a 2-nest.
     let miv = (
         vec![ex::add(var(0), var(1))],
         vec![ex::add(ex::add(var(0), var(1)), ex::int(1))],
     );
-    g.bench_function("miv_banerjee", |b| {
-        b.iter(|| black_box(test_pair(&miv.0, &miv.1, &n2)))
-    });
-    g.finish();
+    bench("miv_banerjee", 40, || black_box(test_pair(&miv.0, &miv.1, &n2)));
 
     // The hierarchy win: a workload of 1000 pairs, 90% SIV/ZIV, 10% MIV —
-    // measured end-to-end through the dispatching driver.
-    let mut g = c.benchmark_group("dep_driver_mix");
-    g.sample_size(20);
+    // measured end-to-end through the dispatching driver, then again
+    // through the pair cache (the mix has only a handful of distinct
+    // canonical pairs, so nearly every query is a table lookup).
+    println!("-- driver on 1000-pair mixes");
     for (label, miv_share) in [("mostly_cheap", 10usize), ("all_miv", 100)] {
-        g.bench_with_input(BenchmarkId::from_parameter(label), &miv_share, |b, &share| {
-            let pairs: Vec<(Vec<Expr>, Vec<Expr>, usize)> = (0..1000)
-                .map(|k| {
-                    if k % 100 < share {
-                        (
-                            vec![ex::add(var(0), var(1))],
-                            vec![ex::add(ex::add(var(0), var(1)), ex::int(k as i64 % 7))],
-                            2,
-                        )
-                    } else if k % 2 == 0 {
-                        (vec![var(0)], vec![ex::sub(var(0), ex::int(1))], 1)
-                    } else {
-                        (vec![ex::int(3)], vec![ex::int(5)], 1)
-                    }
-                })
-                .collect();
-            let n1 = nest(1);
-            let n2 = nest(2);
-            b.iter(|| {
-                let mut independents = 0;
-                for (a, s, d) in &pairs {
-                    let nest = if *d == 1 { &n1 } else { &n2 };
-                    if test_pair(a, s, nest).independent {
-                        independents += 1;
-                    }
+        let pairs: Vec<(Vec<Expr>, Vec<Expr>, usize)> = (0..1000)
+            .map(|k| {
+                if k % 100 < miv_share {
+                    (
+                        vec![ex::add(var(0), var(1))],
+                        vec![ex::add(ex::add(var(0), var(1)), ex::int(k as i64 % 7))],
+                        2,
+                    )
+                } else if k % 2 == 0 {
+                    (vec![var(0)], vec![ex::sub(var(0), ex::int(1))], 1)
+                } else {
+                    (vec![ex::int(3)], vec![ex::int(5)], 1)
                 }
-                black_box(independents)
             })
+            .collect();
+        bench(&format!("driver_mix/{label}"), 20, || {
+            let mut independents = 0;
+            for (a, s, d) in &pairs {
+                let nest = if *d == 1 { &n1 } else { &n2 };
+                if test_pair(a, s, nest).independent {
+                    independents += 1;
+                }
+            }
+            black_box(independents)
+        });
+        bench(&format!("driver_mix_cached/{label}"), 20, || {
+            let cache = PairCache::new();
+            let mut independents = 0;
+            for (a, s, d) in &pairs {
+                let nest = if *d == 1 { &n1 } else { &n2 };
+                if cache.test_pair(a, s, nest).independent {
+                    independents += 1;
+                }
+            }
+            black_box(independents)
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_tests);
-criterion_main!(benches);

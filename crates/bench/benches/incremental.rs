@@ -4,9 +4,12 @@
 //! responsive by re-analyzing only what an edit touched. We compare
 //! re-deriving the dependence graphs of *one edited unit* (unit-level
 //! incrementality, what the session does) against re-deriving every unit's
-//! graphs from scratch, across program sizes.
+//! graphs from scratch, across program sizes — and measure the fingerprint
+//! win: an edit whose visible interprocedural summaries are unchanged
+//! leaves every other unit's cached graph alive, so the steady-state cost
+//! is one unit's rebuild, not the program's.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ped_bench::harness::bench;
 use ped_core::Ped;
 use ped_workloads::generator::{gen_source, GenConfig};
 use std::hint::black_box;
@@ -19,42 +22,62 @@ fn graphs_of_unit(ped: &mut Ped, ui: usize) -> usize {
     n
 }
 
-fn bench_incremental(c: &mut Criterion) {
-    let mut g = c.benchmark_group("incremental_reanalysis");
-    g.sample_size(10);
+fn graphs_of_all(ped: &mut Ped) -> usize {
+    let mut total = 0;
+    for ui in 0..ped.program().units.len() {
+        total += graphs_of_unit(ped, ui);
+    }
+    total
+}
+
+fn main() {
+    println!("E10: incremental reanalysis after an edit");
+    // The edited replacement for unit work0 (one statement changed).
+    let edited = "subroutine work0(a, b, c, n)\ninteger n\nreal a(n), b(n), c(n, n)\n\
+                  do i = 1, n\na(i) = b(i) * 3.0\nenddo\nreturn\nend\n";
     for units in [4usize, 8, 16] {
         let cfg = GenConfig { units, loops_per_unit: 6, ..GenConfig::default() };
         let src = gen_source(cfg);
-        // The edited replacement for unit work0 (one statement changed).
-        let edited = "subroutine work0(a, b, c, n)\ninteger n\nreal a(n), b(n), c(n, n)\n\
-                      do i = 1, n\na(i) = b(i) * 3.0\nenddo\nreturn\nend\n";
-        g.bench_with_input(BenchmarkId::new("edit_one_unit", units), &src, |b, src| {
-            // Warm session with all graphs built.
-            let mut ped = Ped::open(src).unwrap();
-            for ui in 0..ped.program().units.len() {
-                graphs_of_unit(&mut ped, ui);
-            }
-            b.iter(|| {
-                ped.edit_unit("work0", edited).unwrap();
-                // Only the edited unit's graphs rebuild (interprocedural
-                // summaries refresh lazily inside).
-                let ui = ped.unit_index("work0").unwrap();
-                black_box(graphs_of_unit(&mut ped, ui))
-            })
+        println!("-- {units} units");
+
+        // Warm session with all graphs built; each iteration edits one
+        // unit and re-derives its graphs. Fingerprint invalidation keeps
+        // unaffected units' graphs, so only the edited unit rebuilds.
+        let mut ped = Ped::open(&src).unwrap();
+        graphs_of_all(&mut ped);
+        bench(&format!("edit_one_unit/{units}"), 10, || {
+            ped.edit_unit("work0", edited).unwrap();
+            let ui = ped.unit_index("work0").unwrap();
+            black_box(graphs_of_unit(&mut ped, ui))
         });
-        g.bench_with_input(BenchmarkId::new("full_reanalysis", units), &src, |b, src| {
-            b.iter(|| {
-                let mut ped = Ped::open(src).unwrap();
-                let mut total = 0;
-                for ui in 0..ped.program().units.len() {
-                    total += graphs_of_unit(&mut ped, ui);
-                }
-                black_box(total)
-            })
+
+        // The fingerprint rider: after the steady-state edits above, every
+        // *other* unit's graph must still be served from cache.
+        ped.edit_unit("work0", edited).unwrap();
+        let rebuilt_edit = {
+            graphs_of_all(&mut ped);
+            ped.reanalysis_count
+        };
+        let from_scratch = {
+            let mut fresh = Ped::open(&ped.source()).unwrap();
+            graphs_of_all(&mut fresh);
+            fresh.reanalysis_count
+        };
+        assert!(
+            rebuilt_edit < from_scratch,
+            "summary-preserving edit rebuilt {rebuilt_edit} graphs, \
+             scratch needs {from_scratch}: fingerprints not reusing"
+        );
+        println!("   graphs rebuilt after edit: {rebuilt_edit} (scratch: {from_scratch})");
+
+        bench(&format!("full_reanalysis/{units}"), 10, || {
+            let mut ped = Ped::open(&src).unwrap();
+            black_box(graphs_of_all(&mut ped))
+        });
+
+        bench(&format!("full_reanalysis_batch/{units}"), 10, || {
+            let mut ped = Ped::open(&src).unwrap();
+            black_box(ped.analyze_all().deps)
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_incremental);
-criterion_main!(benches);

@@ -6,70 +6,55 @@
 //! detector's overhead is the price of validating user-deleted
 //! dependences.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ped_bench::harness::bench;
 use ped_bench::{apply_suite_assertions, parallelize_everything};
 use ped_core::Ped;
 use ped_runtime::{ExecConfig, Machine, ParallelMode};
 use std::hint::black_box;
 
-fn bench_modes(c: &mut Criterion) {
+fn main() {
+    println!("E12: interpreter modes and race-detector overhead");
     let w = ped_workloads::program_by_name("spec77").unwrap();
     let mut ped = Ped::open(w.source).unwrap();
     apply_suite_assertions(&mut ped, w.name);
     parallelize_everything(&mut ped);
     let parallel_src = ped.source();
 
-    let mut g = c.benchmark_group("interp_modes");
-    g.sample_size(20);
-    g.bench_function("serial", |b| {
-        b.iter(|| {
-            black_box(
-                ped_runtime::interp::run_source(&parallel_src, ExecConfig::default()).unwrap(),
-            )
-        })
+    bench("serial", 20, || {
+        black_box(ped_runtime::interp::run_source(&parallel_src, ExecConfig::default()).unwrap())
     });
-    g.bench_function("simulate_p8", |b| {
-        b.iter(|| {
-            black_box(
-                ped_runtime::interp::run_source(
-                    &parallel_src,
-                    ExecConfig {
-                        mode: ParallelMode::Simulate(Machine::alliant8()),
-                        ..Default::default()
-                    },
-                )
-                .unwrap(),
+    bench("simulate_p8", 20, || {
+        black_box(
+            ped_runtime::interp::run_source(
+                &parallel_src,
+                ExecConfig {
+                    mode: ParallelMode::Simulate(Machine::alliant8()),
+                    ..Default::default()
+                },
             )
-        })
+            .unwrap(),
+        )
     });
-    g.bench_function("simulate_p8_racedetect", |b| {
-        b.iter(|| {
-            black_box(
-                ped_runtime::interp::run_source(
-                    &parallel_src,
-                    ExecConfig {
-                        mode: ParallelMode::Simulate(Machine::alliant8()),
-                        detect_races: true,
-                        ..Default::default()
-                    },
-                )
-                .unwrap(),
+    bench("simulate_p8_racedetect", 20, || {
+        black_box(
+            ped_runtime::interp::run_source(
+                &parallel_src,
+                ExecConfig {
+                    mode: ParallelMode::Simulate(Machine::alliant8()),
+                    detect_races: true,
+                    ..Default::default()
+                },
             )
-        })
+            .unwrap(),
+        )
     });
-    g.bench_function("threads_4", |b| {
-        b.iter(|| {
-            black_box(
-                ped_runtime::interp::run_source(
-                    &parallel_src,
-                    ExecConfig { mode: ParallelMode::Threads(4), ..Default::default() },
-                )
-                .unwrap(),
+    bench("threads_4", 20, || {
+        black_box(
+            ped_runtime::interp::run_source(
+                &parallel_src,
+                ExecConfig { mode: ParallelMode::Threads(4), ..Default::default() },
             )
-        })
+            .unwrap(),
+        )
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_modes);
-criterion_main!(benches);

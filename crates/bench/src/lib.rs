@@ -1,9 +1,11 @@
 //! # ped-bench — experiment harness
 //!
 //! Shared machinery for the table/figure reproduction binaries (see
-//! DESIGN.md's experiment index E1–E12) and the Criterion benches. Each
-//! binary prints one paper artifact; `EXPERIMENTS.md` records the outputs
-//! against the paper's claims.
+//! DESIGN.md's experiment index E1–E12) and the [`harness`]-based benches.
+//! Each binary prints one paper artifact; `EXPERIMENTS.md` records the
+//! outputs against the paper's claims.
+
+pub mod harness;
 
 use ped_core::{Assertion, Ped};
 use ped_fortran::StmtId;
@@ -77,24 +79,20 @@ pub fn parallelize_everything(ped: &mut Ped) -> usize {
             if covered.contains(&h) {
                 continue;
             }
-            if ped.parallelizable(ui, h).unwrap_or(false) {
-                if ped.apply(ui, h, &ped_transform::Xform::Parallelize).is_ok() {
-                    converted += 1;
-                    // Don't double-parallelize inner loops.
-                    let unit = &ped.program().units[ui];
-                    if unit.is_loop(h) {
-                        let mut nested = Vec::new();
-                        ped_fortran::visit::for_each_stmt(
-                            unit,
-                            &unit.loop_of(h).body,
-                            &mut |s| {
-                                if unit.is_loop(s) {
-                                    nested.push(s);
-                                }
-                            },
-                        );
-                        covered.extend(nested);
-                    }
+            if ped.parallelizable(ui, h).unwrap_or(false)
+                && ped.apply(ui, h, &ped_transform::Xform::Parallelize).is_ok()
+            {
+                converted += 1;
+                // Don't double-parallelize inner loops.
+                let unit = &ped.program().units[ui];
+                if unit.is_loop(h) {
+                    let mut nested = Vec::new();
+                    ped_fortran::visit::for_each_stmt(unit, &unit.loop_of(h).body, &mut |s| {
+                        if unit.is_loop(s) {
+                            nested.push(s);
+                        }
+                    });
+                    covered.extend(nested);
                 }
             }
         }
@@ -285,6 +283,36 @@ mod tests {
             );
             if w.name == "pneoss" {
                 assert!(n >= 2, "pneoss should parallelize several loops");
+            }
+        }
+    }
+
+    #[test]
+    fn analyze_all_deterministic_on_generated_programs() {
+        use ped_workloads::generator::{gen_source, GenConfig};
+        for (units, loops, seed) in [(3usize, 4usize, 1u64), (6, 5, 2), (9, 3, 3)] {
+            let src = gen_source(GenConfig {
+                units,
+                loops_per_unit: loops,
+                seed,
+                ..GenConfig::default()
+            });
+            let mut seq = Ped::open(&src).unwrap();
+            let mut expected = Vec::new();
+            for ui in 0..seq.program().units.len() {
+                for (h, _) in seq.loops(ui) {
+                    expected.push((ui, h, seq.graph(ui, h).unwrap()));
+                }
+            }
+            let mut batch = Ped::open(&src).unwrap();
+            let report = batch.analyze_all();
+            assert_eq!(report.built, expected.len(), "seed {seed}");
+            for (ui, h, g) in &expected {
+                assert_eq!(
+                    &batch.graph(*ui, *h).unwrap(),
+                    g,
+                    "seed {seed}: unit {ui} loop {h} differs between parallel and sequential"
+                );
             }
         }
     }

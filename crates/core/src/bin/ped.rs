@@ -3,12 +3,15 @@
 //! ```sh
 //! cargo run -p ped-core --bin ped -- path/to/program.f
 //! cargo run -p ped-core --bin ped -- --workload onedim
+//! cargo run -p ped-core --bin ped -- --batch path/to/program.f
 //! echo "loops\nview 0 s4\nquit" | cargo run -p ped-core --bin ped -- --workload onedim
 //! ```
 //!
 //! Commands (see `help`): navigation (`units`, `loops`, `view`), analysis
-//! editing (`mark`, `assert`), power steering (`diagnose`, `apply`,
-//! `undo`, `redo`), and execution (`run`, `estimate`, `source`).
+//! editing (`mark`, `assert`), whole-program analysis (`analyze`), power
+//! steering (`diagnose`, `apply`, `undo`, `redo`), and execution (`run`,
+//! `estimate`, `source`). `--batch` analyzes every loop of every unit in
+//! parallel, prints the batch report, and exits.
 
 use ped_core::{render, Assertion, DepFilter, Mark, Ped, SourceFilter};
 use ped_runtime::{ExecConfig, Machine, ParallelMode};
@@ -16,7 +19,11 @@ use ped_transform::Xform;
 use std::io::{BufRead, Write};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let batch = args.first().is_some_and(|a| a == "--batch");
+    if batch {
+        args.remove(0);
+    }
     let src = match args.as_slice() {
         [flag, name] if flag == "--workload" => {
             match ped_workloads_source(name) {
@@ -35,7 +42,7 @@ fn main() {
             }
         },
         _ => {
-            eprintln!("usage: ped <file.f> | ped --workload <name>");
+            eprintln!("usage: ped [--batch] <file.f> | ped [--batch] --workload <name>");
             std::process::exit(1);
         }
     };
@@ -46,6 +53,10 @@ fn main() {
             std::process::exit(1);
         }
     };
+    if batch {
+        print_batch_report(&mut ped);
+        return;
+    }
     println!("ParaScope Editor — {} unit(s) loaded; `help` lists commands", ped.program().units.len());
     let stdin = std::io::stdin();
     let mut cur_unit = 0usize;
@@ -69,6 +80,27 @@ fn ped_workloads_source(name: &str) -> Option<String> {
     ped_workloads::program_by_name(name).map(|w| w.source.to_string())
 }
 
+/// Run whole-program analysis and print the [`ped_core::BatchReport`].
+fn print_batch_report(ped: &mut Ped) {
+    let t0 = std::time::Instant::now();
+    let r = ped.analyze_all();
+    let elapsed = t0.elapsed();
+    println!(
+        "analyzed {} loop(s) across {} unit(s) in {:.1} ms",
+        r.loops,
+        r.units,
+        elapsed.as_secs_f64() * 1e3
+    );
+    println!("  graphs built: {:4}   reused from cache: {}", r.built, r.reused);
+    println!("  dependences:  {:4}   worker threads:    {}", r.deps, r.threads);
+    println!(
+        "  pair cache:   {} hit(s), {} miss(es) ({:.0}% hit rate this pass)",
+        r.cache.hits,
+        r.cache.misses,
+        r.cache.hit_rate() * 100.0
+    );
+}
+
 /// Execute one command; Ok(true) = quit.
 fn run_command(ped: &mut Ped, cur_unit: &mut usize, words: &[&str]) -> Result<bool, String> {
     let parse_stmt = |s: &str| -> Result<ped_fortran::StmtId, String> {
@@ -84,6 +116,7 @@ fn run_command(ped: &mut Ped, cur_unit: &mut usize, words: &[&str]) -> Result<bo
 units                         list program units
 unit <i>                      switch the current unit
 loops                         loops of the current unit (ranked by est. cost)
+analyze                       build graphs for every loop of every unit, in parallel
 view <stmt>                   three-pane view of a loop (e.g. `view s4`)
 deps <stmt>                   dependence pane only, blocking filter
 mark <stmt> <dep-id> reject|accept
@@ -113,6 +146,10 @@ quit"
             }
             *cur_unit = i;
             println!("current unit: {}", ped.program().units[i].name);
+            Ok(false)
+        }
+        ["analyze"] => {
+            print_batch_report(ped);
             Ok(false)
         }
         ["loops"] | ["estimate"] => {

@@ -18,4 +18,6 @@ pub mod render;
 pub mod session;
 
 pub use filters::{DepFilter, SourceFilter};
-pub use session::{Assertion, DepKey, DepStatus, Mark, Ped, PedError};
+pub use session::{
+    build_unit_graph, Assertion, BatchReport, DepKey, DepStatus, Mark, Ped, PedError,
+};

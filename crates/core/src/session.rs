@@ -1,5 +1,6 @@
 //! The editor session: program database, marking, assertions, steering.
 
+use ped_dep::cache::PairCache;
 use ped_dep::graph::{build_graph, GraphConfig};
 use ped_dep::{DepGraph, DepKind};
 use ped_fortran::symbols::Const;
@@ -9,6 +10,7 @@ use ped_interproc::{IpAnalysis, IpFlags};
 use ped_runtime::Machine;
 use ped_transform::{Applied, Diagnosis, Xform};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// User marking of one dependence (the system sets proven/pending; the user
 /// may accept or reject pending dependences).
@@ -106,8 +108,36 @@ pub struct Ped {
     assertions: Vec<Assertion>,
     undo: Vec<(Program, HashMap<DepKey, Mark>)>,
     redo: Vec<(Program, HashMap<DepKey, Mark>)>,
-    /// Analyses recomputed since the last edit (for instrumentation).
+    /// Memoized subscript-pair outcomes, shared by interactive queries and
+    /// `analyze_all` workers. Never invalidated: its key canonicalizes the
+    /// *resolved* subscripts and bounds, so edits and new assertions simply
+    /// produce different keys.
+    pair_cache: PairCache,
+    /// Analysis recomputations (interprocedural passes + dependence-graph
+    /// builds) performed since the most recent *edit* (`edit_unit`,
+    /// `apply`, `undo`, `redo`). Flag toggles and cache rebuilds accumulate
+    /// here; only an explicit edit resets the counter — the E10 experiment
+    /// reads it as "work done to re-answer queries after an edit".
     pub reanalysis_count: usize,
+}
+
+/// What one [`Ped::analyze_all`] batch run did.
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// Program units in the session.
+    pub units: usize,
+    /// Total loops across all units.
+    pub loops: usize,
+    /// Graphs built by this call.
+    pub built: usize,
+    /// Graphs already cached and left untouched.
+    pub reused: usize,
+    /// Total dependences across all cached graphs after the run.
+    pub deps: usize,
+    /// Worker threads used (0 when nothing needed building).
+    pub threads: usize,
+    /// Pair-cache hits/misses incurred by this call.
+    pub cache: ped_dep::CacheStats,
 }
 
 impl Ped {
@@ -129,6 +159,7 @@ impl Ped {
             assertions: Vec::new(),
             undo: Vec::new(),
             redo: Vec::new(),
+            pair_cache: PairCache::new(),
             reanalysis_count: 0,
         }
     }
@@ -156,16 +187,39 @@ impl Ped {
     }
 
     fn invalidate_all(&mut self) {
+        // Deliberately does NOT touch `reanalysis_count`: invalidation from
+        // a flag toggle is not an edit, and the E10 instrumentation must
+        // keep accumulating across it.
         self.ip = None;
         self.graphs.clear();
-        self.reanalysis_count = 0;
     }
 
-    fn invalidate_unit(&mut self, unit_idx: usize) {
-        // Unit-level incrementality: this unit's graphs go; interprocedural
-        // summaries must be refreshed too (they may transitively change).
-        self.ip = None;
+    /// Visible fingerprints of the *current* program state (None when no
+    /// interprocedural results exist — then no cross-unit graph can be
+    /// cached either). Edit paths capture this before mutating the program.
+    fn visible_fps(&self) -> Option<Vec<u64>> {
+        self.ip.as_ref().map(|ip| ip.visible_fingerprints(&self.program))
+    }
+
+    /// Unit-level incremental invalidation after `unit_idx` changed. The
+    /// edited unit's graphs are always dropped and interprocedural results
+    /// are recomputed eagerly; every *other* unit keeps its cached graphs
+    /// exactly when its visible fingerprint — own summary plus constants
+    /// plus the summaries (and translation interfaces) of all transitively
+    /// reachable callees — is unchanged. `old_fps` must come from
+    /// [`Self::visible_fps`] *before* the program was mutated; without it
+    /// everything is conservatively dropped.
+    fn invalidate_unit(&mut self, unit_idx: usize, old_fps: Option<Vec<u64>>) {
         self.graphs.retain(|&(ui, _), _| ui != unit_idx);
+        let new_ip = IpAnalysis::analyze(&self.program);
+        let new_fps = new_ip.visible_fingerprints(&self.program);
+        match old_fps {
+            Some(old) if old.len() == new_fps.len() => {
+                self.graphs.retain(|&(ui, _), _| old[ui] == new_fps[ui]);
+            }
+            _ => self.graphs.clear(),
+        }
+        self.ip = Some(new_ip);
     }
 
     fn ip(&mut self) -> &IpAnalysis {
@@ -202,29 +256,6 @@ impl Ped {
             .collect()
     }
 
-    /// Integer resolver for a unit: assertions first, then interprocedural
-    /// constant seeds. Captures owned copies so it outlives the session
-    /// borrow.
-    fn resolver(&mut self, unit_idx: usize) -> impl Fn(SymId) -> Option<i64> + 'static {
-        let seeds = self.ip().const_seeds[unit_idx].clone();
-        let asserted: HashMap<SymId, i64> = self
-            .assertions
-            .iter()
-            .filter_map(|a| match a {
-                Assertion::Value { unit, sym, value } if *unit == unit_idx => {
-                    Some((*sym, *value))
-                }
-                _ => None,
-            })
-            .collect();
-        move |s| {
-            asserted.get(&s).copied().or_else(|| match seeds.get(&s) {
-                Some(Const::Int(v)) => Some(*v),
-                _ => None,
-            })
-        }
-    }
-
     /// The dependence graph of a loop (cached; returns a clone so the
     /// session stays usable while the caller inspects it).
     pub fn graph(&mut self, unit_idx: usize, header: StmtId) -> Result<DepGraph, PedError> {
@@ -233,39 +264,115 @@ impl Ped {
                 return Err(PedError(format!("{header} is not a loop")));
             }
             self.ip();
-            let flags = self.flags;
-            let include_input = self.include_input_deps;
-            let base = self.resolver(unit_idx);
-            // Layer intraprocedural constant propagation at the loop header
-            // over assertions and interprocedural seeds.
-            let unit_ref = &self.program.units[unit_idx];
-            let cfg = ped_analysis::cfg::Cfg::build(unit_ref);
-            let seeds = if flags.constants {
-                self.ip.as_ref().expect("built above").const_seeds[unit_idx].clone()
-            } else {
-                ped_analysis::constants::Facts::new()
-            };
-            let env = ped_analysis::constants::ConstEnv::compute_seeded(unit_ref, &cfg, &seeds);
-            let header_facts: ped_analysis::constants::Facts = env.at(header).clone();
-            let resolve = move |s: SymId| {
-                base(s).or_else(|| match header_facts.get(&s) {
-                    Some(Const::Int(v)) => Some(*v),
-                    _ => None,
-                })
-            };
             let ip = self.ip.as_ref().expect("built above");
-            let oracle = ip.oracle(&self.program, unit_idx, flags);
-            let config = GraphConfig {
-                include_input,
-                effects: &oracle,
-                call_info: &oracle,
-                resolve: Box::new(resolve),
-            };
-            let g = build_graph(&self.program.units[unit_idx], header, &config);
+            let g = build_unit_graph(
+                &self.program,
+                ip,
+                unit_idx,
+                header,
+                self.flags,
+                self.include_input_deps,
+                &self.assertions,
+                Some(&self.pair_cache),
+            );
             self.graphs.insert((unit_idx, header), g);
             self.reanalysis_count += 1;
         }
         Ok(self.graphs[&(unit_idx, header)].clone())
+    }
+
+    /// Analyze every loop of every unit, in parallel, filling the session
+    /// cache. Graph construction is a pure function of the shared read-only
+    /// state ([`build_unit_graph`]), so workers race only on the pair
+    /// cache's internal shards; results are merged back deterministically
+    /// and are bit-identical to what sequential [`Self::graph`] calls
+    /// produce. Already-cached graphs are reused, which is what makes the
+    /// incremental story compose: edit → fingerprint invalidation →
+    /// `analyze_all` rebuilds only what actually changed.
+    pub fn analyze_all(&mut self) -> BatchReport {
+        self.ip();
+        let mut all: Vec<(usize, StmtId)> = Vec::new();
+        for u in 0..self.program.units.len() {
+            for (h, _) in self.loops(u) {
+                all.push((u, h));
+            }
+        }
+        let pending: Vec<(usize, StmtId)> =
+            all.iter().copied().filter(|k| !self.graphs.contains_key(k)).collect();
+        let before = self.pair_cache.stats();
+        let threads = if pending.is_empty() {
+            0
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(pending.len())
+        };
+        let results: Vec<((usize, StmtId), DepGraph)> = if pending.is_empty() {
+            Vec::new()
+        } else {
+            let program = &self.program;
+            let ip = self.ip.as_ref().expect("built above");
+            let flags = self.flags;
+            let include_input = self.include_input_deps;
+            let assertions = &self.assertions[..];
+            let cache = &self.pair_cache;
+            let next = AtomicUsize::new(0);
+            let next = &next;
+            let pending = &pending;
+            std::thread::scope(|s| {
+                let workers: Vec<_> = (0..threads)
+                    .map(|_| {
+                        s.spawn(move || {
+                            let mut out = Vec::new();
+                            loop {
+                                let i = next.fetch_add(1, Ordering::Relaxed);
+                                let Some(&(u, h)) = pending.get(i) else { break };
+                                let g = build_unit_graph(
+                                    program,
+                                    ip,
+                                    u,
+                                    h,
+                                    flags,
+                                    include_input,
+                                    assertions,
+                                    Some(cache),
+                                );
+                                out.push(((u, h), g));
+                            }
+                            out
+                        })
+                    })
+                    .collect();
+                workers
+                    .into_iter()
+                    .flat_map(|w| w.join().expect("analysis worker panicked"))
+                    .collect()
+            })
+        };
+        let built = results.len();
+        for (k, g) in results {
+            self.graphs.insert(k, g);
+        }
+        self.reanalysis_count += built;
+        let after = self.pair_cache.stats();
+        BatchReport {
+            units: self.program.units.len(),
+            loops: all.len(),
+            built,
+            reused: all.len() - built,
+            deps: self.graphs.values().map(|g| g.deps.len()).sum(),
+            threads,
+            cache: ped_dep::CacheStats {
+                hits: after.hits - before.hits,
+                misses: after.misses - before.misses,
+            },
+        }
+    }
+
+    /// Pair-cache counters (for benchmarks and the `analyze` command).
+    pub fn pair_cache_stats(&self) -> ped_dep::CacheStats {
+        self.pair_cache.stats()
     }
 
     /// Status of a dependence (system marking overlaid with user marks).
@@ -435,6 +542,7 @@ impl Ped {
         let graph = self.graph_or_empty(unit_idx, header)?;
         self.undo.push((self.program.clone(), self.marks.clone()));
         self.redo.clear();
+        let old_fps = self.visible_fps();
         let result = if let Xform::Inline { call } = xform {
             ped_transform::apply_inline(&mut self.program, unit_idx, *call)
         } else {
@@ -442,7 +550,8 @@ impl Ped {
         };
         match result {
             Ok(applied) => {
-                self.invalidate_unit(unit_idx);
+                self.invalidate_unit(unit_idx, old_fps);
+                self.reanalysis_count = 0;
                 Ok(applied)
             }
             Err(e) => {
@@ -462,6 +571,7 @@ impl Ped {
                 self.program = p;
                 self.marks = m;
                 self.invalidate_all();
+                self.reanalysis_count = 0;
                 true
             }
             None => false,
@@ -476,15 +586,17 @@ impl Ped {
                 self.program = p;
                 self.marks = m;
                 self.invalidate_all();
+                self.reanalysis_count = 0;
                 true
             }
             None => false,
         }
     }
 
-    /// Replace one unit's source text (the editing path); analyses for the
-    /// unit are invalidated, others stay cached until the interprocedural
-    /// layer is re-queried.
+    /// Replace one unit's source text (the editing path). The edited unit's
+    /// analyses are invalidated; interprocedural results are recomputed at
+    /// once, and other units keep their cached graphs when their visible
+    /// summary fingerprints are unchanged.
     pub fn edit_unit(&mut self, name: &str, new_src: &str) -> Result<(), PedError> {
         let unit_idx = self.unit_index(name)?;
         let parsed = parse_program(new_src).map_err(|e| PedError(format!("parse: {e}")))?;
@@ -495,8 +607,10 @@ impl Ped {
             .ok_or_else(|| PedError(format!("replacement source lacks unit {name}")))?;
         self.undo.push((self.program.clone(), self.marks.clone()));
         self.redo.clear();
+        let old_fps = self.visible_fps();
         self.program.units[unit_idx] = new_unit;
-        self.invalidate_unit(unit_idx);
+        self.invalidate_unit(unit_idx, old_fps);
+        self.reanalysis_count = 0;
         Ok(())
     }
 
@@ -536,6 +650,63 @@ impl Ped {
             .map_err(|e| PedError(e.message.clone()))?;
         interp.run().map_err(|e| PedError(e.message))
     }
+}
+
+/// Build one loop's dependence graph as a pure function of shared
+/// read-only state: the program, the interprocedural results, the
+/// capability flags, and the user's assertions. No session mutation — this
+/// is what lets [`Ped::analyze_all`] fan out over `(unit, header)` pairs
+/// from plain worker threads, and a sequential call produces bit-identical
+/// output because [`build_graph`] sorts and re-ids its edges.
+#[allow(clippy::too_many_arguments)]
+pub fn build_unit_graph(
+    program: &Program,
+    ip: &IpAnalysis,
+    unit_idx: usize,
+    header: StmtId,
+    flags: IpFlags,
+    include_input: bool,
+    assertions: &[Assertion],
+    pair_cache: Option<&PairCache>,
+) -> DepGraph {
+    // Resolver layering (innermost wins): user assertions, then
+    // interprocedural constant seeds, then intraprocedural constant
+    // propagation at the loop header.
+    let asserted: HashMap<SymId, i64> = assertions
+        .iter()
+        .filter_map(|a| match a {
+            Assertion::Value { unit, sym, value } if *unit == unit_idx => Some((*sym, *value)),
+            _ => None,
+        })
+        .collect();
+    let ip_seeds = &ip.const_seeds[unit_idx];
+    let unit_ref = &program.units[unit_idx];
+    let cfg = ped_analysis::cfg::Cfg::build(unit_ref);
+    let seeds = if flags.constants {
+        ip_seeds.clone()
+    } else {
+        ped_analysis::constants::Facts::new()
+    };
+    let env = ped_analysis::constants::ConstEnv::compute_seeded(unit_ref, &cfg, &seeds);
+    let header_facts: ped_analysis::constants::Facts = env.at(header).clone();
+    let resolve = move |s: SymId| {
+        asserted.get(&s).copied().or_else(|| match ip_seeds.get(&s) {
+            Some(Const::Int(v)) => Some(*v),
+            _ => match header_facts.get(&s) {
+                Some(Const::Int(v)) => Some(*v),
+                _ => None,
+            },
+        })
+    };
+    let oracle = ip.oracle(program, unit_idx, flags);
+    let config = GraphConfig {
+        include_input,
+        effects: &oracle,
+        call_info: &oracle,
+        resolve: Box::new(resolve),
+        pair_cache,
+    };
+    build_graph(unit_ref, header, &config)
 }
 
 /// Does a dependence run through `array`-indexed subscripts on both ends?
@@ -693,6 +864,109 @@ mod tests {
         assert!(ped.undo());
         let h3 = ped.loops(0)[0].0;
         assert!(!ped.parallelizable(0, h3).unwrap());
+    }
+
+    /// The caller's loop is parallel only while the callee merely *reads*
+    /// the shared array through `x`. A read-only probe and a probe that
+    /// also writes `x(k+1)` — used to flip the callee's MOD set mid-session.
+    const CALLER_SRC: &str = "program t\nreal a(100), b(100)\ndo i = 1, 100\n\
+        call probe(a, b, i)\nenddo\nend\n\
+        subroutine probe(x, y, k)\ninteger k\nreal x(100), y(100)\n\
+        y(k) = x(k)\nreturn\nend\n";
+    const PROBE_WRITES_X: &str = "subroutine probe(x, y, k)\ninteger k\n\
+        real x(100), y(100)\ny(k) = x(k)\nx(k+1) = 0.0\nreturn\nend\n";
+
+    /// The headline staleness bug: editing a callee so its MOD set changes
+    /// must be reflected by the caller's next `graph()`. The old
+    /// `invalidate_unit` retained the caller's cached graph (built against
+    /// the pre-edit oracle), so this test was red before fingerprint
+    /// invalidation.
+    #[test]
+    fn callee_mod_change_invalidates_caller_graph() {
+        let mut ped = Ped::open(CALLER_SRC).unwrap();
+        let h = ped.loops(0)[0].0;
+        assert!(
+            ped.parallelizable(0, h).unwrap(),
+            "x only read, y written at exact k: parallel"
+        );
+        ped.edit_unit("probe", PROBE_WRITES_X).unwrap();
+        assert!(
+            !ped.parallelizable(0, h).unwrap(),
+            "callee now writes x(k+1): the caller's i loop carries a dependence"
+        );
+        // And back: undo restores the read-only callee and the parallelism.
+        assert!(ped.undo());
+        assert!(ped.parallelizable(0, h).unwrap());
+    }
+
+    /// The flip side of fingerprinting: an edit whose visible summaries are
+    /// unchanged must *keep* other units' graphs — measured through
+    /// `reanalysis_count`, which an edit resets and only real rebuilds
+    /// increment.
+    #[test]
+    fn summary_preserving_edit_keeps_caller_graphs() {
+        let mut ped = Ped::open(CALLER_SRC).unwrap();
+        let h = ped.loops(0)[0].0;
+        let before = ped.graph(0, h).unwrap();
+        // Re-edit the callee with an internally different but summary-
+        // equivalent body (an extra private temporary).
+        ped.edit_unit(
+            "probe",
+            "subroutine probe(x, y, k)\ninteger k\nreal x(100), y(100)\n\
+             t1 = x(k)\ny(k) = t1\nreturn\nend\n",
+        )
+        .unwrap();
+        assert_eq!(ped.reanalysis_count, 0, "edit resets the counter");
+        let after = ped.graph(0, h).unwrap();
+        assert_eq!(before, after, "caller graph unchanged");
+        assert_eq!(
+            ped.reanalysis_count, 0,
+            "caller graph must be served from cache after a summary-preserving edit"
+        );
+    }
+
+    /// Toggling flags invalidates caches but must not corrupt the E10
+    /// counter (it used to be zeroed by `invalidate_all`).
+    #[test]
+    fn flag_toggle_preserves_reanalysis_count() {
+        let mut ped = Ped::open(CALLER_SRC).unwrap();
+        let h = ped.loops(0)[0].0;
+        ped.graph(0, h).unwrap();
+        let counted = ped.reanalysis_count;
+        assert!(counted > 0);
+        ped.set_flags(IpFlags::none());
+        assert_eq!(ped.reanalysis_count, counted, "toggle is not an edit");
+        ped.graph(0, h).unwrap();
+        assert!(ped.reanalysis_count > counted, "rebuild keeps accumulating");
+    }
+
+    /// `analyze_all` fills the whole cache and matches sequential `graph()`
+    /// bit for bit; a second call reuses everything.
+    #[test]
+    fn analyze_all_matches_sequential_graphs() {
+        let src = "program t\nreal a(100), b(100)\ndo i = 1, 100\ncall probe(a, b, i)\nenddo\n\
+            do i = 2, 100\na(i) = a(i-1) + b(i)\nenddo\nend\n\
+            subroutine probe(x, y, k)\ninteger k\nreal x(100), y(100)\ny(k) = x(k)\nreturn\nend\n";
+        let mut seq = Ped::open(src).unwrap();
+        let mut expected = Vec::new();
+        for u in 0..seq.program().units.len() {
+            for (h, _) in seq.loops(u) {
+                expected.push(((u, h), seq.graph(u, h).unwrap()));
+            }
+        }
+        let mut batch = Ped::open(src).unwrap();
+        let report = batch.analyze_all();
+        assert_eq!(report.built, expected.len());
+        assert_eq!(report.reused, 0);
+        assert_eq!(report.units, 2);
+        for ((u, h), g) in &expected {
+            assert_eq!(&batch.graph(*u, *h).unwrap(), g, "unit {u} loop {h}");
+        }
+        let again = batch.analyze_all();
+        assert_eq!(again.built, 0);
+        assert_eq!(again.reused, expected.len());
+        assert_eq!(again.threads, 0);
+        assert_eq!(again.deps, report.deps);
     }
 
     #[test]

@@ -1,0 +1,323 @@
+//! Memoized subscript-pair testing.
+//!
+//! Whole-program analysis tests the same shapes over and over: `a(i)` vs
+//! `a(i-1)` under a `1..n` loop appears in every stencil of every unit.
+//! [`PairCache`] memoizes [`test_pair`] outcomes under a *canonical* key so
+//! identical pairs — across loops, units, and symbol tables — are tested
+//! once. The map is sharded behind mutexes so `analyze_all`'s worker
+//! threads share one cache without serializing on a single lock.
+//!
+//! ## Key soundness
+//!
+//! The entire test suite (ZIV → SIV variants → GCD → Banerjee) consumes
+//! only the *resolved* affine forms of the subscripts and, per nest level,
+//! `(lo_const, hi_const, step)` — see `tests_suite`; the `resolve` hook
+//! acts solely through `NestCtx::affine` and the constant bounds, both of
+//! which are applied *before* the key is formed. Within an affine form,
+//! index variables are rewritten to their nest level and every other
+//! symbol to its first-appearance ordinal across the whole pair, so key
+//! equality implies a symbol-renaming isomorphism between the two queries
+//! — and every test is invariant under such renamings. Collisions can
+//! therefore never conflate distinct outcomes; a too-strict key only
+//! costs a miss.
+
+use crate::driver::{test_pair, PairOutcome};
+use crate::nest::NestCtx;
+use ped_fortran::{Expr, SymId};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+const SHARDS: usize = 16;
+
+/// One subscript position in canonical form. `konst` is the constant part,
+/// `idx[k]` the coefficient of the level-`k` index variable, and `syms`
+/// maps first-appearance ordinals of free symbols to their coefficients.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct CanonAffine {
+    konst: i64,
+    idx: Vec<i64>,
+    syms: Vec<(u32, i64)>,
+}
+
+/// The full memoization key: per-level constant bounds and step, plus the
+/// canonicalized subscript vectors (`None` = non-affine position, for which
+/// the driver's behavior is fixed regardless of the expression).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct PairKey {
+    levels: Vec<(Option<i64>, Option<i64>, Option<i64>)>,
+    src: Vec<Option<CanonAffine>>,
+    sink: Vec<Option<CanonAffine>>,
+}
+
+fn canon_subs(
+    subs: &[Expr],
+    nest: &NestCtx<'_>,
+    index_vars: &[SymId],
+    ordinals: &mut HashMap<SymId, u32>,
+) -> Vec<Option<CanonAffine>> {
+    subs.iter()
+        .map(|e| {
+            nest.affine(e).map(|a| {
+                let mut idx = vec![0i64; index_vars.len()];
+                let mut syms = Vec::new();
+                for (&v, &c) in &a.terms {
+                    if let Some(level) = index_vars.iter().position(|&iv| iv == v) {
+                        idx[level] = c;
+                    } else {
+                        let next = ordinals.len() as u32;
+                        let o = *ordinals.entry(v).or_insert(next);
+                        syms.push((o, c));
+                    }
+                }
+                syms.sort_unstable();
+                CanonAffine { konst: a.konst, idx, syms }
+            })
+        })
+        .collect()
+}
+
+fn make_key(src_subs: &[Expr], sink_subs: &[Expr], nest: &NestCtx<'_>) -> PairKey {
+    let index_vars = nest.index_vars();
+    let mut ordinals: HashMap<SymId, u32> = HashMap::new();
+    PairKey {
+        levels: nest.loops.iter().map(|l| (l.lo_const, l.hi_const, l.step)).collect(),
+        src: canon_subs(src_subs, nest, &index_vars, &mut ordinals),
+        sink: canon_subs(sink_subs, nest, &index_vars, &mut ordinals),
+    }
+}
+
+/// Hit/miss counters of a [`PairCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Queries answered from the cache.
+    pub hits: u64,
+    /// Queries that ran the full test suite.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Hits as a fraction of all queries (0 when empty).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A sharded, thread-safe memo table for [`test_pair`] outcomes.
+pub struct PairCache {
+    shards: [Mutex<HashMap<PairKey, PairOutcome>>; SHARDS],
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Default for PairCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PairCache {
+    /// An empty cache.
+    pub fn new() -> PairCache {
+        PairCache {
+            shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Answer a pair query from the cache, running [`test_pair`] on a miss.
+    /// Equivalent to `test_pair(src_subs, sink_subs, nest)` in all cases.
+    pub fn test_pair(
+        &self,
+        src_subs: &[Expr],
+        sink_subs: &[Expr],
+        nest: &NestCtx<'_>,
+    ) -> PairOutcome {
+        let key = make_key(src_subs, sink_subs, nest);
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        let shard = &self.shards[(h.finish() as usize) % SHARDS];
+        if let Some(hit) = shard.lock().unwrap().get(&key).cloned() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return hit;
+        }
+        // Test outside the lock: misses dominate early and the suite can be
+        // expensive (Banerjee enumeration); a racing duplicate insert is
+        // harmless because outcomes for equal keys are equal.
+        let outcome = test_pair(src_subs, sink_subs, nest);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        shard.lock().unwrap().insert(key, outcome.clone());
+        outcome
+    }
+
+    /// Current hit/miss counts.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of distinct memoized keys.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().unwrap().len()).sum()
+    }
+
+    /// True when nothing is memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nest::LoopCtx;
+    use ped_analysis::symbolic::Affine;
+    use ped_fortran::builder::ex;
+    use ped_fortran::StmtId;
+
+    fn nest(vars: &[(u32, i64, i64)]) -> NestCtx<'static> {
+        NestCtx {
+            loops: vars
+                .iter()
+                .map(|&(v, lo, hi)| LoopCtx {
+                    header: StmtId(v),
+                    var: SymId(v),
+                    lo: Some(Affine::constant(lo)),
+                    hi: Some(Affine::constant(hi)),
+                    lo_const: Some(lo),
+                    hi_const: Some(hi),
+                    step: Some(1),
+                })
+                .collect(),
+            resolve: Box::new(|_| None),
+        }
+    }
+
+    fn var(v: u32) -> Expr {
+        Expr::Var(SymId(v))
+    }
+
+    #[test]
+    fn cached_outcome_matches_direct() {
+        let cache = PairCache::new();
+        let n = nest(&[(0, 1, 100)]);
+        let src = [var(0)];
+        let sink = [ex::sub(var(0), ex::int(1))];
+        let direct = test_pair(&src, &sink, &n);
+        let first = cache.test_pair(&src, &sink, &n);
+        let second = cache.test_pair(&src, &sink, &n);
+        assert_eq!(direct, first);
+        assert_eq!(direct, second);
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn renamed_symbols_share_an_entry() {
+        // a(i) vs a(i-1) under SymId(0) and the same shape under SymId(3):
+        // index variables canonicalize to their level, so both queries hit
+        // one entry.
+        let cache = PairCache::new();
+        let n0 = nest(&[(0, 1, 100)]);
+        let n3 = nest(&[(3, 1, 100)]);
+        let o0 = cache.test_pair(&[var(0)], &[ex::sub(var(0), ex::int(1))], &n0);
+        let o3 = cache.test_pair(&[var(3)], &[ex::sub(var(3), ex::int(1))], &n3);
+        assert_eq!(o0, o3);
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+
+        // Free symbols canonicalize by first appearance: m+i / m+i-1 under
+        // SymId(9) and SymId(7) coincide too.
+        let shape = |m: u32| {
+            ([ex::add(var(m), var(0))], [ex::sub(ex::add(var(m), var(0)), ex::int(1))])
+        };
+        let (s9, k9) = shape(9);
+        let (s7, k7) = shape(7);
+        let a = cache.test_pair(&s9, &k9, &n0);
+        let b = cache.test_pair(&s7, &k7, &n0);
+        assert_eq!(a, b);
+        assert_eq!(cache.stats().hits, 2);
+    }
+
+    #[test]
+    fn distinct_bounds_do_not_collide() {
+        // a(i+j) vs a(i+j+25) is independent over [1,10]² but NOT over
+        // [1,30]²: the bounds are part of the key.
+        let cache = PairCache::new();
+        let small = nest(&[(0, 1, 10), (1, 1, 10)]);
+        let large = nest(&[(0, 1, 30), (1, 1, 30)]);
+        let src = [ex::add(var(0), var(1))];
+        let sink = [ex::add(ex::add(var(0), var(1)), ex::int(25))];
+        assert!(cache.test_pair(&src, &sink, &small).independent);
+        assert!(!cache.test_pair(&src, &sink, &large).independent);
+        assert_eq!(cache.stats(), CacheStats { hits: 0, misses: 2 });
+    }
+
+    #[test]
+    fn distinct_free_symbols_do_not_collide() {
+        // a(i+m) vs a(i+m) depends on the *same* m (distance 0) while
+        // a(i+m) vs a(i+p) does not cancel; ordinals keep them apart.
+        let cache = PairCache::new();
+        let n = nest(&[(0, 1, 100)]);
+        let same = cache.test_pair(
+            &[ex::add(var(0), var(9))],
+            &[ex::add(var(0), var(9))],
+            &n,
+        );
+        let diff = cache.test_pair(
+            &[ex::add(var(0), var(9))],
+            &[ex::add(var(0), var(7))],
+            &n,
+        );
+        assert_ne!(same, diff);
+        assert_eq!(cache.stats().misses, 2);
+        assert!(same.proven);
+        assert!(!diff.proven);
+    }
+
+    #[test]
+    fn non_affine_positions_are_cacheable() {
+        let cache = PairCache::new();
+        let n = nest(&[(0, 1, 100)]);
+        let src = [ex::idx(SymId(5), vec![var(0)])]; // ind(i): non-affine
+        let sink = [var(0)];
+        let direct = test_pair(&src, &sink, &n);
+        assert_eq!(cache.test_pair(&src, &sink, &n), direct);
+        assert_eq!(cache.test_pair(&src, &sink, &n), direct);
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn threads_share_one_cache() {
+        let cache = PairCache::new();
+        let hits: Vec<_> = std::thread::scope(|s| {
+            (0..4)
+                .map(|_| {
+                    s.spawn(|| {
+                        let n = nest(&[(0, 1, 50)]);
+                        for _ in 0..50 {
+                            cache.test_pair(&[var(0)], &[ex::sub(var(0), ex::int(2))], &n);
+                        }
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        drop(hits);
+        let st = cache.stats();
+        assert_eq!(st.hits + st.misses, 200);
+        assert!(st.hits >= 196, "at most one duplicate miss per thread: {st:?}");
+        assert_eq!(cache.len(), 1);
+    }
+}

@@ -159,6 +159,17 @@ pub fn test_pair(src_subs: &[Expr], sink_subs: &[Expr], nest: &NestCtx) -> PairO
                     Verdict::Unknown => {
                         tests_used.push(TestName::Symbolic);
                         proven = false;
+                        // An inconclusive SIV position leaves `*` at its
+                        // level; when the nest bounds are constant the
+                        // Banerjee hierarchy can still try to refine it
+                        // (never widens, so this is always sound).
+                        if nest
+                            .loops
+                            .iter()
+                            .all(|l| l.lo_const.is_some() && l.hi_const.is_some())
+                        {
+                            mivs.push(p);
+                        }
                     }
                 }
             }
@@ -426,6 +437,31 @@ mod tests {
         );
         assert!(o.independent);
         assert_eq!(o.tests_used, vec![TestName::Gcd]);
+    }
+
+    #[test]
+    fn symbolic_siv_forwarded_to_banerjee() {
+        // a(i+m) vs a(i) with unresolved m: the SIV test is inconclusive,
+        // but under constant bounds the pair still reaches Banerjee
+        // refinement instead of being dropped with an unrefined `*`.
+        let n = nest(&[(0, 1, 100)]);
+        let o = test_pair(&[ex::add(var(0), var(9))], &[var(0)], &n);
+        assert!(!o.independent);
+        assert!(!o.proven);
+        assert!(o.tests_used.contains(&TestName::Symbolic));
+        assert!(
+            o.tests_used.contains(&TestName::Banerjee),
+            "refinement attempted under constant bounds: {:?}",
+            o.tests_used
+        );
+        assert_eq!(o.vectors[0].dirs, DirVector::any(1));
+
+        // Symbolic bounds give Banerjee nothing to work with: not forwarded.
+        let mut ns = nest(&[(0, 1, 100)]);
+        ns.loops[0].hi_const = None;
+        let o2 = test_pair(&[ex::add(var(0), var(9))], &[var(0)], &ns);
+        assert!(!o2.independent);
+        assert!(!o2.tests_used.contains(&TestName::Banerjee));
     }
 
     #[test]

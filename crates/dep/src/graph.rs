@@ -174,22 +174,28 @@ pub struct GraphConfig<'a> {
     pub call_info: &'a dyn ped_analysis::scalars::CallInfo,
     /// Integer resolver (constants + assertions) for subscript analysis.
     pub resolve: Box<dyn Fn(SymId) -> Option<i64> + 'a>,
+    /// Memo table for subscript-pair tests, shared across loops/units/
+    /// threads (`None` = test every pair directly).
+    pub pair_cache: Option<&'a crate::cache::PairCache>,
 }
 
 impl<'a> GraphConfig<'a> {
-    /// Worst-case calls, no input deps, no constant knowledge.
+    /// Worst-case calls, no input deps, no constant knowledge, no memo.
     pub fn conservative() -> GraphConfig<'static> {
         GraphConfig {
             include_input: false,
             effects: &WorstCaseEffects,
             call_info: &ped_analysis::scalars::ConservativeCalls,
             resolve: Box::new(|_| None),
+            pair_cache: None,
         }
     }
 }
 
-/// The dependence graph of one loop.
-#[derive(Debug, Clone)]
+/// The dependence graph of one loop. `PartialEq` compares the full edge
+/// list and scalar classification — the batch-analysis determinism test
+/// relies on it.
+#[derive(Debug, Clone, PartialEq)]
 pub struct DepGraph {
     /// The analyzed loop's header.
     pub header: StmtId,
@@ -364,7 +370,7 @@ pub fn build_graph(
                 &common,
                 Box::new(|s| (config.resolve)(s)),
             );
-            emit_pair(a, b, &nest, i == j, &mut deps);
+            emit_pair(a, b, &nest, i == j, config.pair_cache, &mut deps);
         }
     }
 
@@ -501,11 +507,15 @@ fn emit_pair(
     b: &ArrAccess,
     nest: &NestCtx<'_>,
     same_access: bool,
+    cache: Option<&crate::cache::PairCache>,
     deps: &mut Vec<Dependence>,
 ) {
     // Whole-array (call) endpoints: conservative all-star dependence.
     let outcome = match (&a.subs, &b.subs) {
-        (Some(sa), Some(sb)) => test_pair(sa, sb, nest),
+        (Some(sa), Some(sb)) => match cache {
+            Some(c) => c.test_pair(sa, sb, nest),
+            None => test_pair(sa, sb, nest),
+        },
         _ => crate::driver::PairOutcome {
             independent: false,
             vectors: vec![crate::driver::DepVec {

@@ -21,8 +21,12 @@
 //!   true/anti/output/input with carried level and marking state;
 //! * [`oracle`] — a brute-force iteration-space oracle used by the property
 //!   tests (the suite must never claim independence when the oracle finds a
-//!   dependence) and by the run-time dependence checker.
+//!   dependence) and by the run-time dependence checker;
+//! * [`cache`] — a sharded, thread-safe memo table over canonicalized
+//!   subscript pairs, so whole-program analysis tests each distinct pair
+//!   shape once.
 
+pub mod cache;
 pub mod driver;
 pub mod graph;
 pub mod nest;
@@ -30,6 +34,7 @@ pub mod oracle;
 pub mod tests_suite;
 pub mod vectors;
 
+pub use cache::{CacheStats, PairCache};
 pub use driver::{test_pair, PairOutcome, TestName};
 pub use graph::{DepCause, DepGraph, DepKind, Dependence};
 pub use nest::{LoopCtx, NestCtx};

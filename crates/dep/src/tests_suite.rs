@@ -282,6 +282,9 @@ fn exact_siv(p: &SubscriptPair, nest: &NestCtx, k: usize) -> Verdict {
             return false;
         }
         // Direction constraint on I − J = (i0 − j0) + (di − dj)·t.
+        // (Not collapsible into guards: `add` narrows t_lo/t_hi as a side
+        // effect, and a failed guard would fall through to the wrong arm.)
+        #[allow(clippy::collapsible_match)]
         match rel {
             None => {}
             Some(Direction::Lt) => {
@@ -386,12 +389,12 @@ pub fn banerjee(p: &SubscriptPair, nest: &NestCtx, dirs: &[DirSet]) -> Verdict {
     let mut max: i64 = 0;
     let mut min_known = true;
     let mut max_known = true;
-    for k in 0..nest.depth() {
+    for (k, &dir) in dirs.iter().enumerate().take(nest.depth()) {
         let (a, b) = (p.a[k], p.b[k]);
         if a == 0 && b == 0 {
             continue;
         }
-        let (cmin, cmax) = level_bounds(a, b, &nest.loops[k], dirs[k]);
+        let (cmin, cmax) = level_bounds(a, b, &nest.loops[k], dir);
         // An empty level region (e.g. `<` in a single-trip loop) means no
         // iteration pair satisfies the direction vector at all.
         if cmin == Some(i64::MAX) {
@@ -697,5 +700,66 @@ mod tests {
         assert_eq!(p.a, vec![2, 0]);
         assert_eq!(p.b, vec![0, 3]);
         assert_eq!(p.delta, Some(-1));
+    }
+
+    /// Shrunken property-test regression (once checked in as a proptest
+    /// regression seed): src `0 + 0·i + 0·j`, sink `0 − 1·i + 0·j + m`
+    /// with explicit `Mul(Int(0), Var)` terms, over a 2-deep `1..5` nest.
+    /// The zero coefficients must fold away (src is ZIV-constant 0, sink is
+    /// weak-zero SIV in `i`) and the symbolic `m` must keep the outcome
+    /// conservative: every dependence the brute-force oracle realizes for
+    /// `m = 1` has to be covered by the reported vectors.
+    #[test]
+    fn zero_coefficient_symbolic_pair_regression() {
+        use crate::oracle::{covers, enumerate_deps, OracleLoop};
+        use ped_fortran::{BinOp, Expr};
+
+        let term = |c: i64, v: u32| {
+            Expr::bin(BinOp::Mul, Expr::Int(c), Expr::Var(SymId(v)))
+        };
+        let src = Expr::bin(
+            BinOp::Add,
+            Expr::bin(BinOp::Add, Expr::Int(0), term(0, 0)),
+            term(0, 1),
+        );
+        let sink = Expr::bin(
+            BinOp::Add,
+            Expr::bin(
+                BinOp::Add,
+                Expr::bin(BinOp::Add, Expr::Int(0), term(-1, 0)),
+                term(0, 1),
+            ),
+            Expr::Var(SymId(9)),
+        );
+        let nest = NestCtx {
+            loops: vec![loop_ctx(0, 1, 5), loop_ctx(1, 1, 5)],
+            resolve: Box::new(|_| None),
+        };
+        let outcome = crate::driver::test_pair(
+            std::slice::from_ref(&src),
+            std::slice::from_ref(&sink),
+            &nest,
+        );
+        assert!(!outcome.independent, "m unknown: a dependence must be assumed");
+
+        let oracle_nest = [
+            OracleLoop { var: SymId(0), lo: 1, hi: 5, step: 1 },
+            OracleLoop { var: SymId(1), lo: 1, hi: 5, step: 1 },
+        ];
+        let mut syms = std::collections::HashMap::new();
+        syms.insert(SymId(9), 1);
+        let real = enumerate_deps(
+            std::slice::from_ref(&src),
+            std::slice::from_ref(&sink),
+            &oracle_nest,
+            &syms,
+        )
+        .unwrap();
+        assert!(!real.is_empty(), "0 = −i + m has solutions for m = 1");
+        let reported: Vec<crate::vectors::DirVector> =
+            outcome.vectors.iter().map(|v| v.dirs.clone()).collect();
+        for r in &real {
+            assert!(covers(&reported, r), "{r:?} not covered by {reported:?}");
+        }
     }
 }

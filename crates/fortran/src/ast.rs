@@ -468,6 +468,7 @@ impl Expr {
     }
 
     /// Build `-e`.
+    #[allow(clippy::should_implement_trait)] // builder helper, not an operator impl
     pub fn neg(e: Expr) -> Expr {
         Expr::Un { op: UnOp::Neg, e: Box::new(e) }
     }

@@ -82,9 +82,9 @@ fn collect_raw_lines(src: &str, form: SourceForm) -> Result<Vec<(u32, u32, Strin
                 let mut text = strip_bang_comment(line).to_string();
                 let mut continues = false;
                 let trimmed = text.trim_end();
-                if trimmed.ends_with('&') {
+                if let Some(stripped) = trimmed.strip_suffix('&') {
                     continues = true;
-                    text = trimmed[..trimmed.len() - 1].to_string();
+                    text = stripped.to_string();
                 }
                 if text.trim().is_empty() && !continues {
                     continue;

@@ -298,9 +298,9 @@ impl Parser {
                             let name = c.expect_ident()?;
                             c.expect(&Token::Slash)?;
                             name
-                        } else if c.eat(&Token::Concat) {
-                            String::new()
                         } else {
+                            // `//` introduces blank common; consume if present.
+                            c.eat(&Token::Concat);
                             String::new()
                         };
                         let mut members = Vec::new();
@@ -639,16 +639,14 @@ fn install_args(unit: &mut ProgramUnit, args: &[String]) {
 
 fn parse_arg_names(c: &mut Cur) -> Result<Vec<String>> {
     let mut args = Vec::new();
-    if c.eat(&Token::LParen) {
-        if !c.eat(&Token::RParen) {
-            loop {
-                args.push(c.expect_ident()?);
-                if !c.eat(&Token::Comma) {
-                    break;
-                }
+    if c.eat(&Token::LParen) && !c.eat(&Token::RParen) {
+        loop {
+            args.push(c.expect_ident()?);
+            if !c.eat(&Token::Comma) {
+                break;
             }
-            c.expect(&Token::RParen)?;
         }
+        c.expect(&Token::RParen)?;
     }
     Ok(args)
 }
@@ -679,17 +677,15 @@ fn peek_function_header(c: &mut Cur) -> Result<Option<(Option<Ty>, usize)>> {
                 return Ok(None);
             }
         }
-        Some(t) if t.is_kw("double") => {
-            if matches!(c.peek_at(1), Some(t2) if t2.is_kw("precision"))
-                && matches!(c.peek_at(2), Some(t3) if t3.is_kw("function"))
-            {
-                c.next();
-                c.next();
-                c.next();
-                Some(Ty::Double)
-            } else {
-                return Ok(None);
-            }
+        Some(t)
+            if t.is_kw("double")
+                && matches!(c.peek_at(1), Some(t2) if t2.is_kw("precision"))
+                && matches!(c.peek_at(2), Some(t3) if t3.is_kw("function")) =>
+        {
+            c.next();
+            c.next();
+            c.next();
+            Some(Ty::Double)
         }
         _ => return Ok(None),
     };

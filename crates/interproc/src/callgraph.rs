@@ -105,6 +105,31 @@ impl CallGraph {
     pub fn has_external_calls(&self) -> bool {
         self.sites.iter().any(|s| s.callee.is_none())
     }
+
+    /// All units transitively callable from `unit` (sorted; includes `unit`
+    /// itself only when it is reachable through a cycle). This is the set
+    /// of units whose summaries the given unit's analysis results can
+    /// depend on.
+    pub fn reachable_callees(&self, unit: usize) -> Vec<usize> {
+        let mut seen = vec![false; self.sites_of_unit.len()];
+        let mut stack: Vec<usize> = self.sites_of_unit[unit]
+            .iter()
+            .filter_map(|&si| self.sites[si].callee)
+            .collect();
+        let mut out = Vec::new();
+        while let Some(c) = stack.pop() {
+            if seen[c] {
+                continue;
+            }
+            seen[c] = true;
+            out.push(c);
+            stack.extend(
+                self.sites_of_unit[c].iter().filter_map(|&si| self.sites[si].callee),
+            );
+        }
+        out.sort_unstable();
+        out
+    }
 }
 
 #[cfg(test)]

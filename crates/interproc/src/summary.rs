@@ -122,6 +122,36 @@ pub struct UnitSummary {
     pub calls_external: bool,
 }
 
+impl UnitSummary {
+    /// Content fingerprint of the summary: equal summaries hash equal, and
+    /// any change to MOD/REF/USE/KILL sets, sections, or externality moves
+    /// the value (modulo 64-bit collisions). Sets and maps are hashed in
+    /// sorted order so the value is independent of insertion history. The
+    /// session layer compares fingerprints across an edit to decide which
+    /// cached dependence graphs are still valid.
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        for set in [&self.mods, &self.refs, &self.uses, &self.kills] {
+            let mut locs: Vec<&Loc> = set.iter().collect();
+            locs.sort();
+            locs.hash(&mut h);
+            0xa5u8.hash(&mut h); // separator between sections of the hash
+        }
+        for map in [&self.mod_secs, &self.ref_secs] {
+            // Section contains Exprs (no Ord/Hash): hash the Debug form,
+            // which is deterministic for a given AST.
+            let mut entries: Vec<(&Loc, String)> =
+                map.iter().map(|(l, s)| (l, format!("{s:?}"))).collect();
+            entries.sort();
+            entries.hash(&mut h);
+            0xa5u8.hash(&mut h);
+        }
+        self.calls_external.hash(&mut h);
+        h.finish()
+    }
+}
+
 /// Compute all unit summaries to a fixed point.
 pub fn compute_summaries(program: &Program, cg: &CallGraph) -> Vec<UnitSummary> {
     let mut sums: Vec<UnitSummary> = vec![UnitSummary::default(); program.units.len()];
@@ -163,10 +193,8 @@ fn invariant_scalars(unit: &ProgramUnit) -> HashSet<SymId> {
 fn expr_uses_only(e: &Expr, allowed: &HashSet<SymId>, unit: &ProgramUnit) -> bool {
     let mut ok = true;
     ped_fortran::visit::walk_expr(e, &mut |x| match x {
-        Expr::Var(s) => {
-            if !allowed.contains(s) && unit.symbols.sym(*s).param.is_none() {
-                ok = false;
-            }
+        Expr::Var(s) if !allowed.contains(s) && unit.symbols.sym(*s).param.is_none() => {
+            ok = false;
         }
         Expr::ArrayRef { .. } | Expr::Call { .. } => ok = false,
         _ => {}
@@ -517,15 +545,11 @@ fn flow_scalars(
                     continue;
                 }
                 match acc.kind {
-                    AccessKind::Read => {
-                        if !assigned.contains(&acc.sym) {
-                            exposed.insert(acc.sym);
-                        }
+                    AccessKind::Read if !assigned.contains(&acc.sym) => {
+                        exposed.insert(acc.sym);
                     }
-                    AccessKind::CallArg if !is_call => {
-                        if !assigned.contains(&acc.sym) {
-                            exposed.insert(acc.sym);
-                        }
+                    AccessKind::CallArg if !is_call && !assigned.contains(&acc.sym) => {
+                        exposed.insert(acc.sym);
                     }
                     _ => {}
                 }

@@ -107,11 +107,14 @@ enum Flow {
     Stop,
 }
 
+/// Access window of one (cell, element): (any_write, wmin, wmax, amin, amax).
+type AccessWindow = (bool, u64, u64, u64, u64);
+
 /// Per-iteration access recording for the race detector.
 struct RaceRec {
     excluded: std::collections::HashSet<usize>,
-    /// (cell ptr, element) → (any_write, wmin, wmax, amin, amax)
-    locs: HashMap<(usize, usize), (bool, u64, u64, u64, u64)>,
+    /// (cell ptr, element) → access window across iterations.
+    locs: HashMap<(usize, usize), AccessWindow>,
     names: HashMap<usize, (usize, SymId)>,
     /// Keeps every recorded cell alive so freed-cell addresses are never
     /// reused for new cells (which would alias distinct per-invocation
@@ -550,7 +553,7 @@ impl<'p> Interp<'p> {
                     });
                 }
             }
-            state.races.sort_by(|a, b| (a.var.clone(), a.element).cmp(&(b.var.clone(), b.element)));
+            state.races.sort_by_key(|r| (r.var.clone(), r.element));
             state.races.dedup();
         }
         state.rec = prev_rec;
@@ -762,9 +765,8 @@ impl<'p> Interp<'p> {
             }
         }
         let callee_frame = self.make_frame(callee_idx, &bound, state)?;
-        match self.exec_unit(callee_idx, &callee_frame, state)? {
-            Flow::Stop => return Err(RtError::new("STOP inside a procedure")),
-            _ => {}
+        if let Flow::Stop = self.exec_unit(callee_idx, &callee_frame, state)? {
+            return Err(RtError::new("STOP inside a procedure"));
         }
         for (cell, flat, tmp) in writebacks {
             cell.as_array().store_flat(flat, tmp.load_scalar());
@@ -944,15 +946,15 @@ fn eval_bin(op: BinOp, l: Value, r: Value) -> Result<Value, RtError> {
 
 fn cmp(op: BinOp, ord: Option<std::cmp::Ordering>) -> bool {
     use std::cmp::Ordering::*;
-    match (op, ord) {
-        (BinOp::Lt, Some(Less)) => true,
-        (BinOp::Le, Some(Less | Equal)) => true,
-        (BinOp::Gt, Some(Greater)) => true,
-        (BinOp::Ge, Some(Greater | Equal)) => true,
-        (BinOp::Eq, Some(Equal)) => true,
-        (BinOp::Ne, Some(Less | Greater)) => true,
-        _ => false,
-    }
+    matches!(
+        (op, ord),
+        (BinOp::Lt, Some(Less))
+            | (BinOp::Le, Some(Less | Equal))
+            | (BinOp::Gt, Some(Greater))
+            | (BinOp::Ge, Some(Greater | Equal))
+            | (BinOp::Eq, Some(Equal))
+            | (BinOp::Ne, Some(Less | Greater))
+    )
 }
 
 fn eval_intrinsic(op: Intrinsic, vals: &[Value]) -> Result<Value, RtError> {

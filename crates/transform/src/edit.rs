@@ -27,8 +27,7 @@ fn splice(
         block.splice(pos..=pos, replacement.iter().copied());
         return true;
     }
-    for i in 0..block.len() {
-        let sid = block[i];
+    for &sid in block.iter() {
         // Temporarily move the nested blocks out to edit them.
         let mut kind = std::mem::replace(&mut unit.stmt_mut(sid).kind, StmtKind::Removed);
         let found = match &mut kind {

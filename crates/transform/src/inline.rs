@@ -153,11 +153,7 @@ pub fn apply_in_program(
 fn check_returns(callee: &ProgramUnit, block: &Block, top: bool, ok: &mut bool) {
     for (i, &s) in block.iter().enumerate() {
         match &callee.stmt(s).kind {
-            StmtKind::Return => {
-                if !(top && i == block.len() - 1) {
-                    *ok = false;
-                }
-            }
+            StmtKind::Return if !(top && i == block.len() - 1) => *ok = false,
             StmtKind::Stop => *ok = false,
             StmtKind::Do(d) => check_returns(callee, &d.body, false, ok),
             StmtKind::If { arms, else_block } => {

@@ -303,11 +303,7 @@ fn adjacent_in_some_block(unit: &ProgramUnit, a: StmtId, b: StmtId) -> bool {
         }
         for &s in block {
             match &unit.stmt(s).kind {
-                StmtKind::Do(d) => {
-                    if scan(unit, &d.body, a, b) {
-                        return true;
-                    }
-                }
+                StmtKind::Do(d) if scan(unit, &d.body, a, b) => return true,
                 StmtKind::If { arms, else_block } => {
                     for (_, blk) in arms {
                         if scan(unit, blk, a, b) {
@@ -413,15 +409,14 @@ pub fn apply_stmt_interchange(
     }
     // Replace the pair [a, b] with [b, a]: splice via replace of `a` with
     // [b, a] and removal of the original b.
-    fn swap_in(unit: &mut ProgramUnit, block: &mut Vec<StmtId>, a: StmtId, b: StmtId) -> bool {
+    fn swap_in(unit: &mut ProgramUnit, block: &mut [StmtId], a: StmtId, b: StmtId) -> bool {
         if let Some(p) = block.iter().position(|&s| s == a) {
             if block.get(p + 1) == Some(&b) {
                 block.swap(p, p + 1);
                 return true;
             }
         }
-        for i in 0..block.len() {
-            let sid = block[i];
+        for &sid in block.iter() {
             let mut kind = std::mem::replace(&mut unit.stmt_mut(sid).kind, StmtKind::Removed);
             let found = match &mut kind {
                 StmtKind::Do(d) => swap_in(unit, &mut d.body, a, b),

@@ -5,8 +5,7 @@
 //! so E10/E11 can sweep analysis time against program size. Deterministic
 //! per seed.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::Rng;
 use std::fmt::Write;
 
 /// Generator parameters.
@@ -32,7 +31,7 @@ impl Default for GenConfig {
 
 /// Generate a complete program.
 pub fn gen_source(cfg: GenConfig) -> String {
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut rng = Rng::seed_from_u64(cfg.seed);
     let mut out = String::new();
     let n = cfg.extent;
     writeln!(out, "program gen").unwrap();
@@ -59,18 +58,18 @@ pub fn gen_source(cfg: GenConfig) -> String {
     out
 }
 
-fn gen_unit(out: &mut String, u: usize, cfg: GenConfig, rng: &mut StdRng) {
+fn gen_unit(out: &mut String, u: usize, cfg: GenConfig, rng: &mut Rng) {
     writeln!(out, "subroutine work{u}(a, b, c, n)").unwrap();
     writeln!(out, "integer n").unwrap();
     writeln!(out, "real a(n), b(n), c(n, n)").unwrap();
     writeln!(out, "real t, s").unwrap();
     for l in 0..cfg.loops_per_unit {
-        match rng.random_range(0..5u32) {
+        match rng.range(0, 5) {
             // Parallel copy loop.
             0 => {
                 writeln!(out, "do i = 1, n").unwrap();
                 for k in 0..cfg.stmts_per_loop {
-                    let c1 = rng.random_range(1..9);
+                    let c1 = rng.range(1, 9);
                     if k % 2 == 0 {
                         writeln!(out, "  a(i) = b(i) * {c1}.0 + a(i)").unwrap();
                     } else {

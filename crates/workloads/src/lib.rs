@@ -13,6 +13,7 @@
 //! size for the scalability benchmarks (E10/E11).
 
 pub mod generator;
+pub mod rng;
 pub mod suite;
 
 pub use suite::{all_programs, program_by_name, Phenomenon, Workload};
