@@ -5,10 +5,15 @@
 //! dependence testing" of the related work), and real threads — the
 //! detector's overhead is the price of validating user-deleted
 //! dependences.
+//!
+//! An instrumented session at the end reports where the wall-clock goes
+//! per phase (parse / analysis / interpret) and the interpreter's
+//! per-loop runtime profile, and writes both to `target/BENCH_E12.json`.
 
 use ped_bench::harness::bench;
 use ped_bench::{apply_suite_assertions, parallelize_everything};
 use ped_core::Ped;
+use ped_obs::json::Json;
 use ped_runtime::{ExecConfig, Machine, ParallelMode};
 use std::hint::black_box;
 
@@ -57,4 +62,47 @@ fn main() {
             .unwrap(),
         )
     });
+
+    // One instrumented session over the parallelized program: per-phase
+    // wall-clock and the interpreter's per-loop runtime profile, the
+    // numbers E12 cites alongside the mode table above.
+    let mut profiled = Ped::open_profiled(&parallel_src).unwrap();
+    profiled.analyze_all();
+    profiled
+        .run(ExecConfig {
+            mode: ParallelMode::Simulate(Machine::alliant8()),
+            detect_races: true,
+            ..Default::default()
+        })
+        .unwrap();
+    let profile = profiled.profile_report();
+    let phase_ns = |name: &str| -> u64 {
+        profile.phases.iter().find(|p| p.name == name).map_or(0, |p| p.ns)
+    };
+    println!(
+        "phases (one profiled session): parse {:.2} ms, dep_test {:.2} ms, \
+         interpret {:.2} ms; {} profiled loop(s)",
+        phase_ns("parse") as f64 / 1e6,
+        phase_ns("dep_test") as f64 / 1e6,
+        phase_ns("interpret") as f64 / 1e6,
+        profile.loop_profiles.len(),
+    );
+    for lp in profile.loop_profiles.iter().take(5) {
+        println!(
+            "   {}:s{}  {} invocation(s), {} iteration(s), {:.0} ops",
+            lp.unit, lp.stmt, lp.invocations, lp.iterations, lp.ops
+        );
+    }
+
+    let doc = Json::obj(vec![
+        ("bench", Json::str("E12")),
+        ("schema_version", Json::int(1)),
+        ("profile", profile.to_json()),
+    ]);
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target/BENCH_E12.json");
+    match std::fs::write(&out, doc.to_string_pretty()) {
+        Ok(()) => println!("wrote {}", out.display()),
+        Err(e) => println!("could not write {}: {e}", out.display()),
+    }
 }

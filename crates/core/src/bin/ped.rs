@@ -9,32 +9,58 @@
 //!
 //! Commands (see `help`): navigation (`units`, `loops`, `view`), analysis
 //! editing (`mark`, `assert`), whole-program analysis (`analyze`), power
-//! steering (`diagnose`, `apply`, `undo`, `redo`), and execution (`run`,
-//! `estimate`, `source`). `--batch` analyzes every loop of every unit in
-//! parallel, prints the batch report, and exits.
+//! steering (`diagnose`, `apply`, `undo`, `redo`), execution (`run`,
+//! `estimate`, `source`), and instrumentation (`profile`). `--batch`
+//! analyzes every loop of every unit in parallel, prints the batch report,
+//! and exits; with `--profile` it instead emits the versioned JSON profile
+//! report on stdout. `--validate-profile <file>` parses a previously
+//! emitted report and exits nonzero when it is malformed (the CI smoke
+//! check).
 
-use ped_core::{render, Assertion, DepFilter, Mark, Ped, SourceFilter};
+use ped_core::{render, Assertion, DepFilter, Mark, Ped, ProfileReport, SourceFilter};
 use ped_runtime::{ExecConfig, Machine, ParallelMode};
 use ped_transform::Xform;
 use std::io::{BufRead, Write};
 
+const USAGE: &str = "usage: ped [--batch] [--profile] <file.f>\n\
+       ped [--batch] [--profile] --workload <name>\n\
+       ped --validate-profile <report.json>";
+
 fn main() {
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let batch = args.first().is_some_and(|a| a == "--batch");
-    if batch {
-        args.remove(0);
-    }
-    let src = match args.as_slice() {
-        [flag, name] if flag == "--workload" => {
-            match ped_workloads_source(name) {
-                Some(s) => s,
-                None => {
-                    eprintln!("unknown workload {name}");
-                    std::process::exit(1);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut batch = false;
+    let mut profile = false;
+    let mut workload: Option<String> = None;
+    let mut path: Option<String> = None;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--batch" => batch = true,
+            "--profile" => profile = true,
+            "--workload" => match it.next() {
+                Some(n) => workload = Some(n),
+                None => exit_usage("--workload needs a name"),
+            },
+            "--validate-profile" => match it.next() {
+                Some(f) => {
+                    validate_profile(&f);
+                    return;
                 }
-            }
+                None => exit_usage("--validate-profile needs a file"),
+            },
+            other if !other.starts_with('-') && path.is_none() => path = Some(a),
+            other => exit_usage(&format!("unknown argument {other}")),
         }
-        [path] => match std::fs::read_to_string(path) {
+    }
+    let src = match (&workload, &path) {
+        (Some(name), None) => match ped_workloads_source(name) {
+            Some(s) => s,
+            None => {
+                eprintln!("unknown workload {name}");
+                std::process::exit(1);
+            }
+        },
+        (None, Some(path)) => match std::fs::read_to_string(path) {
             Ok(s) => s,
             Err(e) => {
                 eprintln!("cannot read {path}: {e}");
@@ -42,11 +68,12 @@ fn main() {
             }
         },
         _ => {
-            eprintln!("usage: ped [--batch] <file.f> | ped [--batch] --workload <name>");
-            std::process::exit(1);
+            exit_usage("need exactly one of <file.f> or --workload <name>");
+            unreachable!()
         }
     };
-    let mut ped = match Ped::open(&src) {
+    let open = if profile { Ped::open_profiled } else { Ped::open };
+    let mut ped = match open(&src) {
         Ok(p) => p,
         Err(e) => {
             eprintln!("parse error: {e}");
@@ -54,7 +81,16 @@ fn main() {
         }
     };
     if batch {
-        print_batch_report(&mut ped);
+        if profile {
+            // Human-readable batch summary on stderr; the machine-readable
+            // profile report alone on stdout.
+            let mut err = std::io::stderr();
+            let r = ped.analyze_all();
+            writeln!(err, "analyzed {} loop(s) across {} unit(s)", r.loops, r.units).ok();
+            println!("{}", ped.profile_report().to_json().to_string_pretty());
+        } else {
+            print_batch_report(&mut ped);
+        }
         return;
     }
     println!("ParaScope Editor — {} unit(s) loaded; `help` lists commands", ped.program().units.len());
@@ -78,6 +114,38 @@ fn main() {
 
 fn ped_workloads_source(name: &str) -> Option<String> {
     ped_workloads::program_by_name(name).map(|w| w.source.to_string())
+}
+
+fn exit_usage(msg: &str) {
+    eprintln!("{msg}\n{USAGE}");
+    std::process::exit(2);
+}
+
+/// Parse a profile report emitted by `--batch --profile`; exit 0 when it is
+/// well-formed and schema-compatible, 1 otherwise.
+fn validate_profile(file: &str) {
+    let text = match std::fs::read_to_string(file) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {file}: {e}");
+            std::process::exit(1);
+        }
+    };
+    match ProfileReport::from_json_str(&text) {
+        Ok(r) => {
+            println!(
+                "{file}: valid profile report (schema v{}, {} phase(s), {} pair decision(s), {} edge(s))",
+                r.schema_version,
+                r.phases.len(),
+                r.total_pairs(),
+                r.total_edges()
+            );
+        }
+        Err(e) => {
+            eprintln!("{file}: invalid profile report: {e}");
+            std::process::exit(1);
+        }
+    }
 }
 
 /// Run whole-program analysis and print the [`ped_core::BatchReport`].
@@ -129,6 +197,8 @@ undo / redo
 source                        print the regenerated source
 run [serial|sim <P>|threads <N>] [check]
 estimate                      loop cost table for the current unit
+profile [on|off|json]         session profile: phase timings, dep-test
+                              histogram, cache hit rates (alias: stats)
 quit"
             );
             Ok(false)
@@ -228,6 +298,24 @@ quit"
         }
         ["source"] => {
             println!("{}", ped.source());
+            Ok(false)
+        }
+        ["profile"] | ["stats"] => {
+            print!("{}", ped.profile_report().render_text());
+            Ok(false)
+        }
+        ["profile", "on"] => {
+            ped.set_profiling(true);
+            println!("profiling on");
+            Ok(false)
+        }
+        ["profile", "off"] => {
+            ped.set_profiling(false);
+            println!("profiling off");
+            Ok(false)
+        }
+        ["profile", "json"] => {
+            println!("{}", ped.profile_report().to_json().to_string_pretty());
             Ok(false)
         }
         ["run", rest @ ..] => {

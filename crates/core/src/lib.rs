@@ -18,6 +18,7 @@ pub mod render;
 pub mod session;
 
 pub use filters::{DepFilter, SourceFilter};
+pub use ped_obs::{ProfileReport, PROFILE_SCHEMA_VERSION};
 pub use session::{
     build_unit_graph, Assertion, BatchReport, DepKey, DepStatus, Mark, Ped, PedError,
 };

@@ -7,10 +7,12 @@ use ped_fortran::symbols::Const;
 use ped_fortran::visit::loop_tree;
 use ped_fortran::{parse_program, Program, StmtId, SymId};
 use ped_interproc::{IpAnalysis, IpFlags};
+use ped_obs::{CacheReport, LoopSample, Obs, Phase, PhaseTimer, ProfileReport};
 use ped_runtime::Machine;
 use ped_transform::{Applied, Diagnosis, Xform};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// User marking of one dependence (the system sets proven/pending; the user
 /// may accept or reject pending dependences).
@@ -113,6 +115,14 @@ pub struct Ped {
     /// *resolved* subscripts and bounds, so edits and new assertions simply
     /// produce different keys.
     pair_cache: PairCache,
+    /// Session-owned instrumentation registry (one per session, so parallel
+    /// sessions/tests never cross-contaminate). Disabled by default; every
+    /// record site is one relaxed load when off.
+    obs: Arc<Obs>,
+    /// Dependence graphs built from scratch over the session's lifetime.
+    graphs_built_total: u64,
+    /// Graph requests served from the (fingerprint-validated) cache.
+    graphs_reused_total: u64,
     /// Analysis recomputations (interprocedural passes + dependence-graph
     /// builds) performed since the most recent *edit* (`edit_unit`,
     /// `apply`, `undo`, `redo`). Flag toggles and cache rebuilds accumulate
@@ -143,8 +153,26 @@ pub struct BatchReport {
 impl Ped {
     /// Open a program from source text.
     pub fn open(src: &str) -> Result<Ped, PedError> {
-        let program = parse_program(src).map_err(|e| PedError(format!("parse: {e}")))?;
-        Ok(Ped::from_program(program))
+        Ped::open_with_obs(src, Arc::new(Obs::new()))
+    }
+
+    /// Open a program with instrumentation enabled from the start, so even
+    /// the initial parse is timed. (`open` + `set_profiling(true)` works
+    /// too but misses the parse phase.)
+    pub fn open_profiled(src: &str) -> Result<Ped, PedError> {
+        let obs = Arc::new(Obs::new());
+        obs.set_enabled(true);
+        Ped::open_with_obs(src, obs)
+    }
+
+    fn open_with_obs(src: &str, obs: Arc<Obs>) -> Result<Ped, PedError> {
+        let program = {
+            let _t = PhaseTimer::start(Some(&obs), Phase::Parse);
+            parse_program(src).map_err(|e| PedError(format!("parse: {e}")))?
+        };
+        let mut ped = Ped::from_program(program);
+        ped.obs = obs;
+        Ok(ped)
     }
 
     /// Open an already-parsed program.
@@ -160,8 +188,52 @@ impl Ped {
             undo: Vec::new(),
             redo: Vec::new(),
             pair_cache: PairCache::new(),
+            obs: Arc::new(Obs::new()),
+            graphs_built_total: 0,
+            graphs_reused_total: 0,
             reanalysis_count: 0,
         }
+    }
+
+    /// Turn instrumentation on or off mid-session.
+    pub fn set_profiling(&self, on: bool) {
+        self.obs.set_enabled(on);
+    }
+
+    /// Is instrumentation currently recording?
+    pub fn profiling(&self) -> bool {
+        self.obs.enabled()
+    }
+
+    /// The session's instrumentation registry (for external recorders,
+    /// e.g. benches timing their own phases into the same report).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    fn obs_ref(&self) -> Option<&Obs> {
+        Some(&self.obs)
+    }
+
+    /// Snapshot everything the instrumentation layer recorded: per-phase
+    /// wall-clock timings, the dependence-test decision histograms, pair-
+    /// cache and graph-reuse hit rates, per-unit analysis timings, and loop
+    /// profiles from runs. Returns the all-empty report when profiling is
+    /// off — callers can rely on `report == ProfileReport::empty()`.
+    pub fn profile_report(&self) -> ProfileReport {
+        if !self.obs.enabled() {
+            return ProfileReport::empty();
+        }
+        let st = self.pair_cache.stats();
+        ProfileReport::from_snapshot(
+            &self.obs.snapshot(),
+            CacheReport {
+                pair_hits: st.hits,
+                pair_misses: st.misses,
+                graphs_built: self.graphs_built_total,
+                graphs_reused: self.graphs_reused_total,
+            },
+        )
     }
 
     /// The current program.
@@ -211,7 +283,7 @@ impl Ped {
     /// everything is conservatively dropped.
     fn invalidate_unit(&mut self, unit_idx: usize, old_fps: Option<Vec<u64>>) {
         self.graphs.retain(|&(ui, _), _| ui != unit_idx);
-        let new_ip = IpAnalysis::analyze(&self.program);
+        let new_ip = IpAnalysis::analyze_obs(&self.program, self.obs_ref());
         let new_fps = new_ip.visible_fingerprints(&self.program);
         match old_fps {
             Some(old) if old.len() == new_fps.len() => {
@@ -224,7 +296,7 @@ impl Ped {
 
     fn ip(&mut self) -> &IpAnalysis {
         if self.ip.is_none() {
-            self.ip = Some(IpAnalysis::analyze(&self.program));
+            self.ip = Some(IpAnalysis::analyze_obs(&self.program, self.obs_ref()));
             self.reanalysis_count += 1;
         }
         self.ip.as_ref().expect("set above")
@@ -265,6 +337,7 @@ impl Ped {
             }
             self.ip();
             let ip = self.ip.as_ref().expect("built above");
+            let t0 = self.obs.enabled().then(std::time::Instant::now);
             let g = build_unit_graph(
                 &self.program,
                 ip,
@@ -274,9 +347,19 @@ impl Ped {
                 self.include_input_deps,
                 &self.assertions,
                 Some(&self.pair_cache),
+                self.obs_ref(),
             );
+            if let Some(t0) = t0 {
+                self.obs.record_unit(
+                    &self.program.units[unit_idx].name,
+                    t0.elapsed().as_nanos() as u64,
+                );
+            }
             self.graphs.insert((unit_idx, header), g);
+            self.graphs_built_total += 1;
             self.reanalysis_count += 1;
+        } else {
+            self.graphs_reused_total += 1;
         }
         Ok(self.graphs[&(unit_idx, header)].clone())
     }
@@ -317,6 +400,7 @@ impl Ped {
             let include_input = self.include_input_deps;
             let assertions = &self.assertions[..];
             let cache = &self.pair_cache;
+            let obs = &*self.obs;
             let next = AtomicUsize::new(0);
             let next = &next;
             let pending = &pending;
@@ -328,6 +412,7 @@ impl Ped {
                             loop {
                                 let i = next.fetch_add(1, Ordering::Relaxed);
                                 let Some(&(u, h)) = pending.get(i) else { break };
+                                let t0 = obs.enabled().then(std::time::Instant::now);
                                 let g = build_unit_graph(
                                     program,
                                     ip,
@@ -337,7 +422,14 @@ impl Ped {
                                     include_input,
                                     assertions,
                                     Some(cache),
+                                    Some(obs),
                                 );
+                                if let Some(t0) = t0 {
+                                    obs.record_unit(
+                                        &program.units[u].name,
+                                        t0.elapsed().as_nanos() as u64,
+                                    );
+                                }
                                 out.push(((u, h), g));
                             }
                             out
@@ -354,6 +446,8 @@ impl Ped {
         for (k, g) in results {
             self.graphs.insert(k, g);
         }
+        self.graphs_built_total += built as u64;
+        self.graphs_reused_total += (all.len() - built) as u64;
         self.reanalysis_count += built;
         let after = self.pair_cache.stats();
         BatchReport {
@@ -543,10 +637,16 @@ impl Ped {
         self.undo.push((self.program.clone(), self.marks.clone()));
         self.redo.clear();
         let old_fps = self.visible_fps();
-        let result = if let Xform::Inline { call } = xform {
-            ped_transform::apply_inline(&mut self.program, unit_idx, *call)
-        } else {
-            ped_transform::apply(&mut self.program.units[unit_idx], target, xform, &graph)
+        // Clone the registry handle so the timer's borrow doesn't pin
+        // `self` while the transform mutates the program.
+        let obs = Arc::clone(&self.obs);
+        let result = {
+            let _t = PhaseTimer::start(Some(&obs), Phase::Transform);
+            if let Xform::Inline { call } = xform {
+                ped_transform::apply_inline(&mut self.program, unit_idx, *call)
+            } else {
+                ped_transform::apply(&mut self.program.units[unit_idx], target, xform, &graph)
+            }
         };
         match result {
             Ok(applied) => {
@@ -599,7 +699,10 @@ impl Ped {
     /// summary fingerprints are unchanged.
     pub fn edit_unit(&mut self, name: &str, new_src: &str) -> Result<(), PedError> {
         let unit_idx = self.unit_index(name)?;
-        let parsed = parse_program(new_src).map_err(|e| PedError(format!("parse: {e}")))?;
+        let parsed = {
+            let _t = PhaseTimer::start(self.obs_ref(), Phase::Parse);
+            parse_program(new_src).map_err(|e| PedError(format!("parse: {e}")))?
+        };
         let new_unit = parsed
             .units
             .into_iter()
@@ -644,11 +747,28 @@ impl Ped {
         self.loops(unit_idx).first().map(|&(s, _)| s).unwrap_or(target)
     }
 
-    /// Execute the current program.
+    /// Execute the current program. When profiling is on, the run is timed
+    /// as the `interpret` phase and its loop profiles are folded into the
+    /// session's report.
     pub fn run(&self, config: ped_runtime::ExecConfig) -> Result<ped_runtime::RunResult, PedError> {
-        let interp = ped_runtime::Interp::new(&self.program, config)
-            .map_err(|e| PedError(e.message.clone()))?;
-        interp.run().map_err(|e| PedError(e.message))
+        let result = {
+            let _t = PhaseTimer::start(self.obs_ref(), Phase::Interpret);
+            let interp = ped_runtime::Interp::new(&self.program, config)
+                .map_err(|e| PedError(e.message.clone()))?;
+            interp.run().map_err(|e| PedError(e.message))?
+        };
+        if self.obs.enabled() {
+            for ((unit, stmt), ls) in &result.profile {
+                self.obs.record_loop(LoopSample {
+                    unit: unit.clone(),
+                    stmt: stmt.0,
+                    invocations: ls.invocations,
+                    iterations: ls.iterations,
+                    ops: ls.ops,
+                });
+            }
+        }
+        Ok(result)
     }
 }
 
@@ -668,6 +788,7 @@ pub fn build_unit_graph(
     include_input: bool,
     assertions: &[Assertion],
     pair_cache: Option<&PairCache>,
+    obs: Option<&Obs>,
 ) -> DepGraph {
     // Resolver layering (innermost wins): user assertions, then
     // interprocedural constant seeds, then intraprocedural constant
@@ -705,6 +826,7 @@ pub fn build_unit_graph(
         call_info: &oracle,
         resolve: Box::new(resolve),
         pair_cache,
+        obs,
     };
     build_graph(unit_ref, header, &config)
 }

@@ -150,11 +150,18 @@ impl PairCache {
             return hit;
         }
         // Test outside the lock: misses dominate early and the suite can be
-        // expensive (Banerjee enumeration); a racing duplicate insert is
-        // harmless because outcomes for equal keys are equal.
+        // expensive (Banerjee enumeration). Recheck under the lock before
+        // inserting — a racing thread may have tested the same key while we
+        // did; the first writer wins and the loser counts a hit, so stats
+        // never drift under `analyze_all`'s worker threads.
         let outcome = test_pair(src_subs, sink_subs, nest);
+        let mut shard = shard.lock().unwrap();
+        if let Some(winner) = shard.get(&key).cloned() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return winner;
+        }
         self.misses.fetch_add(1, Ordering::Relaxed);
-        shard.lock().unwrap().insert(key, outcome.clone());
+        shard.insert(key, outcome.clone());
         outcome
     }
 
@@ -316,8 +323,9 @@ mod tests {
         });
         drop(hits);
         let st = cache.stats();
-        assert_eq!(st.hits + st.misses, 200);
-        assert!(st.hits >= 196, "at most one duplicate miss per thread: {st:?}");
+        // Double-checked insertion: exactly one thread pays the miss, every
+        // racing loser recounts as a hit.
+        assert_eq!(st, CacheStats { hits: 199, misses: 1 });
         assert_eq!(cache.len(), 1);
     }
 }

@@ -177,6 +177,9 @@ pub struct GraphConfig<'a> {
     /// Memo table for subscript-pair tests, shared across loops/units/
     /// threads (`None` = test every pair directly).
     pub pair_cache: Option<&'a crate::cache::PairCache>,
+    /// Instrumentation registry: phase timers plus the per-pair decision
+    /// and per-edge test histograms (`None` or disabled = no recording).
+    pub obs: Option<&'a ped_obs::Obs>,
 }
 
 impl<'a> GraphConfig<'a> {
@@ -188,7 +191,40 @@ impl<'a> GraphConfig<'a> {
             call_info: &ped_analysis::scalars::ConservativeCalls,
             resolve: Box::new(|_| None),
             pair_cache: None,
+            obs: None,
         }
+    }
+}
+
+/// The obs-layer name of a dependence test.
+pub fn test_obs_kind(t: TestName) -> ped_obs::TestKind {
+    match t {
+        TestName::Ziv => ped_obs::TestKind::Ziv,
+        TestName::StrongSiv => ped_obs::TestKind::StrongSiv,
+        TestName::WeakZeroSiv => ped_obs::TestKind::WeakZeroSiv,
+        TestName::WeakCrossingSiv => ped_obs::TestKind::WeakCrossingSiv,
+        TestName::ExactSiv => ped_obs::TestKind::ExactSiv,
+        TestName::Gcd => ped_obs::TestKind::Gcd,
+        TestName::Banerjee => ped_obs::TestKind::Banerjee,
+        TestName::NonAffine => ped_obs::TestKind::NonAffine,
+        TestName::Symbolic => ped_obs::TestKind::Symbolic,
+    }
+}
+
+/// Which test (or conservative cause) justifies an emitted edge: the last
+/// test the driver ran decided the pair; scalar and control edges come from
+/// classification, not subscript testing.
+fn edge_obs_kind(d: &Dependence) -> ped_obs::TestKind {
+    match d.cause {
+        DepCause::Scalar | DepCause::Reduction(_) | DepCause::Induction => {
+            ped_obs::TestKind::Scalar
+        }
+        DepCause::Control => ped_obs::TestKind::Control,
+        DepCause::Array | DepCause::Call => d
+            .tests
+            .last()
+            .map(|&t| test_obs_kind(t))
+            .unwrap_or(ped_obs::TestKind::NonAffine),
     }
 }
 
@@ -341,40 +377,47 @@ pub fn build_graph(
         }
     });
 
+    // One enabled-check up front; every record below is gated on it.
+    let obs = config.obs.filter(|o| o.enabled());
+
     let mut deps: Vec<Dependence> = Vec::new();
 
     // Array dependences: test each unordered pair once.
-    for i in 0..accesses.len() {
-        for j in i..accesses.len() {
-            let (a, b) = (&accesses[i], &accesses[j]);
-            if a.sym != b.sym {
-                continue;
+    {
+        let _t = ped_obs::PhaseTimer::start(obs, ped_obs::Phase::DepTest);
+        for i in 0..accesses.len() {
+            for j in i..accesses.len() {
+                let (a, b) = (&accesses[i], &accesses[j]);
+                if a.sym != b.sym {
+                    continue;
+                }
+                if !a.write && !b.write && !config.include_input {
+                    continue;
+                }
+                if i == j && !a.write {
+                    continue;
+                }
+                // Common nest: shared path prefix (includes the analyzed loop).
+                let depth = a
+                    .path
+                    .iter()
+                    .zip(&b.path)
+                    .take_while(|(x, y)| x == y)
+                    .count();
+                debug_assert!(depth >= 1);
+                let common: Vec<StmtId> = a.path[..depth].to_vec();
+                let nest = NestCtx::from_headers(
+                    unit,
+                    &common,
+                    Box::new(|s| (config.resolve)(s)),
+                );
+                emit_pair(a, b, &nest, i == j, config.pair_cache, obs, &mut deps);
             }
-            if !a.write && !b.write && !config.include_input {
-                continue;
-            }
-            if i == j && !a.write {
-                continue;
-            }
-            // Common nest: shared path prefix (includes the analyzed loop).
-            let depth = a
-                .path
-                .iter()
-                .zip(&b.path)
-                .take_while(|(x, y)| x == y)
-                .count();
-            debug_assert!(depth >= 1);
-            let common: Vec<StmtId> = a.path[..depth].to_vec();
-            let nest = NestCtx::from_headers(
-                unit,
-                &common,
-                Box::new(|s| (config.resolve)(s)),
-            );
-            emit_pair(a, b, &nest, i == j, config.pair_cache, &mut deps);
         }
     }
 
     // Scalar dependences from classification.
+    let scalar_timer = ped_obs::PhaseTimer::start(obs, ped_obs::Phase::ScalarAnalysis);
     let cfg = ped_analysis::cfg::Cfg::build(unit);
     let live = ped_analysis::liveness::Liveness::compute(unit, &cfg);
     let scalar_classes =
@@ -447,6 +490,7 @@ pub fn build_graph(
             });
         }
     }
+    drop(scalar_timer);
 
     deps.sort_by(|x, y| {
         (x.src, x.dst, x.var, x.kind, &x.dirs.0, x.level)
@@ -462,6 +506,13 @@ pub fn build_graph(
     });
     for (i, d) in deps.iter_mut().enumerate() {
         d.id = i;
+    }
+    // Per-edge histogram, recorded after dedup so its total equals the
+    // graph's edge count exactly.
+    if let Some(o) = obs {
+        for d in &deps {
+            o.record_edge(edge_obs_kind(d));
+        }
     }
     DepGraph { header, deps, scalar_classes }
 }
@@ -508,6 +559,7 @@ fn emit_pair(
     nest: &NestCtx<'_>,
     same_access: bool,
     cache: Option<&crate::cache::PairCache>,
+    obs: Option<&ped_obs::Obs>,
     deps: &mut Vec<Dependence>,
 ) {
     // Whole-array (call) endpoints: conservative all-star dependence.
@@ -526,6 +578,18 @@ fn emit_pair(
             tests_used: vec![TestName::NonAffine],
         },
     };
+    if let Some(o) = obs {
+        // The last test the driver ran is the one that decided the pair.
+        let decider = outcome.tests_used.last().copied().unwrap_or(TestName::Symbolic);
+        let verdict = if outcome.independent {
+            ped_obs::PairVerdict::Independent
+        } else if outcome.proven {
+            ped_obs::PairVerdict::Proven
+        } else {
+            ped_obs::PairVerdict::Pending
+        };
+        o.record_pair(test_obs_kind(decider), verdict);
+    }
     if outcome.independent {
         return;
     }

@@ -1,0 +1,529 @@
+//! The versioned profile report: a plain-data snapshot of one session's
+//! instrumentation, convertible to/from JSON (schema-checked) and
+//! renderable as the interactive `profile` command's text table.
+
+use crate::json::{self, Json};
+use crate::{ObsSnapshot, Phase, TestKind};
+
+/// Version stamped into every emitted report; parsing rejects mismatches.
+pub const PROFILE_SCHEMA_VERSION: u64 = 1;
+
+/// Wall-clock total and call count for one pipeline phase.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseStat {
+    /// Stable phase name (see [`Phase::name`]).
+    pub name: String,
+    /// Timed invocations.
+    pub calls: u64,
+    /// Accumulated nanoseconds.
+    pub ns: u64,
+}
+
+/// Decision histogram row for one dependence test.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DepTestStat {
+    /// Stable test name (see [`TestKind::name`]).
+    pub test: String,
+    /// Pairs this test proved independent.
+    pub independent: u64,
+    /// Pairs this test proved dependent.
+    pub proven: u64,
+    /// Pairs left conservatively assumed.
+    pub pending: u64,
+    /// Graph edges this test (or cause) justified, post-dedup.
+    pub edges: u64,
+}
+
+/// Cache and reuse counters.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CacheReport {
+    /// Subscript-pair cache hits.
+    pub pair_hits: u64,
+    /// Subscript-pair cache misses.
+    pub pair_misses: u64,
+    /// Dependence graphs built from scratch this session.
+    pub graphs_built: u64,
+    /// Graph requests served from the fingerprint-validated cache.
+    pub graphs_reused: u64,
+}
+
+impl CacheReport {
+    /// Pair-cache hit rate in [0, 1]; 0 when nothing was looked up.
+    pub fn pair_hit_rate(&self) -> f64 {
+        let total = self.pair_hits + self.pair_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.pair_hits as f64 / total as f64
+        }
+    }
+
+    /// Graph reuse rate in [0, 1]; 0 when nothing was requested.
+    pub fn graph_reuse_rate(&self) -> f64 {
+        let total = self.graphs_built + self.graphs_reused;
+        if total == 0 {
+            0.0
+        } else {
+            self.graphs_reused as f64 / total as f64
+        }
+    }
+}
+
+/// Per-unit analysis timing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UnitStat {
+    /// Program-unit name.
+    pub unit: String,
+    /// Dependence graphs built for this unit.
+    pub graphs: u64,
+    /// Nanoseconds spent building them.
+    pub ns: u64,
+}
+
+/// One profiled loop from a program run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoopProfileStat {
+    /// Program-unit name.
+    pub unit: String,
+    /// DO-statement id.
+    pub stmt: u32,
+    /// Times the loop was entered.
+    pub invocations: u64,
+    /// Total iterations executed.
+    pub iterations: u64,
+    /// Virtual ops spent inside.
+    pub ops: f64,
+}
+
+/// The complete session profile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileReport {
+    /// Report format version ([`PROFILE_SCHEMA_VERSION`]).
+    pub schema_version: u64,
+    /// Whether instrumentation was on when the snapshot was taken.
+    pub enabled: bool,
+    /// Per-phase wall-clock totals, in pipeline order.
+    pub phases: Vec<PhaseStat>,
+    /// Per-test decision histogram, in hierarchy order.
+    pub dep_tests: Vec<DepTestStat>,
+    /// Cache and reuse counters.
+    pub cache: CacheReport,
+    /// Per-unit graph-build timings.
+    pub units: Vec<UnitStat>,
+    /// Loop profiles from runs, if any.
+    pub loop_profiles: Vec<LoopProfileStat>,
+}
+
+impl ProfileReport {
+    /// An all-zero report (what a disabled session produces).
+    pub fn empty() -> ProfileReport {
+        ProfileReport {
+            schema_version: PROFILE_SCHEMA_VERSION,
+            enabled: false,
+            phases: Vec::new(),
+            dep_tests: Vec::new(),
+            cache: CacheReport::default(),
+            units: Vec::new(),
+            loop_profiles: Vec::new(),
+        }
+    }
+
+    /// Assemble a report from a registry snapshot plus the session-level
+    /// cache counters (which live outside the registry).
+    pub fn from_snapshot(snap: &ObsSnapshot, cache: CacheReport) -> ProfileReport {
+        let phases = Phase::ALL
+            .iter()
+            .zip(&snap.phases)
+            .filter(|(_, &(ns, calls))| ns > 0 || calls > 0)
+            .map(|(p, &(ns, calls))| PhaseStat { name: p.name().to_string(), calls, ns })
+            .collect();
+        let dep_tests = TestKind::ALL
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| {
+                snap.pairs[i].iter().any(|&c| c > 0) || snap.edges[i] > 0
+            })
+            .map(|(i, k)| DepTestStat {
+                test: k.name().to_string(),
+                independent: snap.pairs[i][0],
+                proven: snap.pairs[i][1],
+                pending: snap.pairs[i][2],
+                edges: snap.edges[i],
+            })
+            .collect();
+        ProfileReport {
+            schema_version: PROFILE_SCHEMA_VERSION,
+            enabled: snap.enabled,
+            phases,
+            dep_tests,
+            cache,
+            units: snap
+                .units
+                .iter()
+                .map(|(u, g, ns)| UnitStat { unit: u.clone(), graphs: *g, ns: *ns })
+                .collect(),
+            loop_profiles: snap
+                .loops
+                .iter()
+                .map(|l| LoopProfileStat {
+                    unit: l.unit.clone(),
+                    stmt: l.stmt,
+                    invocations: l.invocations,
+                    iterations: l.iterations,
+                    ops: l.ops,
+                })
+                .collect(),
+        }
+    }
+
+    /// Total dependence edges across the histogram (equals the analyzed
+    /// graphs' combined edge counts).
+    pub fn total_edges(&self) -> u64 {
+        self.dep_tests.iter().map(|t| t.edges).sum()
+    }
+
+    /// Total subscript-pair decisions recorded.
+    pub fn total_pairs(&self) -> u64 {
+        self.dep_tests.iter().map(|t| t.independent + t.proven + t.pending).sum()
+    }
+
+    /// Serialize to the versioned JSON form.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("schema_version", Json::int(self.schema_version)),
+            ("tool", Json::str("ped")),
+            ("enabled", Json::Bool(self.enabled)),
+            (
+                "phases",
+                Json::Arr(
+                    self.phases
+                        .iter()
+                        .map(|p| {
+                            Json::obj(vec![
+                                ("name", Json::str(&p.name)),
+                                ("calls", Json::int(p.calls)),
+                                ("ns", Json::int(p.ns)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "dep_tests",
+                Json::Arr(
+                    self.dep_tests
+                        .iter()
+                        .map(|t| {
+                            Json::obj(vec![
+                                ("test", Json::str(&t.test)),
+                                ("independent", Json::int(t.independent)),
+                                ("proven", Json::int(t.proven)),
+                                ("pending", Json::int(t.pending)),
+                                ("edges", Json::int(t.edges)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "cache",
+                Json::obj(vec![
+                    ("pair_hits", Json::int(self.cache.pair_hits)),
+                    ("pair_misses", Json::int(self.cache.pair_misses)),
+                    ("graphs_built", Json::int(self.cache.graphs_built)),
+                    ("graphs_reused", Json::int(self.cache.graphs_reused)),
+                ]),
+            ),
+            (
+                "units",
+                Json::Arr(
+                    self.units
+                        .iter()
+                        .map(|u| {
+                            Json::obj(vec![
+                                ("unit", Json::str(&u.unit)),
+                                ("graphs", Json::int(u.graphs)),
+                                ("ns", Json::int(u.ns)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "loop_profiles",
+                Json::Arr(
+                    self.loop_profiles
+                        .iter()
+                        .map(|l| {
+                            Json::obj(vec![
+                                ("unit", Json::str(&l.unit)),
+                                ("stmt", Json::int(l.stmt as u64)),
+                                ("invocations", Json::int(l.invocations)),
+                                ("iterations", Json::int(l.iterations)),
+                                ("ops", Json::Num(l.ops)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Parse a report back from JSON text, validating the schema version.
+    pub fn from_json_str(text: &str) -> Result<ProfileReport, String> {
+        let v = json::parse(text).map_err(|e| e.to_string())?;
+        ProfileReport::from_json(&v)
+    }
+
+    /// Parse a report back from a JSON value, validating the schema version.
+    pub fn from_json(v: &Json) -> Result<ProfileReport, String> {
+        let need_u64 = |obj: &Json, key: &str| -> Result<u64, String> {
+            obj.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("missing or non-integer field '{key}'"))
+        };
+        let need_str = |obj: &Json, key: &str| -> Result<String, String> {
+            obj.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("missing or non-string field '{key}'"))
+        };
+        let need_arr = |obj: &Json, key: &str| -> Result<Vec<Json>, String> {
+            obj.get(key)
+                .and_then(Json::as_arr)
+                .map(<[Json]>::to_vec)
+                .ok_or_else(|| format!("missing or non-array field '{key}'"))
+        };
+
+        let schema_version = need_u64(v, "schema_version")?;
+        if schema_version != PROFILE_SCHEMA_VERSION {
+            return Err(format!(
+                "unsupported profile schema version {schema_version} (expected {PROFILE_SCHEMA_VERSION})"
+            ));
+        }
+        let enabled = v
+            .get("enabled")
+            .and_then(Json::as_bool)
+            .ok_or("missing or non-bool field 'enabled'")?;
+
+        let mut phases = Vec::new();
+        for p in need_arr(v, "phases")? {
+            let name = need_str(&p, "name")?;
+            if !Phase::ALL.iter().any(|ph| ph.name() == name) {
+                return Err(format!("unknown phase '{name}'"));
+            }
+            phases.push(PhaseStat { name, calls: need_u64(&p, "calls")?, ns: need_u64(&p, "ns")? });
+        }
+
+        let mut dep_tests = Vec::new();
+        for t in need_arr(v, "dep_tests")? {
+            let test = need_str(&t, "test")?;
+            if !TestKind::ALL.iter().any(|k| k.name() == test) {
+                return Err(format!("unknown dependence test '{test}'"));
+            }
+            dep_tests.push(DepTestStat {
+                test,
+                independent: need_u64(&t, "independent")?,
+                proven: need_u64(&t, "proven")?,
+                pending: need_u64(&t, "pending")?,
+                edges: need_u64(&t, "edges")?,
+            });
+        }
+
+        let c = v.get("cache").ok_or("missing field 'cache'")?;
+        let cache = CacheReport {
+            pair_hits: need_u64(c, "pair_hits")?,
+            pair_misses: need_u64(c, "pair_misses")?,
+            graphs_built: need_u64(c, "graphs_built")?,
+            graphs_reused: need_u64(c, "graphs_reused")?,
+        };
+
+        let mut units = Vec::new();
+        for u in need_arr(v, "units")? {
+            units.push(UnitStat {
+                unit: need_str(&u, "unit")?,
+                graphs: need_u64(&u, "graphs")?,
+                ns: need_u64(&u, "ns")?,
+            });
+        }
+
+        let mut loop_profiles = Vec::new();
+        for l in need_arr(v, "loop_profiles")? {
+            loop_profiles.push(LoopProfileStat {
+                unit: need_str(&l, "unit")?,
+                stmt: need_u64(&l, "stmt")? as u32,
+                invocations: need_u64(&l, "invocations")?,
+                iterations: need_u64(&l, "iterations")?,
+                ops: l
+                    .get("ops")
+                    .and_then(Json::as_f64)
+                    .ok_or("missing or non-number field 'ops'")?,
+            });
+        }
+
+        Ok(ProfileReport {
+            schema_version,
+            enabled,
+            phases,
+            dep_tests,
+            cache,
+            units,
+            loop_profiles,
+        })
+    }
+
+    /// Human-readable rendering for the interactive `profile` command.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        if !self.enabled {
+            out.push_str("profiling is off (use `profile on` or start with --profile)\n");
+        }
+        out.push_str("phase timings:\n");
+        if self.phases.is_empty() {
+            out.push_str("  (none recorded)\n");
+        }
+        for p in &self.phases {
+            out.push_str(&format!(
+                "  {:<16} {:>6} calls  {:>12}\n",
+                p.name,
+                p.calls,
+                fmt_ns(p.ns)
+            ));
+        }
+        out.push_str("dependence tests (pairs: indep/proven/assumed; edges):\n");
+        if self.dep_tests.is_empty() {
+            out.push_str("  (none recorded)\n");
+        }
+        for t in &self.dep_tests {
+            out.push_str(&format!(
+                "  {:<18} {:>6} / {:<6} / {:<6}  edges {:>5}\n",
+                t.test, t.independent, t.proven, t.pending, t.edges
+            ));
+        }
+        out.push_str(&format!(
+            "pair cache: {} hits / {} misses ({:.1}% hit rate)\n",
+            self.cache.pair_hits,
+            self.cache.pair_misses,
+            self.cache.pair_hit_rate() * 100.0
+        ));
+        out.push_str(&format!(
+            "graphs: {} built, {} reused from cache ({:.1}% reuse)\n",
+            self.cache.graphs_built,
+            self.cache.graphs_reused,
+            self.cache.graph_reuse_rate() * 100.0
+        ));
+        if !self.units.is_empty() {
+            out.push_str("per-unit analysis:\n");
+            for u in &self.units {
+                out.push_str(&format!(
+                    "  {:<16} {:>4} graphs  {:>12}\n",
+                    u.unit,
+                    u.graphs,
+                    fmt_ns(u.ns)
+                ));
+            }
+        }
+        if !self.loop_profiles.is_empty() {
+            out.push_str("loop profiles (from runs):\n");
+            for l in &self.loop_profiles {
+                out.push_str(&format!(
+                    "  {:<12} stmt {:<5} {:>6} invocations  {:>9} iters  {:>12.0} ops\n",
+                    l.unit, l.stmt, l.invocations, l.iterations, l.ops
+                ));
+            }
+        }
+        out
+    }
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1} us", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LoopSample, Obs, PairVerdict, Phase, TestKind};
+
+    fn sample_report() -> ProfileReport {
+        let obs = Obs::new();
+        obs.set_enabled(true);
+        obs.add_phase_ns(Phase::Parse, 1_500);
+        obs.add_phase_ns(Phase::DepTest, 42_000);
+        obs.record_pair(TestKind::Ziv, PairVerdict::Independent);
+        obs.record_pair(TestKind::StrongSiv, PairVerdict::Proven);
+        obs.record_edge(TestKind::StrongSiv);
+        obs.record_edge(TestKind::Scalar);
+        obs.record_unit("main", 9_000);
+        obs.record_loop(LoopSample {
+            unit: "main".into(),
+            stmt: 3,
+            invocations: 2,
+            iterations: 20,
+            ops: 123.5,
+        });
+        ProfileReport::from_snapshot(
+            &obs.snapshot(),
+            CacheReport { pair_hits: 5, pair_misses: 3, graphs_built: 2, graphs_reused: 1 },
+        )
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let r = sample_report();
+        for text in [r.to_json().to_string_pretty(), r.to_json().to_string_compact()] {
+            let back = ProfileReport::from_json_str(&text).unwrap();
+            assert_eq!(back, r);
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_schema_version() {
+        let r = sample_report();
+        let text = r.to_json().to_string_compact().replacen(
+            &format!("\"schema_version\":{PROFILE_SCHEMA_VERSION}"),
+            "\"schema_version\":999",
+            1,
+        );
+        let err = ProfileReport::from_json_str(&text).unwrap_err();
+        assert!(err.contains("schema version"), "{err}");
+    }
+
+    #[test]
+    fn rejects_unknown_names() {
+        let r = sample_report();
+        let text = r.to_json().to_string_compact().replace("strong_siv", "bogus_test");
+        assert!(ProfileReport::from_json_str(&text).is_err());
+    }
+
+    #[test]
+    fn empty_report_from_disabled_registry() {
+        let obs = Obs::new();
+        obs.record_pair(TestKind::Ziv, PairVerdict::Proven);
+        let r = ProfileReport::from_snapshot(&obs.snapshot(), CacheReport::default());
+        assert_eq!(r, ProfileReport::empty());
+        assert_eq!(r.total_edges(), 0);
+        assert_eq!(r.total_pairs(), 0);
+    }
+
+    #[test]
+    fn rates_and_totals() {
+        let r = sample_report();
+        assert_eq!(r.total_pairs(), 2);
+        assert_eq!(r.total_edges(), 2);
+        assert!((r.cache.pair_hit_rate() - 5.0 / 8.0).abs() < 1e-12);
+        assert!((r.cache.graph_reuse_rate() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(CacheReport::default().pair_hit_rate(), 0.0);
+        let text = r.render_text();
+        assert!(text.contains("dep_test") || text.contains("strong_siv"));
+        assert!(text.contains("hit rate"));
+    }
+}

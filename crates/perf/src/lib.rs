@@ -35,14 +35,22 @@ pub struct LoopEstimate {
 }
 
 impl LoopEstimate {
-    /// Predicted speedup from parallelizing this loop.
+    /// Predicted speedup from parallelizing this loop. A degenerate
+    /// estimate (zero/negative parallel cost, e.g. a zero-trip loop on a
+    /// zero-overhead machine) reports 1.0 — never NaN or infinity, so
+    /// rankings that lead with the best loop cannot be poisoned.
     pub fn speedup(&self) -> f64 {
-        self.serial_cost / self.parallel_cost
+        if self.parallel_cost > 0.0 {
+            self.serial_cost / self.parallel_cost
+        } else {
+            1.0
+        }
     }
 
-    /// Is parallelization predicted profitable at all?
+    /// Is parallelization predicted profitable at all? Degenerate
+    /// estimates are never profitable.
     pub fn profitable(&self) -> bool {
-        self.parallel_cost < self.serial_cost
+        self.parallel_cost > 0.0 && self.parallel_cost < self.serial_cost
     }
 }
 
@@ -78,8 +86,10 @@ impl<'p> Estimator<'p> {
         let iter_cost: f64 =
             2.0 + d.body.iter().map(|&s| self.stmt_cost(unit_idx, s)).sum::<f64>();
         let serial_cost = trip as f64 * iter_cost;
+        // Uniform iterations: the O(1) fast path avoids materializing a
+        // trip-sized vector (8 MB per estimate for a 10^6-trip loop).
         let parallel_cost =
-            self.machine.parallel_charge(&vec![iter_cost; trip.max(0) as usize]);
+            self.machine.parallel_charge_uniform(iter_cost, trip.max(0) as usize);
         LoopEstimate { trip, trip_known, iter_cost, serial_cost, parallel_cost }
     }
 
@@ -341,6 +351,51 @@ mod tests {
         assert!(!small.profitable(), "tiny loop must not profit");
         assert!(big.profitable());
         assert!(big.speedup() > 4.0, "speedup {}", big.speedup());
+    }
+
+    #[test]
+    fn zero_trip_loop_has_defined_speedup() {
+        // `do i = 1, 0` never executes: serial cost 0. On a machine with
+        // no overheads the parallel cost is 0 too — speedup must still be
+        // a defined, finite value and the loop must not rank profitable.
+        let p = parse_program(
+            "program t\nreal a(10)\ndo i = 1, 0\na(i) = 1.0\nenddo\nend\n",
+        )
+        .unwrap();
+        let free = Machine { procs: 8, fork_cost: 0.0, barrier_cost: 0.0, dispatch_cost: 0.0 };
+        let mut est = Estimator::new(&p, free);
+        let e = est.estimate_loop(0, first_loop(&p, 0));
+        assert_eq!(e.trip, 0);
+        assert_eq!(e.parallel_cost, 0.0);
+        assert!(e.speedup().is_finite(), "speedup {}", e.speedup());
+        assert_eq!(e.speedup(), 1.0);
+        assert!(!e.profitable());
+
+        // With real overheads the zero-trip loop pays fork+barrier and is
+        // likewise not profitable.
+        let mut est2 = Estimator::new(&p, Machine::alliant8());
+        let e2 = est2.estimate_loop(0, first_loop(&p, 0));
+        assert!(e2.speedup().is_finite());
+        assert!(!e2.profitable());
+    }
+
+    #[test]
+    fn estimate_uses_uniform_fast_path_result() {
+        // The estimator's parallel cost must equal what the materialized
+        // vec path would have produced, including big trip counts that the
+        // old code allocated megabytes for.
+        let p = parse_program(
+            "program t\nreal a(1000000)\ndo i = 1, 1000000\na(i) = a(i) + 1.0\nenddo\nend\n",
+        )
+        .unwrap();
+        let m = Machine::alliant8();
+        let mut est = Estimator::new(&p, m);
+        let e = est.estimate_loop(0, first_loop(&p, 0));
+        assert_eq!(e.trip, 1_000_000);
+        assert_eq!(
+            e.parallel_cost,
+            m.parallel_charge(&vec![e.iter_cost; e.trip as usize]),
+        );
     }
 
     #[test]

@@ -52,6 +52,22 @@ impl Machine {
     pub fn serial_charge(&self, iter_costs: &[f64]) -> f64 {
         iter_costs.iter().sum()
     }
+
+    /// [`Machine::parallel_charge`] for `trip` iterations that all cost
+    /// `iter_cost`, in O(1) time and space — no `vec![cost; trip]`
+    /// materialization. With uniform nonnegative costs the worst static
+    /// block is always a full-size chunk, so only the chunk length matters.
+    /// Equals the slice path exactly whenever `chunk * iter_cost` is exact
+    /// in f64 — true for the estimator, whose costs are integral-valued.
+    pub fn parallel_charge_uniform(&self, iter_cost: f64, trip: usize) -> f64 {
+        if trip == 0 {
+            return self.fork_cost + self.barrier_cost;
+        }
+        let p = self.procs.max(1);
+        let chunk = trip.div_ceil(p);
+        let worst = chunk as f64 * iter_cost + self.dispatch_cost * chunk as f64;
+        self.fork_cost + worst + self.barrier_cost
+    }
 }
 
 #[cfg(test)]
@@ -80,6 +96,32 @@ mod tests {
     fn empty_loop_costs_overhead_only() {
         let m = Machine::alliant8();
         assert_eq!(m.parallel_charge(&[]), m.fork_cost + m.barrier_cost);
+    }
+
+    #[test]
+    fn uniform_fast_path_matches_vec_path() {
+        // The O(1) fast path must agree exactly with materializing the
+        // iteration vector, across trip counts that exercise empty, shorter
+        // -than-P, evenly divisible, and ragged-last-chunk schedules.
+        for procs in [1, 2, 8] {
+            let m = Machine::with_procs(procs);
+            for cost in [0.0, 1.0, 3.0, 117.0] {
+                for trip in [0usize, 1, 5, 8, 100, 1000, 1001] {
+                    let fast = m.parallel_charge_uniform(cost, trip);
+                    let slow = m.parallel_charge(&vec![cost; trip]);
+                    assert_eq!(
+                        fast, slow,
+                        "procs={procs} cost={cost} trip={trip}: {fast} != {slow}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_zero_trip_is_overhead_only() {
+        let m = Machine::alliant8();
+        assert_eq!(m.parallel_charge_uniform(5.0, 0), m.fork_cost + m.barrier_cost);
     }
 
     #[test]

@@ -1,0 +1,38 @@
+program multiunit
+integer n
+parameter (n = 48)
+real u(n), v(n)
+real dot
+call fill(u, n)
+call fill(v, n)
+call axpy(u, v, n)
+dot = 0.0
+call dotp(u, v, n, dot)
+print *, dot
+end
+
+subroutine fill(a, n)
+integer n
+real a(n)
+do i = 1, n
+  a(i) = i * 0.5
+enddo
+end
+
+subroutine axpy(a, b, n)
+integer n
+real a(n), b(n)
+do i = 1, n
+  a(i) = a(i) + 2.0 * b(i)
+enddo
+end
+
+subroutine dotp(a, b, n, s)
+integer n
+real a(n), b(n)
+real s
+s = 0.0
+do i = 1, n
+  s = s + a(i) * b(i)
+enddo
+end

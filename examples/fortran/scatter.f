@@ -1,0 +1,19 @@
+program scatter
+integer n
+parameter (n = 32)
+real x(n), y(n)
+integer idx(n)
+real total
+do i = 1, n
+  x(i) = i * 1.0
+  idx(i) = n - i + 1
+enddo
+do i = 1, n
+  y(idx(i)) = x(i) * 2.0
+enddo
+total = 0.0
+do i = 1, n
+  total = total + y(i)
+enddo
+print *, total
+end

@@ -1,0 +1,20 @@
+program stencil
+integer n, t, nsteps
+parameter (n = 64, nsteps = 4)
+real a(n), b(n)
+do i = 1, n
+  a(i) = 0.0
+  b(i) = 0.0
+enddo
+a(1) = 1.0
+a(n) = 1.0
+do t = 1, nsteps
+  do i = 2, n - 1
+    b(i) = (a(i - 1) + a(i) + a(i + 1)) / 3.0
+  enddo
+  do i = 2, n - 1
+    a(i) = b(i)
+  enddo
+enddo
+print *, a(n / 2)
+end

@@ -1,0 +1,122 @@
+//! Round-trip and emptiness tests for the observability layer's profile
+//! report: emit from a suite program, parse back, check the schema
+//! version, the phase names, and that the dependence-test histogram
+//! accounts for every graph edge; and verify that a session with
+//! instrumentation off produces the all-empty report.
+
+use ped_core::{Ped, ProfileReport, PROFILE_SCHEMA_VERSION};
+
+fn suite_source() -> String {
+    ped_workloads::program_by_name("onedim")
+        .expect("suite has onedim")
+        .source
+        .to_string()
+}
+
+#[test]
+fn profile_report_round_trips_through_json() {
+    let src = suite_source();
+    let mut ped = Ped::open_profiled(&src).unwrap();
+    let batch = ped.analyze_all();
+    assert!(batch.built > 0, "suite program must have loops to analyze");
+    ped.run(ped_runtime::ExecConfig::default()).unwrap();
+
+    let report = ped.profile_report();
+    assert!(report.enabled);
+    assert_eq!(report.schema_version, PROFILE_SCHEMA_VERSION);
+
+    // Emit → parse must reproduce the report exactly, pretty or compact.
+    for text in [
+        report.to_json().to_string_pretty(),
+        report.to_json().to_string_compact(),
+    ] {
+        let back = ProfileReport::from_json_str(&text).unwrap();
+        assert_eq!(back, report);
+    }
+}
+
+#[test]
+fn profile_report_contents_match_session() {
+    let src = suite_source();
+    let mut ped = Ped::open_profiled(&src).unwrap();
+    let batch = ped.analyze_all();
+    let run = ped.run(ped_runtime::ExecConfig::default()).unwrap();
+    let report = ped.profile_report();
+
+    // Phase names: the session parsed, propagated interprocedural facts,
+    // tested dependences, ran scalar analysis, and interpreted the program.
+    let names: Vec<&str> = report.phases.iter().map(|p| p.name.as_str()).collect();
+    for expected in ["parse", "scalar_analysis", "interproc", "dep_test", "interpret"] {
+        assert!(names.contains(&expected), "missing phase {expected}: {names:?}");
+    }
+    for p in &report.phases {
+        assert!(p.calls > 0, "phase {} listed without calls", p.name);
+    }
+
+    // The per-edge histogram is recorded post-dedup, so its total equals
+    // the combined edge count of every graph the batch pass built.
+    assert_eq!(report.total_edges() as usize, batch.deps);
+    assert!(report.total_pairs() > 0, "subscript pairs were tested");
+
+    // Cache counters flow from the session: every batch-built graph is
+    // counted, and the suite workload produces pair-cache traffic.
+    assert_eq!(report.cache.graphs_built as usize, batch.built);
+    assert!(report.cache.pair_hits + report.cache.pair_misses > 0);
+
+    // Per-unit rows cover exactly the graphs built.
+    let unit_graphs: u64 = report.units.iter().map(|u| u.graphs).sum();
+    assert_eq!(unit_graphs as usize, batch.built);
+
+    // The run's loop profiles were folded in.
+    assert_eq!(report.loop_profiles.len(), run.profile.len());
+
+    // Re-requesting a cached graph bumps the reuse counter.
+    let before = report.cache.graphs_reused;
+    let h = ped.loops(0)[0].0;
+    ped.graph(0, h).unwrap();
+    assert_eq!(ped.profile_report().cache.graphs_reused, before + 1);
+}
+
+#[test]
+fn disabled_instrumentation_leaves_report_empty() {
+    let src = suite_source();
+    let mut ped = Ped::open(&src).unwrap();
+    let batch = ped.analyze_all();
+    assert!(batch.built > 0);
+    ped.run(ped_runtime::ExecConfig::default()).unwrap();
+    assert!(!ped.profiling());
+    assert_eq!(ped.profile_report(), ProfileReport::empty());
+}
+
+#[test]
+fn profiling_toggles_mid_session() {
+    let src = suite_source();
+    let mut ped = Ped::open(&src).unwrap();
+    assert_eq!(ped.profile_report(), ProfileReport::empty());
+    ped.set_profiling(true);
+    ped.analyze_all();
+    let report = ped.profile_report();
+    assert!(report.total_edges() > 0);
+    // `open` (unprofiled) never timed the parse.
+    assert!(report.phases.iter().all(|p| p.name != "parse"));
+    ped.set_profiling(false);
+    assert_eq!(ped.profile_report(), ProfileReport::empty());
+}
+
+#[test]
+fn validator_rejects_tampered_reports() {
+    let src = suite_source();
+    let mut ped = Ped::open_profiled(&src).unwrap();
+    ped.analyze_all();
+    let good = ped.profile_report().to_json().to_string_compact();
+    assert!(ProfileReport::from_json_str(&good).is_ok());
+
+    let bad_version = good.replacen(
+        &format!("\"schema_version\":{PROFILE_SCHEMA_VERSION}"),
+        "\"schema_version\":42",
+        1,
+    );
+    assert!(ProfileReport::from_json_str(&bad_version).is_err());
+    assert!(ProfileReport::from_json_str("{not json").is_err());
+    assert!(ProfileReport::from_json_str("{}").is_err());
+}
