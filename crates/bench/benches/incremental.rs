@@ -70,6 +70,22 @@ fn main() {
         );
         println!("   graphs rebuilt after edit: {rebuilt_edit} (scratch: {from_scratch})");
 
+        // Satellite check: undo and redo are *edits* for the E10 counter —
+        // they reset `reanalysis_count` exactly like `edit_unit`, and the
+        // work to re-answer queries after them is never worse than after
+        // the original edit (retired graphs resurrect by fingerprint).
+        assert!(ped.undo());
+        assert_eq!(ped.reanalysis_count, 0, "undo resets the counter like an edit");
+        graphs_of_all(&mut ped);
+        let rebuilt_undo = ped.reanalysis_count;
+        assert!(
+            rebuilt_undo <= rebuilt_edit,
+            "undo rebuilt {rebuilt_undo} graphs, the edit itself only {rebuilt_edit}"
+        );
+        assert!(ped.redo());
+        assert_eq!(ped.reanalysis_count, 0, "redo resets the counter like an edit");
+        println!("   graphs rebuilt after undo: {rebuilt_undo}");
+
         bench(&format!("full_reanalysis/{units}"), 10, || {
             let mut ped = Ped::open(&src).unwrap();
             black_box(graphs_of_all(&mut ped))

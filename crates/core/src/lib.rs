@@ -13,12 +13,13 @@
 //! marking/filtering/steering behave*, all of which [`render`] and
 //! [`session`] expose as data and text.
 
+pub mod equiv;
 pub mod filters;
 pub mod render;
 pub mod session;
 
 pub use filters::{DepFilter, SourceFilter};
-pub use ped_obs::{ProfileReport, PROFILE_SCHEMA_VERSION};
+pub use ped_obs::{IncrementalReport, ProfileReport, PROFILE_SCHEMA_VERSION};
 pub use session::{
     build_unit_graph, Assertion, BatchReport, DepKey, DepStatus, Mark, Ped, PedError,
 };

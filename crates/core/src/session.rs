@@ -4,13 +4,13 @@ use ped_dep::cache::PairCache;
 use ped_dep::graph::{build_graph, GraphConfig};
 use ped_dep::{DepGraph, DepKind};
 use ped_fortran::symbols::Const;
-use ped_fortran::visit::loop_tree;
-use ped_fortran::{parse_program, Program, StmtId, SymId};
-use ped_interproc::{IpAnalysis, IpFlags};
-use ped_obs::{CacheReport, LoopSample, Obs, Phase, PhaseTimer, ProfileReport};
+use ped_fortran::visit::{loop_tree, stmts_recursive};
+use ped_fortran::{parse_program, Program, ProgramUnit, StmtId, SymId};
+use ped_interproc::{EditProbe, IpAnalysis, IpFlags};
+use ped_obs::{CacheReport, IncrementalReport, LoopSample, Obs, Phase, PhaseTimer, ProfileReport};
 use ped_runtime::Machine;
 use ped_transform::{Applied, Diagnosis, Xform};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -99,17 +99,66 @@ impl std::fmt::Display for PedError {
 
 impl std::error::Error for PedError {}
 
+/// A cached dependence graph plus the fingerprints it was built under.
+/// `loop_fp` is the nest's structural hash ([`ped_fortran::visit::loop_fingerprint`]),
+/// `ctx_fp` hashes everything the graph read from the *rest of the unit*
+/// (constants reaching the header, liveness past the loop, control context,
+/// assertions, flags), and `vis_fp` is the unit's visible interprocedural
+/// fingerprint. A cached entry is valid exactly when all three still match
+/// the current program state — which is also the resurrection criterion for
+/// retired entries on undo/redo.
+#[derive(Clone)]
+struct GraphEntry {
+    graph: DepGraph,
+    loop_fp: u64,
+    ctx_fp: u64,
+    vis_fp: u64,
+}
+
+/// One undo/redo journal entry: the delta of a single-unit edit — the
+/// pre-edit unit and the marks that referred to it — rather than a clone of
+/// the whole `Program` plus the whole mark map. `bytes` approximates the
+/// journaled payload; `snapshot_bytes` what the old full-snapshot scheme
+/// would have stored, so the observability layer can report the saving.
+struct Delta {
+    unit_idx: usize,
+    unit: ProgramUnit,
+    marks: Vec<(DepKey, Mark)>,
+    bytes: u64,
+    snapshot_bytes: u64,
+}
+
+/// Pre-edit capture for incremental invalidation: the per-unit visible
+/// fingerprints and the edited unit's interprocedural contribution probe.
+/// Both must be taken *before* the program mutates.
+struct PreEdit {
+    fps: Option<Vec<u64>>,
+    probe: Option<EditProbe>,
+}
+
+/// Retired graphs kept for resurrection (undo/redo round trips). Bounded:
+/// the journal must stay cheaper than the snapshots it replaced.
+const MAX_RETIRED: usize = 512;
+
 /// One editor session over one program.
 pub struct Ped {
     program: Program,
     flags: IpFlags,
     include_input_deps: bool,
     ip: Option<IpAnalysis>,
-    graphs: HashMap<(usize, StmtId), DepGraph>,
+    /// Visible fingerprints of `ip` over the current program (empty iff
+    /// `ip` is `None`); kept in lockstep so edit paths and resurrection
+    /// checks don't rehash every unit per query.
+    vis_fps: Vec<u64>,
+    graphs: HashMap<(usize, StmtId), GraphEntry>,
+    /// Evicted graphs, newest last. A cache miss whose fingerprints match a
+    /// retired entry resurrects it instead of rebuilding — this is what
+    /// makes undo of an analyzed transform near-free.
+    retired: VecDeque<((usize, StmtId), GraphEntry)>,
     marks: HashMap<DepKey, Mark>,
     assertions: Vec<Assertion>,
-    undo: Vec<(Program, HashMap<DepKey, Mark>)>,
-    redo: Vec<(Program, HashMap<DepKey, Mark>)>,
+    undo: Vec<Delta>,
+    redo: Vec<Delta>,
     /// Memoized subscript-pair outcomes, shared by interactive queries and
     /// `analyze_all` workers. Never invalidated: its key canonicalizes the
     /// *resolved* subscripts and bounds, so edits and new assertions simply
@@ -123,6 +172,14 @@ pub struct Ped {
     graphs_built_total: u64,
     /// Graph requests served from the (fingerprint-validated) cache.
     graphs_reused_total: u64,
+    /// Graphs that survived an edit in place (fingerprint-scoped retention).
+    graphs_retained_total: u64,
+    /// Graphs brought back from the retired store by fingerprint match.
+    graphs_resurrected_total: u64,
+    /// Whole-program interprocedural recomputations performed.
+    ip_recomputes_total: u64,
+    /// Edits absorbed by the summary-preserving fast path (no recompute).
+    ip_recomputes_skipped_total: u64,
     /// Analysis recomputations (interprocedural passes + dependence-graph
     /// builds) performed since the most recent *edit* (`edit_unit`,
     /// `apply`, `undo`, `redo`). Flag toggles and cache rebuilds accumulate
@@ -182,7 +239,9 @@ impl Ped {
             flags: IpFlags::all(),
             include_input_deps: false,
             ip: None,
+            vis_fps: Vec::new(),
             graphs: HashMap::new(),
+            retired: VecDeque::new(),
             marks: HashMap::new(),
             assertions: Vec::new(),
             undo: Vec::new(),
@@ -191,6 +250,10 @@ impl Ped {
             obs: Arc::new(Obs::new()),
             graphs_built_total: 0,
             graphs_reused_total: 0,
+            graphs_retained_total: 0,
+            graphs_resurrected_total: 0,
+            ip_recomputes_total: 0,
+            ip_recomputes_skipped_total: 0,
             reanalysis_count: 0,
         }
     }
@@ -233,7 +296,29 @@ impl Ped {
                 graphs_built: self.graphs_built_total,
                 graphs_reused: self.graphs_reused_total,
             },
+            self.incremental_stats(),
         )
+    }
+
+    /// Counters of the incremental engine: graphs retained across edits,
+    /// graphs resurrected on undo/redo, interprocedural recomputes run vs
+    /// skipped, and the memory held by the delta journal vs what full
+    /// program snapshots would cost. Available whether or not phase
+    /// profiling is on (these are plain session counters, not timers).
+    pub fn incremental_stats(&self) -> IncrementalReport {
+        let journal: u64 = self.undo.iter().chain(&self.redo).map(|d| d.bytes).sum();
+        let snapshot: u64 =
+            self.undo.iter().chain(&self.redo).map(|d| d.snapshot_bytes).sum();
+        IncrementalReport {
+            graphs_retained: self.graphs_retained_total,
+            graphs_resurrected: self.graphs_resurrected_total,
+            ip_recomputes: self.ip_recomputes_total,
+            ip_recomputes_skipped: self.ip_recomputes_skipped_total,
+            undo_entries: self.undo.len() as u64,
+            redo_entries: self.redo.len() as u64,
+            journal_bytes: journal,
+            snapshot_bytes: snapshot,
+        }
     }
 
     /// The current program.
@@ -263,40 +348,103 @@ impl Ped {
         // a flag toggle is not an edit, and the E10 instrumentation must
         // keep accumulating across it.
         self.ip = None;
+        self.vis_fps.clear();
         self.graphs.clear();
+        self.retired.clear();
     }
 
-    /// Visible fingerprints of the *current* program state (None when no
-    /// interprocedural results exist — then no cross-unit graph can be
-    /// cached either). Edit paths capture this before mutating the program.
-    fn visible_fps(&self) -> Option<Vec<u64>> {
-        self.ip.as_ref().map(|ip| ip.visible_fingerprints(&self.program))
-    }
-
-    /// Unit-level incremental invalidation after `unit_idx` changed. The
-    /// edited unit's graphs are always dropped and interprocedural results
-    /// are recomputed eagerly; every *other* unit keeps its cached graphs
-    /// exactly when its visible fingerprint — own summary plus constants
-    /// plus the summaries (and translation interfaces) of all transitively
-    /// reachable callees — is unchanged. `old_fps` must come from
-    /// [`Self::visible_fps`] *before* the program was mutated; without it
-    /// everything is conservatively dropped.
-    fn invalidate_unit(&mut self, unit_idx: usize, old_fps: Option<Vec<u64>>) {
-        self.graphs.retain(|&(ui, _), _| ui != unit_idx);
-        let new_ip = IpAnalysis::analyze_obs(&self.program, self.obs_ref());
-        let new_fps = new_ip.visible_fingerprints(&self.program);
-        match old_fps {
-            Some(old) if old.len() == new_fps.len() => {
-                self.graphs.retain(|&(ui, _), _| old[ui] == new_fps[ui]);
-            }
-            _ => self.graphs.clear(),
+    /// Capture everything incremental invalidation needs *before* the
+    /// program mutates: the per-unit visible fingerprints and the edited
+    /// unit's interprocedural contribution probe. `None` fields when no
+    /// interprocedural results exist — then no graph is cached either.
+    fn pre_edit(&self, unit_idx: usize) -> PreEdit {
+        match &self.ip {
+            Some(ip) => PreEdit {
+                fps: Some(self.vis_fps.clone()),
+                probe: Some(ip.edit_probe(&self.program, unit_idx)),
+            },
+            None => PreEdit { fps: None, probe: None },
         }
-        self.ip = Some(new_ip);
+    }
+
+    /// Move a cache entry to the bounded retired store.
+    fn retire(&mut self, key: (usize, StmtId), entry: GraphEntry) {
+        if self.retired.len() == MAX_RETIRED {
+            self.retired.pop_front();
+        }
+        self.retired.push_back((key, entry));
+    }
+
+    /// Loop-granular incremental invalidation after `unit_idx` changed.
+    ///
+    /// Interprocedural results first: if the edited unit's visible
+    /// contribution is unchanged (summary, call sites, jump constants — the
+    /// case for unroll, reverse, interchange, strip-mine…), the existing
+    /// analysis is patched in place and the whole-program recompute is
+    /// skipped; otherwise it reruns eagerly.
+    ///
+    /// Graphs second: a cached graph survives when its unit's visible
+    /// interprocedural fingerprint is unchanged AND — for the edited unit —
+    /// the nest's structural fingerprint and unit-context fingerprint both
+    /// still match, i.e. the transform touched a *different* nest. Everything
+    /// else is retired (not dropped) so an undo can resurrect it.
+    fn invalidate_unit(&mut self, unit_idx: usize, pre: PreEdit) {
+        let fast = match (self.ip.as_mut(), pre.probe.as_ref()) {
+            (Some(ip), Some(probe)) => ip.try_update_unit(&self.program, probe),
+            _ => false,
+        };
+        if fast {
+            self.ip_recomputes_skipped_total += 1;
+        } else {
+            self.ip = Some(IpAnalysis::analyze_obs(&self.program, self.obs_ref()));
+            self.ip_recomputes_total += 1;
+        }
+        let ip = self.ip.as_ref().expect("set above");
+        let new_fps = ip.visible_fingerprints(&self.program);
+        let edited_fps: Option<HashMap<StmtId, (u64, u64)>> = match &pre.fps {
+            Some(old) if old.len() == new_fps.len() && old[unit_idx] == new_fps[unit_idx] => {
+                Some(unit_loop_fingerprints(
+                    &self.program,
+                    ip,
+                    unit_idx,
+                    self.flags,
+                    self.include_input_deps,
+                    &self.assertions,
+                ))
+            }
+            _ => None,
+        };
+        let entries: Vec<((usize, StmtId), GraphEntry)> = self.graphs.drain().collect();
+        for ((ui, h), e) in entries {
+            let keep = match &pre.fps {
+                Some(old) if old.len() == new_fps.len() => {
+                    if ui != unit_idx {
+                        old[ui] == new_fps[ui]
+                    } else {
+                        edited_fps
+                            .as_ref()
+                            .and_then(|m| m.get(&h))
+                            .is_some_and(|&(lfp, cfp)| e.loop_fp == lfp && e.ctx_fp == cfp)
+                    }
+                }
+                _ => false,
+            };
+            if keep {
+                self.graphs_retained_total += 1;
+                self.graphs.insert((ui, h), e);
+            } else {
+                self.retire((ui, h), e);
+            }
+        }
+        self.vis_fps = new_fps;
     }
 
     fn ip(&mut self) -> &IpAnalysis {
         if self.ip.is_none() {
-            self.ip = Some(IpAnalysis::analyze_obs(&self.program, self.obs_ref()));
+            let ip = IpAnalysis::analyze_obs(&self.program, self.obs_ref());
+            self.vis_fps = ip.visible_fingerprints(&self.program);
+            self.ip = Some(ip);
+            self.ip_recomputes_total += 1;
             self.reanalysis_count += 1;
         }
         self.ip.as_ref().expect("set above")
@@ -329,39 +477,70 @@ impl Ped {
     }
 
     /// The dependence graph of a loop (cached; returns a clone so the
-    /// session stays usable while the caller inspects it).
+    /// session stays usable while the caller inspects it). On a live-cache
+    /// miss the retired store is consulted first: an entry whose structural,
+    /// context, and visible fingerprints all match the current program state
+    /// is resurrected instead of rebuilt — the near-free undo path.
     pub fn graph(&mut self, unit_idx: usize, header: StmtId) -> Result<DepGraph, PedError> {
-        if !self.graphs.contains_key(&(unit_idx, header)) {
-            if !self.program.units[unit_idx].is_loop(header) {
-                return Err(PedError(format!("{header} is not a loop")));
-            }
-            self.ip();
+        if let Some(e) = self.graphs.get(&(unit_idx, header)) {
+            self.graphs_reused_total += 1;
+            return Ok(e.graph.clone());
+        }
+        if !self.program.units[unit_idx].is_loop(header) {
+            return Err(PedError(format!("{header} is not a loop")));
+        }
+        self.ip();
+        let (loop_fp, ctx_fp) = {
             let ip = self.ip.as_ref().expect("built above");
-            let t0 = self.obs.enabled().then(std::time::Instant::now);
-            let g = build_unit_graph(
+            let fps = unit_loop_fingerprints(
                 &self.program,
                 ip,
                 unit_idx,
-                header,
                 self.flags,
                 self.include_input_deps,
                 &self.assertions,
-                Some(&self.pair_cache),
-                self.obs_ref(),
             );
-            if let Some(t0) = t0 {
-                self.obs.record_unit(
-                    &self.program.units[unit_idx].name,
-                    t0.elapsed().as_nanos() as u64,
-                );
-            }
-            self.graphs.insert((unit_idx, header), g);
-            self.graphs_built_total += 1;
-            self.reanalysis_count += 1;
-        } else {
+            *fps.get(&header).expect("is_loop checked above")
+        };
+        let vis_fp = self.vis_fps[unit_idx];
+        if let Some(pos) = self.retired.iter().position(|(k, e)| {
+            *k == (unit_idx, header)
+                && e.loop_fp == loop_fp
+                && e.ctx_fp == ctx_fp
+                && e.vis_fp == vis_fp
+        }) {
+            let (k, e) = self.retired.remove(pos).expect("position found above");
+            let g = e.graph.clone();
+            self.graphs.insert(k, e);
+            self.graphs_resurrected_total += 1;
             self.graphs_reused_total += 1;
+            return Ok(g);
         }
-        Ok(self.graphs[&(unit_idx, header)].clone())
+        let t0 = self.obs.enabled().then(std::time::Instant::now);
+        let g = build_unit_graph(
+            &self.program,
+            self.ip.as_ref().expect("built above"),
+            unit_idx,
+            header,
+            self.flags,
+            self.include_input_deps,
+            &self.assertions,
+            Some(&self.pair_cache),
+            self.obs_ref(),
+        );
+        if let Some(t0) = t0 {
+            self.obs.record_unit(
+                &self.program.units[unit_idx].name,
+                t0.elapsed().as_nanos() as u64,
+            );
+        }
+        self.graphs.insert(
+            (unit_idx, header),
+            GraphEntry { graph: g.clone(), loop_fp, ctx_fp, vis_fp },
+        );
+        self.graphs_built_total += 1;
+        self.reanalysis_count += 1;
+        Ok(g)
     }
 
     /// Analyze every loop of every unit, in parallel, filling the session
@@ -380,8 +559,46 @@ impl Ped {
                 all.push((u, h));
             }
         }
-        let pending: Vec<(usize, StmtId)> =
+        let mut pending: Vec<(usize, StmtId)> =
             all.iter().copied().filter(|k| !self.graphs.contains_key(k)).collect();
+        // Fingerprint every unit that has uncached loops (once per unit, not
+        // per loop), then resurrect retired entries that still match before
+        // spending any build work on them.
+        let mut fps_by_unit: HashMap<usize, HashMap<StmtId, (u64, u64)>> = HashMap::new();
+        {
+            let ip = self.ip.as_ref().expect("built above");
+            let units: HashSet<usize> = pending.iter().map(|&(u, _)| u).collect();
+            for u in units {
+                fps_by_unit.insert(
+                    u,
+                    unit_loop_fingerprints(
+                        &self.program,
+                        ip,
+                        u,
+                        self.flags,
+                        self.include_input_deps,
+                        &self.assertions,
+                    ),
+                );
+            }
+        }
+        let mut resurrected = 0usize;
+        pending.retain(|&(u, h)| {
+            let (lfp, cfp) = fps_by_unit[&u][&h];
+            let vfp = self.vis_fps[u];
+            let hit = self.retired.iter().position(|(k, e)| {
+                *k == (u, h) && e.loop_fp == lfp && e.ctx_fp == cfp && e.vis_fp == vfp
+            });
+            match hit {
+                Some(pos) => {
+                    let (k, e) = self.retired.remove(pos).expect("position found above");
+                    self.graphs.insert(k, e);
+                    resurrected += 1;
+                    false
+                }
+                None => true,
+            }
+        });
         let before = self.pair_cache.stats();
         let threads = if pending.is_empty() {
             0
@@ -443,11 +660,16 @@ impl Ped {
             })
         };
         let built = results.len();
-        for (k, g) in results {
-            self.graphs.insert(k, g);
+        for ((u, h), g) in results {
+            let (loop_fp, ctx_fp) = fps_by_unit[&u][&h];
+            self.graphs.insert(
+                (u, h),
+                GraphEntry { graph: g, loop_fp, ctx_fp, vis_fp: self.vis_fps[u] },
+            );
         }
         self.graphs_built_total += built as u64;
         self.graphs_reused_total += (all.len() - built) as u64;
+        self.graphs_resurrected_total += resurrected as u64;
         self.reanalysis_count += built;
         let after = self.pair_cache.stats();
         BatchReport {
@@ -455,7 +677,7 @@ impl Ped {
             loops: all.len(),
             built,
             reused: all.len() - built,
-            deps: self.graphs.values().map(|g| g.deps.len()).sum(),
+            deps: self.graphs.values().map(|e| e.graph.deps.len()).sum(),
             threads,
             cache: ped_dep::CacheStats {
                 hits: after.hits - before.hits,
@@ -522,7 +744,14 @@ impl Ped {
         let mut rejected = 0usize;
         match &a {
             Assertion::Value { .. } => {
-                self.graphs.clear();
+                // Retire rather than drop: the context fingerprint covers
+                // the asserted unit's values, so loops of *other* units
+                // resurrect on their next request instead of rebuilding.
+                let entries: Vec<((usize, StmtId), GraphEntry)> =
+                    self.graphs.drain().collect();
+                for (k, e) in entries {
+                    self.retire(k, e);
+                }
             }
             Assertion::Permutation { unit, array } => {
                 // Find pending deps whose endpoints subscript through the
@@ -634,9 +863,8 @@ impl Ped {
     ) -> Result<Applied, PedError> {
         let header = self.owning_loop(unit_idx, target);
         let graph = self.graph_or_empty(unit_idx, header)?;
-        self.undo.push((self.program.clone(), self.marks.clone()));
-        self.redo.clear();
-        let old_fps = self.visible_fps();
+        let pre = self.pre_edit(unit_idx);
+        let saved = self.delta_of(unit_idx);
         // Clone the registry handle so the timer's borrow doesn't pin
         // `self` while the transform mutates the program.
         let obs = Arc::clone(&self.obs);
@@ -650,47 +878,75 @@ impl Ped {
         };
         match result {
             Ok(applied) => {
-                self.invalidate_unit(unit_idx, old_fps);
+                self.undo.push(saved);
+                // Only a *successful* transform invalidates redo history; an
+                // inapplicable one must leave the user's redo stack intact.
+                self.redo.clear();
+                self.invalidate_unit(unit_idx, pre);
                 self.reanalysis_count = 0;
                 Ok(applied)
             }
             Err(e) => {
-                let (p, m) = self.undo.pop().expect("pushed above");
-                self.program = p;
-                self.marks = m;
+                // Transforms mutate only the target unit; restoring it from
+                // the pre-transform clone undoes any partial mutation. The
+                // journal was never pushed, so undo/redo are untouched.
+                self.program.units[unit_idx] = saved.unit;
                 Err(PedError(e.0))
             }
         }
     }
 
-    /// Undo the last transformation/edit.
+    /// Undo the last transformation/edit. Incremental like any other edit:
+    /// only the restored unit reanalyzes, the interprocedural fast path
+    /// applies, and graphs retired by the original edit resurrect by
+    /// fingerprint — undoing an already-analyzed transform is near-free.
     pub fn undo(&mut self) -> bool {
-        match self.undo.pop() {
-            Some((p, m)) => {
-                self.redo.push((self.program.clone(), self.marks.clone()));
-                self.program = p;
-                self.marks = m;
-                self.invalidate_all();
-                self.reanalysis_count = 0;
-                true
-            }
-            None => false,
-        }
+        let Some(delta) = self.undo.pop() else { return false };
+        let unit_idx = delta.unit_idx;
+        let pre = self.pre_edit(unit_idx);
+        let inverse = self.delta_of(unit_idx);
+        self.restore_delta(delta);
+        self.redo.push(inverse);
+        self.invalidate_unit(unit_idx, pre);
+        self.reanalysis_count = 0;
+        true
     }
 
-    /// Redo the last undone change.
+    /// Redo the last undone change (same incremental path as [`Self::undo`]).
     pub fn redo(&mut self) -> bool {
-        match self.redo.pop() {
-            Some((p, m)) => {
-                self.undo.push((self.program.clone(), self.marks.clone()));
-                self.program = p;
-                self.marks = m;
-                self.invalidate_all();
-                self.reanalysis_count = 0;
-                true
-            }
-            None => false,
-        }
+        let Some(delta) = self.redo.pop() else { return false };
+        let unit_idx = delta.unit_idx;
+        let pre = self.pre_edit(unit_idx);
+        let inverse = self.delta_of(unit_idx);
+        self.restore_delta(delta);
+        self.undo.push(inverse);
+        self.invalidate_unit(unit_idx, pre);
+        self.reanalysis_count = 0;
+        true
+    }
+
+    /// Journal delta capturing the current state of one unit and the marks
+    /// that refer to it.
+    fn delta_of(&self, unit_idx: usize) -> Delta {
+        let unit = self.program.units[unit_idx].clone();
+        let marks: Vec<(DepKey, Mark)> = self
+            .marks
+            .iter()
+            .filter(|(k, _)| k.unit == unit_idx)
+            .map(|(k, m)| (k.clone(), *m))
+            .collect();
+        let mark_cost = std::mem::size_of::<(DepKey, Mark)>() as u64;
+        let bytes = unit_bytes(&unit) + marks.len() as u64 * mark_cost;
+        let snapshot_bytes = self.program.units.iter().map(unit_bytes).sum::<u64>()
+            + self.marks.len() as u64 * mark_cost;
+        Delta { unit_idx, unit, marks, bytes, snapshot_bytes }
+    }
+
+    /// Swap a journal delta into the session (unit and its marks).
+    fn restore_delta(&mut self, d: Delta) {
+        self.program.units[d.unit_idx] = d.unit;
+        self.marks.retain(|k, _| k.unit != d.unit_idx);
+        self.marks.extend(d.marks);
     }
 
     /// Replace one unit's source text (the editing path). The edited unit's
@@ -708,11 +964,12 @@ impl Ped {
             .into_iter()
             .find(|u| u.name == name.to_ascii_lowercase())
             .ok_or_else(|| PedError(format!("replacement source lacks unit {name}")))?;
-        self.undo.push((self.program.clone(), self.marks.clone()));
-        self.redo.clear();
-        let old_fps = self.visible_fps();
+        let pre = self.pre_edit(unit_idx);
+        let saved = self.delta_of(unit_idx);
         self.program.units[unit_idx] = new_unit;
-        self.invalidate_unit(unit_idx, old_fps);
+        self.undo.push(saved);
+        self.redo.clear();
+        self.invalidate_unit(unit_idx, pre);
         self.reanalysis_count = 0;
         Ok(())
     }
@@ -829,6 +1086,92 @@ pub fn build_unit_graph(
         obs,
     };
     build_graph(unit_ref, header, &config)
+}
+
+/// Per-loop fingerprints of one unit under the current analysis results:
+/// for each loop header, `(loop_fp, ctx_fp)`. `loop_fp` is the nest's
+/// structural hash from [`ped_fortran::visit::loop_fingerprint`]; `ctx_fp`
+/// hashes everything [`build_unit_graph`] reads from *outside* the nest —
+/// capability flags, the input-dependence setting, the unit's value
+/// assertions, COMMON array declarations (call-effect targets), constant
+/// facts reaching the header, per-symbol liveness after the loop, and the
+/// control-dependence pairs inside the nest. Together with the unit's
+/// visible interprocedural fingerprint, equality of both hashes means a
+/// cached graph of this loop is still exactly what a rebuild would produce.
+fn unit_loop_fingerprints(
+    program: &Program,
+    ip: &IpAnalysis,
+    unit_idx: usize,
+    flags: IpFlags,
+    include_input: bool,
+    assertions: &[Assertion],
+) -> HashMap<StmtId, (u64, u64)> {
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+    let unit = &program.units[unit_idx];
+    let cfg = ped_analysis::cfg::Cfg::build(unit);
+    let seeds = if flags.constants {
+        ip.const_seeds[unit_idx].clone()
+    } else {
+        ped_analysis::constants::Facts::new()
+    };
+    let env = ped_analysis::constants::ConstEnv::compute_seeded(unit, &cfg, &seeds);
+    let live = ped_analysis::liveness::Liveness::compute(unit, &cfg);
+    let cd = ped_analysis::controldep::ControlDeps::compute(&cfg);
+    let mut asserted: Vec<(SymId, i64)> = assertions
+        .iter()
+        .filter_map(|a| match a {
+            Assertion::Value { unit, sym, value } if *unit == unit_idx => Some((*sym, *value)),
+            _ => None,
+        })
+        .collect();
+    asserted.sort();
+    let commons = {
+        let mut h = DefaultHasher::new();
+        for (id, s) in unit.symbols.iter() {
+            if s.common.is_some() && s.is_array() {
+                id.hash(&mut h);
+                format!("{s:?}").hash(&mut h);
+            }
+        }
+        h.finish()
+    };
+    let mut out = HashMap::new();
+    for node in loop_tree(unit) {
+        let header = node.stmt;
+        let mut h = DefaultHasher::new();
+        [flags.modref, flags.kill, flags.sections, flags.constants, include_input].hash(&mut h);
+        asserted.hash(&mut h);
+        commons.hash(&mut h);
+        let mut facts: Vec<(SymId, String)> =
+            env.at(header).iter().map(|(s, c)| (*s, format!("{c:?}"))).collect();
+        facts.sort();
+        facts.hash(&mut h);
+        for (sid, _) in unit.symbols.iter() {
+            live.live_after_loop(unit, &cfg, header, sid).hash(&mut h);
+        }
+        let in_body: HashSet<StmtId> = std::iter::once(header)
+            .chain(stmts_recursive(unit, &unit.loop_of(header).body))
+            .collect();
+        let mut pairs: Vec<(StmtId, StmtId)> = cd
+            .pairs
+            .iter()
+            .filter(|&&(c, d)| c != header && in_body.contains(&c) && in_body.contains(&d))
+            .copied()
+            .collect();
+        pairs.sort();
+        pairs.hash(&mut h);
+        out.insert(header, (node.fingerprint, h.finish()));
+    }
+    out
+}
+
+/// Approximate size of one unit for journal accounting: the printed source
+/// form, a stable proxy for the AST's heap footprint.
+fn unit_bytes(unit: &ProgramUnit) -> u64 {
+    let mut s = String::new();
+    ped_fortran::printer::print_unit(unit, &mut s);
+    s.len() as u64
 }
 
 /// Does a dependence run through `array`-indexed subscripts on both ends?
@@ -966,6 +1309,109 @@ mod tests {
         assert!(err.0.contains("divisible"), "{err}");
         assert_eq!(ped.source(), before);
         assert!(!ped.undo(), "failed apply must not leave an undo entry");
+    }
+
+    /// Satellite regression: a *failed* apply must leave the redo stack
+    /// alone — only a successful transform forks history.
+    #[test]
+    fn failed_apply_preserves_redo_stack() {
+        let mut ped = Ped::open(
+            "program t\nreal a(10)\ndo i = 1, 10\na(i) = 1.0\nenddo\nend\n",
+        )
+        .unwrap();
+        let h = ped.loops(0)[0].0;
+        ped.apply(0, h, &Xform::Parallelize).unwrap();
+        assert!(ped.undo());
+        assert_eq!(ped.incremental_stats().redo_entries, 1);
+        // Unroll by 3 does not divide 10: inapplicable, must not clear redo.
+        ped.apply(0, h, &Xform::Unroll { factor: 3 }).unwrap_err();
+        assert_eq!(ped.incremental_stats().redo_entries, 1);
+        assert!(ped.redo(), "redo survives a failed apply");
+        assert!(ped.source().contains("parallel do"));
+        // A *successful* apply after an undo does clear redo.
+        assert!(ped.undo());
+        ped.apply(0, h, &Xform::Unroll { factor: 2 }).unwrap();
+        assert_eq!(ped.incremental_stats().redo_entries, 0);
+        assert!(!ped.redo());
+    }
+
+    /// Satellite: undo/redo are edits for E10 purposes — they reset
+    /// `reanalysis_count` exactly like `apply` and `edit_unit` do.
+    #[test]
+    fn undo_redo_reset_reanalysis_count_like_edits() {
+        let mut ped = Ped::open(CALLER_SRC).unwrap();
+        let h = ped.loops(0)[0].0;
+        ped.graph(0, h).unwrap();
+        assert!(ped.reanalysis_count > 0);
+        ped.apply(0, h, &Xform::Reverse).unwrap();
+        assert_eq!(ped.reanalysis_count, 0, "apply resets");
+        ped.graph(0, h).unwrap();
+        let after_graph = ped.reanalysis_count;
+        assert!(after_graph > 0, "rebuild after the edit accumulates");
+        assert!(ped.undo());
+        assert_eq!(ped.reanalysis_count, 0, "undo resets");
+        ped.graph(0, h).unwrap();
+        assert!(ped.redo());
+        assert_eq!(ped.reanalysis_count, 0, "redo resets");
+    }
+
+    /// Undo of an analyzed edit resurrects the retired graphs by
+    /// fingerprint instead of rebuilding them.
+    #[test]
+    fn undo_resurrects_retired_graphs() {
+        let mut ped = Ped::open(CALLER_SRC).unwrap();
+        let h = ped.loops(0)[0].0;
+        let before = ped.graph(0, h).unwrap();
+        // Summary-changing callee edit: the caller's graph is retired.
+        ped.edit_unit("probe", PROBE_WRITES_X).unwrap();
+        ped.graph(0, h).unwrap();
+        let built_before_undo = ped.incremental_stats();
+        assert_eq!(built_before_undo.graphs_resurrected, 0);
+        assert!(ped.undo());
+        let after = ped.graph(0, h).unwrap();
+        assert_eq!(before, after);
+        let stats = ped.incremental_stats();
+        assert!(
+            stats.graphs_resurrected >= 1,
+            "undo must resurrect the retired caller graph, not rebuild it: {stats:?}"
+        );
+        assert_eq!(ped.reanalysis_count, 0, "resurrection is free for E10");
+    }
+
+    /// A summary-preserving transform takes the interprocedural fast path:
+    /// no whole-program recompute.
+    #[test]
+    fn summary_preserving_transform_skips_ip_recompute() {
+        let mut ped = Ped::open(CALLER_SRC).unwrap();
+        let h = ped.loops(0)[0].0;
+        ped.graph(0, h).unwrap();
+        let before = ped.incremental_stats();
+        ped.apply(0, h, &Xform::Reverse).unwrap();
+        let after = ped.incremental_stats();
+        assert_eq!(
+            after.ip_recomputes, before.ip_recomputes,
+            "reversal must not rerun the whole-program fixpoint"
+        );
+        assert_eq!(after.ip_recomputes_skipped, before.ip_recomputes_skipped + 1);
+    }
+
+    /// The delta journal stores one unit per entry, not the whole program —
+    /// its accounting must come out strictly cheaper on a multi-unit
+    /// program.
+    #[test]
+    fn journal_is_cheaper_than_snapshots() {
+        let mut ped = Ped::open(CALLER_SRC).unwrap();
+        let h = ped.loops(0)[0].0;
+        ped.apply(0, h, &Xform::Reverse).unwrap();
+        ped.apply(0, h, &Xform::Reverse).unwrap();
+        let stats = ped.incremental_stats();
+        assert_eq!(stats.undo_entries, 2);
+        assert!(
+            stats.journal_bytes < stats.snapshot_bytes,
+            "deltas ({}) must be smaller than full snapshots ({})",
+            stats.journal_bytes,
+            stats.snapshot_bytes
+        );
     }
 
     #[test]

@@ -12,6 +12,8 @@
 
 use crate::ast::*;
 use crate::symbols::SymId;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
 
 /// Visit every statement id in `block` and its nested blocks, pre-order.
 pub fn for_each_stmt(unit: &ProgramUnit, block: &Block, f: &mut impl FnMut(StmtId)) {
@@ -356,6 +358,9 @@ pub struct LoopNode {
     pub parent: Option<StmtId>,
     /// Directly nested loops, in source order.
     pub children: Vec<StmtId>,
+    /// Structural fingerprint of the nest rooted here; see
+    /// [`loop_fingerprint`].
+    pub fingerprint: u64,
 }
 
 /// The loop nesting forest of a unit, in pre-order.
@@ -363,6 +368,47 @@ pub fn loop_tree(unit: &ProgramUnit) -> Vec<LoopNode> {
     let mut out = Vec::new();
     collect_loops(unit, &unit.body, 1, None, &mut out);
     out
+}
+
+/// A stable structural fingerprint of the loop nest rooted at `header`:
+/// the pre-order statement subtree (ids, full statement kinds — which
+/// covers bounds, bodies, and parallel marks) plus the declaration of
+/// every symbol the subtree references (name, type, dimensions, COMMON
+/// membership, PARAMETER value). Two equal fingerprints mean the nest
+/// contributes identical *intra-subtree* analysis input; everything a
+/// dependence graph reads from outside the subtree (constants reaching
+/// the header, liveness past the loop, control context) is deliberately
+/// excluded and must be fingerprinted by the caller.
+pub fn loop_fingerprint(unit: &ProgramUnit, header: StmtId) -> u64 {
+    let mut h = DefaultHasher::new();
+    let body = match &unit.stmt(header).kind {
+        StmtKind::Do(d) => std::slice::from_ref(&header)
+            .iter()
+            .copied()
+            .chain(stmts_recursive(unit, &d.body))
+            .collect::<Vec<_>>(),
+        // Not a loop header: fingerprint just the one statement.
+        _ => vec![header],
+    };
+    let mut syms: Vec<SymId> = Vec::new();
+    for &id in &body {
+        let st = unit.stmt(id);
+        id.0.hash(&mut h);
+        st.label.hash(&mut h);
+        format!("{:?}", st.kind).hash(&mut h);
+        for acc in stmt_accesses(unit, id) {
+            syms.push(acc.sym);
+        }
+    }
+    syms.sort_unstable();
+    syms.dedup();
+    for s in syms {
+        let sym = unit.symbols.sym(s);
+        s.0.hash(&mut h);
+        sym.name.hash(&mut h);
+        format!("{sym:?}").hash(&mut h);
+    }
+    h.finish()
 }
 
 fn collect_loops(
@@ -376,7 +422,13 @@ fn collect_loops(
         match &unit.stmt(id).kind {
             StmtKind::Do(d) => {
                 let my_index = out.len();
-                out.push(LoopNode { stmt: id, depth, parent, children: Vec::new() });
+                out.push(LoopNode {
+                    stmt: id,
+                    depth,
+                    parent,
+                    children: Vec::new(),
+                    fingerprint: loop_fingerprint(unit, id),
+                });
                 if let Some(p) = parent {
                     if let Some(pn) = out.iter_mut().find(|n| n.stmt == p) {
                         pn.children.push(id);
@@ -518,6 +570,41 @@ mod tests {
         assert!(acc.iter().any(|a| a.sym == y && a.kind == AccessKind::CallArg));
         // x + 1.0 argument is a plain read of x.
         assert!(acc.iter().any(|a| a.sym == x && a.kind == AccessKind::Read));
+    }
+
+    #[test]
+    fn loop_fingerprint_is_stable_and_structural() {
+        let u1 = sample();
+        let u2 = sample();
+        let t1 = loop_tree(&u1);
+        let t2 = loop_tree(&u2);
+        // Deterministic across parses of the same source.
+        assert_eq!(t1[0].fingerprint, t2[0].fingerprint);
+        assert_eq!(t1[1].fingerprint, t2[1].fingerprint);
+        // Inner and outer nests hash differently.
+        assert_ne!(t1[0].fingerprint, t1[1].fingerprint);
+        assert_eq!(t1[0].fingerprint, loop_fingerprint(&u1, t1[0].stmt));
+    }
+
+    #[test]
+    fn loop_fingerprint_sees_body_and_sibling_edits() {
+        let two = |mid: &str| {
+            parse_program(&format!(
+                "program t\nreal a(10), b(10)\ndo i = 1, 10\na(i) = {mid}\nenddo\n\
+                 do j = 1, 10\nb(j) = 0.0\nenddo\nend\n"
+            ))
+            .unwrap()
+            .units
+            .remove(0)
+        };
+        let base = two("1.0");
+        let edited = two("2.0");
+        let tb = loop_tree(&base);
+        let te = loop_tree(&edited);
+        // The edited nest changes its fingerprint...
+        assert_ne!(tb[0].fingerprint, te[0].fingerprint);
+        // ...the untouched sibling keeps its own.
+        assert_eq!(tb[1].fingerprint, te[1].fingerprint);
     }
 
     #[test]

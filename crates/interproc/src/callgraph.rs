@@ -39,51 +39,32 @@ pub struct CallGraph {
 }
 
 impl CallGraph {
+    /// An empty graph over `n` units.
+    pub(crate) fn empty(n: usize) -> CallGraph {
+        CallGraph {
+            sites: Vec::new(),
+            sites_of_unit: vec![Vec::new(); n],
+            callers_of: vec![Vec::new(); n],
+        }
+    }
+
     /// Build the call graph of a program.
     pub fn build(program: &Program) -> CallGraph {
-        let mut cg = CallGraph {
-            sites: Vec::new(),
-            sites_of_unit: vec![Vec::new(); program.units.len()],
-            callers_of: vec![Vec::new(); program.units.len()],
-        };
-        for (ui, unit) in program.units.iter().enumerate() {
-            for_each_stmt(unit, &unit.body, &mut |sid| {
-                let st = unit.stmt(sid);
-                if let StmtKind::Call { name, args } = &st.kind {
-                    cg.add_site(program, ui, sid, name, args.clone(), false);
-                }
-                // Function references in expressions.
-                for_each_expr_of_stmt(&st.kind, &mut |e| {
-                    if let Expr::Call { name, args } = e {
-                        if name != "__any__" {
-                            cg.add_site(program, ui, sid, name, args.clone(), true);
-                        }
-                    }
-                });
-            });
+        let mut cg = CallGraph::empty(program.units.len());
+        for ui in 0..program.units.len() {
+            for site in scan_unit_sites(program, ui) {
+                cg.push_site(site);
+            }
         }
         cg
     }
 
-    fn add_site(
-        &mut self,
-        program: &Program,
-        caller: usize,
-        stmt: StmtId,
-        name: &str,
-        args: Vec<Expr>,
-        in_expr: bool,
-    ) {
-        let callee = program.unit_index(name);
+    /// Append a site, maintaining the per-unit and per-callee indexes.
+    pub(crate) fn push_site(&mut self, site: CallSite) {
         let idx = self.sites.len();
-        self.sites.push(CallSite {
-            caller,
-            stmt,
-            callee,
-            callee_name: name.to_string(),
-            args,
-            in_expr,
-        });
+        let caller = site.caller;
+        let callee = site.callee;
+        self.sites.push(site);
         self.sites_of_unit[caller].push(idx);
         if let Some(c) = callee {
             if !self.callers_of[c].contains(&caller) {
@@ -130,6 +111,43 @@ impl CallGraph {
         out.sort_unstable();
         out
     }
+}
+
+/// All call sites of one unit, in the statement pre-order `build` records
+/// them (a CALL statement's own site precedes any function references in
+/// its arguments). The incremental fast path rescans a single edited unit
+/// with this and compares the result against the sites already indexed.
+pub fn scan_unit_sites(program: &Program, ui: usize) -> Vec<CallSite> {
+    let unit = &program.units[ui];
+    let mut out = Vec::new();
+    for_each_stmt(unit, &unit.body, &mut |sid| {
+        let st = unit.stmt(sid);
+        if let StmtKind::Call { name, args } = &st.kind {
+            out.push(CallSite {
+                caller: ui,
+                stmt: sid,
+                callee: program.unit_index(name),
+                callee_name: name.to_string(),
+                args: args.clone(),
+                in_expr: false,
+            });
+        }
+        for_each_expr_of_stmt(&st.kind, &mut |e| {
+            if let Expr::Call { name, args } = e {
+                if name != "__any__" {
+                    out.push(CallSite {
+                        caller: ui,
+                        stmt: sid,
+                        callee: program.unit_index(name),
+                        callee_name: name.to_string(),
+                        args: args.clone(),
+                        in_expr: true,
+                    });
+                }
+            }
+        });
+    });
+    out
 }
 
 #[cfg(test)]

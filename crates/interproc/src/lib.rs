@@ -19,10 +19,12 @@
 //!   contribution).
 
 pub mod callgraph;
+pub mod incremental;
 pub mod ipconst;
 pub mod oracle;
 pub mod summary;
 
 pub use callgraph::{CallGraph, CallSite};
+pub use incremental::EditProbe;
 pub use oracle::{IpAnalysis, IpFlags, IpOracle};
 pub use summary::{Loc, Section, SecDim, UnitSummary};

@@ -202,7 +202,7 @@ fn expr_uses_only(e: &Expr, allowed: &HashSet<SymId>, unit: &ProgramUnit) -> boo
     ok
 }
 
-fn summarize_unit(
+pub(crate) fn summarize_unit(
     program: &Program,
     cg: &CallGraph,
     ui: usize,

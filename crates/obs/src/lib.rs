@@ -21,8 +21,8 @@ pub mod json;
 pub mod report;
 
 pub use report::{
-    CacheReport, DepTestStat, LoopProfileStat, PhaseStat, ProfileReport, UnitStat,
-    PROFILE_SCHEMA_VERSION,
+    CacheReport, DepTestStat, IncrementalReport, LoopProfileStat, PhaseStat, ProfileReport,
+    UnitStat, PROFILE_SCHEMA_MIN_VERSION, PROFILE_SCHEMA_VERSION,
 };
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};

@@ -5,8 +5,14 @@
 use crate::json::{self, Json};
 use crate::{ObsSnapshot, Phase, TestKind};
 
-/// Version stamped into every emitted report; parsing rejects mismatches.
-pub const PROFILE_SCHEMA_VERSION: u64 = 1;
+/// Version stamped into every emitted report. Parsing accepts this version
+/// and every earlier one it knows how to upgrade (v1 reports simply lack
+/// the `incremental` section, which defaults to all-zero); later or unknown
+/// versions are rejected.
+pub const PROFILE_SCHEMA_VERSION: u64 = 2;
+
+/// Oldest schema version [`ProfileReport::from_json`] still accepts.
+pub const PROFILE_SCHEMA_MIN_VERSION: u64 = 1;
 
 /// Wall-clock total and call count for one pipeline phase.
 #[derive(Debug, Clone, PartialEq)]
@@ -69,6 +75,33 @@ impl CacheReport {
     }
 }
 
+/// Counters of the loop-granular incremental engine (schema v2). All zero
+/// in reports parsed from v1 JSON.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct IncrementalReport {
+    /// Cached graphs that survived an edit in place because their loop,
+    /// context, and visible fingerprints were unchanged.
+    pub graphs_retained: u64,
+    /// Graphs brought back from the retired store by fingerprint match
+    /// (the near-free undo/redo path).
+    pub graphs_resurrected: u64,
+    /// Whole-program interprocedural recomputations performed.
+    pub ip_recomputes: u64,
+    /// Edits absorbed by the summary-preserving fast path instead of a
+    /// whole-program recompute.
+    pub ip_recomputes_skipped: u64,
+    /// Entries currently on the undo stack.
+    pub undo_entries: u64,
+    /// Entries currently on the redo stack.
+    pub redo_entries: u64,
+    /// Approximate bytes held by the delta journal (undo + redo).
+    pub journal_bytes: u64,
+    /// Approximate bytes the same history would cost as full program
+    /// snapshots (the pre-v2 scheme) — `journal_bytes / snapshot_bytes`
+    /// is the journal's memory saving.
+    pub snapshot_bytes: u64,
+}
+
 /// Per-unit analysis timing.
 #[derive(Debug, Clone, PartialEq)]
 pub struct UnitStat {
@@ -108,6 +141,8 @@ pub struct ProfileReport {
     pub dep_tests: Vec<DepTestStat>,
     /// Cache and reuse counters.
     pub cache: CacheReport,
+    /// Incremental-engine counters (all zero when parsed from v1 JSON).
+    pub incremental: IncrementalReport,
     /// Per-unit graph-build timings.
     pub units: Vec<UnitStat>,
     /// Loop profiles from runs, if any.
@@ -123,14 +158,20 @@ impl ProfileReport {
             phases: Vec::new(),
             dep_tests: Vec::new(),
             cache: CacheReport::default(),
+            incremental: IncrementalReport::default(),
             units: Vec::new(),
             loop_profiles: Vec::new(),
         }
     }
 
     /// Assemble a report from a registry snapshot plus the session-level
-    /// cache counters (which live outside the registry).
-    pub fn from_snapshot(snap: &ObsSnapshot, cache: CacheReport) -> ProfileReport {
+    /// cache and incremental-engine counters (which live outside the
+    /// registry).
+    pub fn from_snapshot(
+        snap: &ObsSnapshot,
+        cache: CacheReport,
+        incremental: IncrementalReport,
+    ) -> ProfileReport {
         let phases = Phase::ALL
             .iter()
             .zip(&snap.phases)
@@ -157,6 +198,7 @@ impl ProfileReport {
             phases,
             dep_tests,
             cache,
+            incremental,
             units: snap
                 .units
                 .iter()
@@ -235,6 +277,19 @@ impl ProfileReport {
                 ]),
             ),
             (
+                "incremental",
+                Json::obj(vec![
+                    ("graphs_retained", Json::int(self.incremental.graphs_retained)),
+                    ("graphs_resurrected", Json::int(self.incremental.graphs_resurrected)),
+                    ("ip_recomputes", Json::int(self.incremental.ip_recomputes)),
+                    ("ip_recomputes_skipped", Json::int(self.incremental.ip_recomputes_skipped)),
+                    ("undo_entries", Json::int(self.incremental.undo_entries)),
+                    ("redo_entries", Json::int(self.incremental.redo_entries)),
+                    ("journal_bytes", Json::int(self.incremental.journal_bytes)),
+                    ("snapshot_bytes", Json::int(self.incremental.snapshot_bytes)),
+                ]),
+            ),
+            (
                 "units",
                 Json::Arr(
                     self.units
@@ -296,9 +351,10 @@ impl ProfileReport {
         };
 
         let schema_version = need_u64(v, "schema_version")?;
-        if schema_version != PROFILE_SCHEMA_VERSION {
+        if !(PROFILE_SCHEMA_MIN_VERSION..=PROFILE_SCHEMA_VERSION).contains(&schema_version) {
             return Err(format!(
-                "unsupported profile schema version {schema_version} (expected {PROFILE_SCHEMA_VERSION})"
+                "unsupported profile schema version {schema_version} \
+                 (expected {PROFILE_SCHEMA_MIN_VERSION}..={PROFILE_SCHEMA_VERSION})"
             ));
         }
         let enabled = v
@@ -338,6 +394,23 @@ impl ProfileReport {
             graphs_reused: need_u64(c, "graphs_reused")?,
         };
 
+        // v1 reports predate the incremental engine; the section defaults
+        // to all-zero. From v2 on it is required.
+        let incremental = match v.get("incremental") {
+            None if schema_version < 2 => IncrementalReport::default(),
+            None => return Err("missing field 'incremental'".to_string()),
+            Some(inc) => IncrementalReport {
+                graphs_retained: need_u64(inc, "graphs_retained")?,
+                graphs_resurrected: need_u64(inc, "graphs_resurrected")?,
+                ip_recomputes: need_u64(inc, "ip_recomputes")?,
+                ip_recomputes_skipped: need_u64(inc, "ip_recomputes_skipped")?,
+                undo_entries: need_u64(inc, "undo_entries")?,
+                redo_entries: need_u64(inc, "redo_entries")?,
+                journal_bytes: need_u64(inc, "journal_bytes")?,
+                snapshot_bytes: need_u64(inc, "snapshot_bytes")?,
+            },
+        };
+
         let mut units = Vec::new();
         for u in need_arr(v, "units")? {
             units.push(UnitStat {
@@ -367,6 +440,7 @@ impl ProfileReport {
             phases,
             dep_tests,
             cache,
+            incremental,
             units,
             loop_profiles,
         })
@@ -412,6 +486,21 @@ impl ProfileReport {
             self.cache.graphs_reused,
             self.cache.graph_reuse_rate() * 100.0
         ));
+        let inc = &self.incremental;
+        if *inc != IncrementalReport::default() {
+            out.push_str(&format!(
+                "incremental: {} graphs retained, {} resurrected; \
+                 ip recomputes {} done / {} skipped\n",
+                inc.graphs_retained,
+                inc.graphs_resurrected,
+                inc.ip_recomputes,
+                inc.ip_recomputes_skipped
+            ));
+            out.push_str(&format!(
+                "journal: {} undo / {} redo entries, {} bytes (full snapshots: {} bytes)\n",
+                inc.undo_entries, inc.redo_entries, inc.journal_bytes, inc.snapshot_bytes
+            ));
+        }
         if !self.units.is_empty() {
             out.push_str("per-unit analysis:\n");
             for u in &self.units {
@@ -473,6 +562,16 @@ mod tests {
         ProfileReport::from_snapshot(
             &obs.snapshot(),
             CacheReport { pair_hits: 5, pair_misses: 3, graphs_built: 2, graphs_reused: 1 },
+            IncrementalReport {
+                graphs_retained: 7,
+                graphs_resurrected: 2,
+                ip_recomputes: 3,
+                ip_recomputes_skipped: 4,
+                undo_entries: 2,
+                redo_entries: 1,
+                journal_bytes: 640,
+                snapshot_bytes: 9_000,
+            },
         )
     }
 
@@ -498,6 +597,37 @@ mod tests {
     }
 
     #[test]
+    fn accepts_v1_reports_without_incremental_section() {
+        let r = sample_report();
+        let mut v = r.to_json().to_string_compact();
+        // Downgrade to v1: old version stamp, no incremental section.
+        v = v.replacen(
+            &format!("\"schema_version\":{PROFILE_SCHEMA_VERSION}"),
+            "\"schema_version\":1",
+            1,
+        );
+        let start = v.find(",\"incremental\":{").unwrap();
+        let end = v[start..].find('}').unwrap() + start + 1;
+        v.replace_range(start..end, "");
+        let back = ProfileReport::from_json_str(&v).unwrap();
+        assert_eq!(back.schema_version, 1);
+        assert_eq!(back.incremental, IncrementalReport::default());
+        assert_eq!(back.cache, r.cache);
+        assert_eq!(back.dep_tests, r.dep_tests);
+    }
+
+    #[test]
+    fn v2_report_requires_incremental_section() {
+        let r = sample_report();
+        let mut v = r.to_json().to_string_compact();
+        let start = v.find(",\"incremental\":{").unwrap();
+        let end = v[start..].find('}').unwrap() + start + 1;
+        v.replace_range(start..end, "");
+        let err = ProfileReport::from_json_str(&v).unwrap_err();
+        assert!(err.contains("incremental"), "{err}");
+    }
+
+    #[test]
     fn rejects_unknown_names() {
         let r = sample_report();
         let text = r.to_json().to_string_compact().replace("strong_siv", "bogus_test");
@@ -508,7 +638,11 @@ mod tests {
     fn empty_report_from_disabled_registry() {
         let obs = Obs::new();
         obs.record_pair(TestKind::Ziv, PairVerdict::Proven);
-        let r = ProfileReport::from_snapshot(&obs.snapshot(), CacheReport::default());
+        let r = ProfileReport::from_snapshot(
+            &obs.snapshot(),
+            CacheReport::default(),
+            IncrementalReport::default(),
+        );
         assert_eq!(r, ProfileReport::empty());
         assert_eq!(r.total_edges(), 0);
         assert_eq!(r.total_pairs(), 0);

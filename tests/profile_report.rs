@@ -4,7 +4,7 @@
 //! accounts for every graph edge; and verify that a session with
 //! instrumentation off produces the all-empty report.
 
-use ped_core::{Ped, ProfileReport, PROFILE_SCHEMA_VERSION};
+use ped_core::{IncrementalReport, Ped, ProfileReport, PROFILE_SCHEMA_VERSION};
 
 fn suite_source() -> String {
     ped_workloads::program_by_name("onedim")
@@ -101,6 +101,54 @@ fn profiling_toggles_mid_session() {
     assert!(report.phases.iter().all(|p| p.name != "parse"));
     ped.set_profiling(false);
     assert_eq!(ped.profile_report(), ProfileReport::empty());
+}
+
+/// The v2 `incremental` section reflects what the session actually did:
+/// a transform journals one delta, its undo resurrects retired graphs, and
+/// summary-preserving edits are absorbed without an ip recompute.
+#[test]
+fn report_carries_incremental_counters() {
+    let src = "program t\nreal a(100), b(100)\ndo i = 1, 100\ncall probe(a, b, i)\nenddo\nend\n\
+        subroutine probe(x, y, k)\ninteger k\nreal x(100), y(100)\ny(k) = x(k)\nreturn\nend\n";
+    let mut ped = Ped::open_profiled(src).unwrap();
+    ped.analyze_all();
+    let h = ped.loops(0)[0].0;
+    ped.apply(0, h, &ped_transform::Xform::Reverse).unwrap();
+    ped.analyze_all();
+    assert!(ped.undo());
+    ped.analyze_all();
+
+    let inc = ped.profile_report().incremental;
+    assert_eq!(inc, ped.incremental_stats());
+    assert_eq!(inc.undo_entries + inc.redo_entries, 1, "{inc:?}");
+    assert!(inc.journal_bytes > 0 && inc.journal_bytes < inc.snapshot_bytes, "{inc:?}");
+    assert!(inc.ip_recomputes_skipped >= 1, "reversal takes the fast path: {inc:?}");
+    assert!(inc.graphs_resurrected >= 1, "undo resurrects the loop's graph: {inc:?}");
+
+    // And it round-trips like every other section.
+    let text = ped.profile_report().to_json().to_string_compact();
+    let back = ProfileReport::from_json_str(&text).unwrap();
+    assert_eq!(back.incremental, inc);
+}
+
+/// Pre-incremental (v1) reports — no `incremental` section — must still
+/// validate, with the section defaulting to all-zero.
+#[test]
+fn validator_accepts_v1_documents() {
+    let v1 = r#"{
+        "schema_version": 1,
+        "tool": "ped",
+        "enabled": true,
+        "phases": [{"name": "parse", "calls": 1, "ns": 1200}],
+        "dep_tests": [],
+        "cache": {"pair_hits": 0, "pair_misses": 4, "graphs_built": 1, "graphs_reused": 0},
+        "units": [{"unit": "main", "graphs": 1, "ns": 9000}],
+        "loop_profiles": []
+    }"#;
+    let report = ProfileReport::from_json_str(v1).unwrap();
+    assert_eq!(report.schema_version, 1);
+    assert_eq!(report.incremental, IncrementalReport::default());
+    assert_eq!(report.cache.pair_misses, 4);
 }
 
 #[test]
