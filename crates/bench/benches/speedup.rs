@@ -1,0 +1,326 @@
+//! E14 — measured speedups of the persistent work-stealing runtime.
+//!
+//! The paper's editor promised users that a loop the analysis (or the
+//! user) parallelized would actually run faster; this bench closes that
+//! loop on the real runtime. Three scaled kernels — a private-scalar map
+//! (`vscale`), a float dot-product reduction (`dotred`), and a triangular
+//! nest with cost ∝ i (`tri`, the work-stealing stress case) — plus every
+//! suite workload run serially and on the worker pool with 2/4/8 threads.
+//!
+//! Every configuration must be **bit-identical** to serial: printed
+//! output compares as strings (full-precision float formatting) and the
+//! final memory compares element bits, reductions included. Per loop, the
+//! measured speedup (serial wall / threaded wall from the loop profile)
+//! is compared against the static estimator's prediction and the
+//! calibration error `|measured − predicted| / predicted` is flagged when
+//! it exceeds 2×. The speedup acceptance (Threads(4) > 1.5× on the
+//! kernels) only asserts when the host actually has ≥ 4 cores; output
+//! equality and the global step-budget check assert everywhere.
+//!
+//! Results go to `target/BENCH_E14.json`, including a schema-v3 profile
+//! report from a profiled Threads(2) session so downstream checks can see
+//! the scheduler counters end to end.
+
+use ped_bench::harness::fmt_ns;
+use ped_bench::{apply_suite_assertions, parallelize_everything, Table};
+use ped_core::Ped;
+use ped_obs::json::Json;
+use ped_runtime::{interp, ExecConfig, Machine, ParallelMode, Schedule};
+use ped_workloads::all_programs;
+
+/// Thread counts swept against the serial baseline.
+const THREADS: [usize; 3] = [2, 4, 8];
+/// Timed repeats per configuration; the loop wall time keeps the minimum.
+const REPEATS: usize = 3;
+
+fn vscale_src() -> String {
+    let n = 150_000;
+    format!(
+        "program vscale\n\
+         integer n\n\
+         parameter (n = {n})\n\
+         real a(n), b(n)\n\
+         real t\n\
+         do i = 1, n\n\
+           a(i) = 0.001 * i\n\
+         enddo\n\
+         parallel do i = 1, n lastprivate(t)\n\
+           t = a(i) * 2.0 + 1.0\n\
+           b(i) = t * t + a(i)\n\
+         enddo\n\
+         print *, b(1), b(n / 2), b(n)\n\
+         end\n"
+    )
+}
+
+fn dotred_src() -> String {
+    let n = 200_000;
+    format!(
+        "program dotred\n\
+         integer n\n\
+         parameter (n = {n})\n\
+         real a(n), b(n)\n\
+         real s\n\
+         do i = 1, n\n\
+           a(i) = 0.001 * i\n\
+           b(i) = 1.0 / i\n\
+         enddo\n\
+         s = 0.0\n\
+         parallel do i = 1, n reduction(+:s)\n\
+           s = s + a(i) * b(i)\n\
+         enddo\n\
+         print *, s\n\
+         end\n"
+    )
+}
+
+fn tri_src() -> String {
+    let n = 1_200;
+    format!(
+        "program tri\n\
+         integer n\n\
+         parameter (n = {n})\n\
+         real a(n), b(n)\n\
+         real t\n\
+         do i = 1, n\n\
+           a(i) = 0.002 * i\n\
+         enddo\n\
+         parallel do i = 1, n lastprivate(t, j)\n\
+           t = 0.0\n\
+           do j = 1, i\n\
+             t = t + a(j) * 0.5\n\
+           enddo\n\
+           b(i) = t\n\
+         enddo\n\
+         print *, b(1), b(n / 2), b(n)\n\
+         end\n"
+    )
+}
+
+/// The main unit's `PARALLEL DO` header and the profile key addressing it.
+fn parallel_loop_of(src: &str) -> (usize, ped_fortran::StmtId, String) {
+    let program = ped_fortran::parse_program(src).expect("kernel parses");
+    let (ui, unit) = program
+        .units
+        .iter()
+        .enumerate()
+        .find(|(_, u)| u.kind == ped_fortran::UnitKind::Main)
+        .expect("kernel has a main unit");
+    let header = unit
+        .stmts
+        .iter()
+        .find_map(|s| match &s.kind {
+            ped_fortran::StmtKind::Do(d) if d.is_parallel() => Some(s.id),
+            _ => None,
+        })
+        .expect("kernel has a PARALLEL DO");
+    (ui, header, unit.name.clone())
+}
+
+/// Run `src` under `config` `REPEATS` times; checks every repeat against
+/// the expected output and returns the minimum wall time of the profiled
+/// loop `(unit, header)`.
+fn timed_loop_wall(
+    label: &str,
+    src: &str,
+    config: &ExecConfig,
+    key: &(String, ped_fortran::StmtId),
+    expect: Option<&(Vec<String>, interp::MemorySnapshot)>,
+) -> u64 {
+    let mut best = u64::MAX;
+    for _ in 0..REPEATS {
+        let (r, mem) = interp::run_source_with_memory(src, *config)
+            .unwrap_or_else(|e| panic!("{label}: {e}"));
+        if let Some((printed, memory)) = expect {
+            assert_eq!(printed, &r.printed, "{label}: printed output diverged from serial");
+            assert_eq!(memory, &mem, "{label}: final memory diverged from serial");
+        }
+        let ls = r
+            .profile
+            .get(key)
+            .unwrap_or_else(|| panic!("{label}: loop {key:?} missing from profile"));
+        best = best.min(ls.wall_ns.max(1));
+    }
+    best
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!("E14: persistent work-stealing runtime — measured vs predicted speedup");
+    println!("host cores: {cores} (speedup acceptance {})", if cores >= 4 { "ON" } else { "OFF" });
+
+    let kernels: Vec<(&str, String)> =
+        vec![("vscale", vscale_src()), ("dotred", dotred_src()), ("tri", tri_src())];
+
+    let mut table =
+        Table::new(&["kernel", "trip", "serial", "t2", "t4", "t8", "meas(4)", "pred(4)", "calib"]);
+    let mut rows: Vec<Json> = Vec::new();
+    let mut flagged = 0usize;
+
+    for (name, src) in &kernels {
+        let (ui, header, unit_name) = parallel_loop_of(src);
+        let key = (unit_name, header);
+
+        // Serial baseline: reference output, memory, and loop wall time.
+        let (serial, serial_mem) = interp::run_source_with_memory(src, ExecConfig::default())
+            .unwrap_or_else(|e| panic!("{name} serial: {e}"));
+        let expect = (serial.printed.clone(), serial_mem);
+        let serial_wall =
+            timed_loop_wall(&format!("{name}/serial"), src, &ExecConfig::default(), &key, None)
+                .max(serial.profile[&key].wall_ns.max(1));
+        let trip = serial.profile[&key].iterations;
+
+        // Predicted speedup on the 4-processor machine model.
+        let program = ped_fortran::parse_program(src).expect("kernel parses");
+        let predicted =
+            ped_perf::Estimator::new(&program, Machine::with_procs(4)).estimate_loop(ui, header).speedup();
+
+        let mut walls = Vec::new();
+        for &t in &THREADS {
+            let config = ExecConfig {
+                mode: ParallelMode::Threads(t),
+                schedule: Schedule::Guided,
+                ..ExecConfig::default()
+            };
+            let wall =
+                timed_loop_wall(&format!("{name}/threads{t}"), src, &config, &key, Some(&expect));
+            walls.push((t, wall));
+        }
+
+        let wall4 = walls.iter().find(|(t, _)| *t == 4).expect("4 is in THREADS").1;
+        let measured = serial_wall as f64 / wall4 as f64;
+        let calib = (measured - predicted).abs() / predicted.max(1e-9);
+        if calib > 2.0 {
+            flagged += 1;
+            println!(
+                "  CALIBRATION {name}: measured {measured:.2}x vs predicted {predicted:.2}x \
+                 (error {calib:.1}x > 2x){}",
+                if cores < 4 { " — expected on an undersized host" } else { "" }
+            );
+        }
+        if cores >= 4 {
+            assert!(
+                measured > 1.5,
+                "{name}: Threads(4) only {measured:.2}x over serial on a {cores}-core host"
+            );
+        }
+
+        table.row(vec![
+            name.to_string(),
+            trip.to_string(),
+            fmt_ns(serial_wall as u128),
+            fmt_ns(walls[0].1 as u128),
+            fmt_ns(walls[1].1 as u128),
+            fmt_ns(walls[2].1 as u128),
+            format!("{measured:.2}x"),
+            format!("{predicted:.2}x"),
+            format!("{calib:.2}"),
+        ]);
+        rows.push(Json::obj(vec![
+            ("kernel", Json::str(name)),
+            ("trip", Json::int(trip)),
+            ("serial_wall_ns", Json::int(serial_wall)),
+            (
+                "threads",
+                Json::Arr(
+                    walls
+                        .iter()
+                        .map(|&(t, w)| {
+                            Json::obj(vec![
+                                ("threads", Json::int(t as u64)),
+                                ("wall_ns", Json::int(w)),
+                                ("speedup", Json::Num(serial_wall as f64 / w as f64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("measured_speedup_4", Json::Num(measured)),
+            ("predicted_speedup_4", Json::Num(predicted)),
+            ("calibration_error", Json::Num(calib)),
+            ("calibration_flagged", Json::Bool(calib > 2.0)),
+        ]));
+    }
+    print!("{}", table.render());
+
+    // Suite sweep: everything the editor can parallelize must survive the
+    // pool bit-for-bit.
+    let mut suite_rows = Vec::new();
+    for w in all_programs() {
+        let serial = interp::run_source(w.source, ExecConfig::default())
+            .unwrap_or_else(|e| panic!("{} serial: {e}", w.name));
+        let mut ped = Ped::open(w.source).unwrap();
+        apply_suite_assertions(&mut ped, w.name);
+        let converted = parallelize_everything(&mut ped);
+        let par_src = ped.source();
+        for &t in &THREADS {
+            let config = ExecConfig {
+                mode: ParallelMode::Threads(t),
+                schedule: Schedule::Guided,
+                ..ExecConfig::default()
+            };
+            let r = interp::run_source(&par_src, config)
+                .unwrap_or_else(|e| panic!("{}/threads{t}: {e}", w.name));
+            assert_eq!(
+                serial.printed, r.printed,
+                "{}: threads {t} changed output after parallelizing {converted} loop(s)",
+                w.name
+            );
+        }
+        suite_rows.push(Json::obj(vec![
+            ("program", Json::str(w.name)),
+            ("parallel_loops", Json::int(converted as u64)),
+            ("output_equal", Json::Bool(true)),
+        ]));
+    }
+    println!("suite: {} program(s) bit-identical across thread counts", suite_rows.len());
+
+    // The step budget is global: a tight cap aborts a threaded loop
+    // without overshooting, no matter how many workers are pulling chunks.
+    let budget_cap = 5_000u64;
+    let budget_err = interp::run_source(
+        &vscale_src(),
+        ExecConfig {
+            mode: ParallelMode::Threads(4),
+            max_steps: budget_cap,
+            ..ExecConfig::default()
+        },
+    )
+    .expect_err("a 5k-step cap must abort the 150k-iteration kernel");
+    assert!(
+        budget_err.steps <= budget_cap,
+        "budget overshot: {} steps executed under a {budget_cap} cap",
+        budget_err.steps
+    );
+    println!("budget: aborted at {} step(s) under a {budget_cap}-step cap", budget_err.steps);
+
+    // A profiled Threads(2) session, so the emitted report carries live
+    // scheduler counters (schema v3) for the CI smoke check.
+    let mut ped = Ped::open_profiled(&dotred_src()).unwrap();
+    ped.analyze_all();
+    ped.run(ExecConfig { mode: ParallelMode::Threads(2), ..ExecConfig::default() })
+        .expect("profiled threaded run succeeds");
+    let report = ped.profile_report();
+    assert!(report.scheduler.parallel_loops > 0, "profiled run recorded no parallel loop");
+    assert!(report.scheduler.chunks_executed > 0, "profiled run recorded no chunks");
+
+    let doc = Json::obj(vec![
+        ("bench", Json::str("E14")),
+        ("schema_version", Json::int(1)),
+        ("cores", Json::int(cores as u64)),
+        ("speedup_asserted", Json::Bool(cores >= 4)),
+        ("output_equal", Json::Bool(true)),
+        ("budget_enforced", Json::Bool(true)),
+        ("budget_steps", Json::int(budget_err.steps)),
+        ("calibration_flagged", Json::int(flagged as u64)),
+        ("kernels", Json::Arr(rows)),
+        ("suite", Json::Arr(suite_rows)),
+        ("profile", report.to_json()),
+    ]);
+    let out =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/BENCH_E14.json");
+    match std::fs::write(&out, doc.to_string_pretty()) {
+        Ok(()) => println!("wrote {}", out.display()),
+        Err(e) => println!("could not write {}: {e}", out.display()),
+    }
+}

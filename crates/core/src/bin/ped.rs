@@ -10,26 +10,40 @@
 //! Commands (see `help`): navigation (`units`, `loops`, `view`), analysis
 //! editing (`mark`, `assert`), whole-program analysis (`analyze`), power
 //! steering (`diagnose`, `apply`, `undo`, `redo`), execution (`run`,
-//! `estimate`, `source`), and instrumentation (`profile`). `--batch`
-//! analyzes every loop of every unit in parallel, prints the batch report,
-//! and exits; with `--profile` it instead emits the versioned JSON profile
-//! report on stdout. `--validate-profile <file>` parses a previously
-//! emitted report and exits nonzero when it is malformed (the CI smoke
-//! check).
+//! `threads`, `schedule`, `estimate`, `source`), and instrumentation
+//! (`profile`). `--batch` analyzes every loop of every unit in parallel,
+//! prints the batch report, and exits; with `--profile` it instead emits
+//! the versioned JSON profile report on stdout. `--threads <N>` makes
+//! batch mode also *execute* the program on the persistent worker pool
+//! (and sets the interactive default); `--schedule <spec>` picks the
+//! chunking policy (`static`, `dynamic[(N)]`, `guided`).
+//! `--validate-profile <file>` parses a previously emitted report and
+//! exits nonzero when it is malformed (the CI smoke check).
 
 use ped_core::{render, Assertion, DepFilter, Mark, Ped, ProfileReport, SourceFilter};
-use ped_runtime::{ExecConfig, Machine, ParallelMode};
+use ped_runtime::{ExecConfig, Machine, ParallelMode, Schedule};
 use ped_transform::Xform;
 use std::io::{BufRead, Write};
 
-const USAGE: &str = "usage: ped [--batch] [--profile] <file.f>\n\
-       ped [--batch] [--profile] --workload <name>\n\
+const USAGE: &str = "usage: ped [--batch] [--profile] [--threads <N>] [--schedule <spec>] <file.f>\n\
+       ped [--batch] [--profile] [--threads <N>] [--schedule <spec>] --workload <name>\n\
        ped --validate-profile <report.json>";
+
+/// Session-level execution defaults, set by `--threads`/`--schedule` and
+/// the interactive `threads`/`schedule` commands; `run` starts from these.
+#[derive(Clone, Copy, Default)]
+struct RunDefaults {
+    /// When set, a bare `run` uses `threads <N>` instead of serial.
+    threads: Option<usize>,
+    /// Chunking policy for Threads mode.
+    schedule: Schedule,
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut batch = false;
     let mut profile = false;
+    let mut defaults = RunDefaults::default();
     let mut workload: Option<String> = None;
     let mut path: Option<String> = None;
     let mut it = args.into_iter();
@@ -37,6 +51,17 @@ fn main() {
         match a.as_str() {
             "--batch" => batch = true,
             "--profile" => profile = true,
+            "--threads" => match it.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n > 0 => defaults.threads = Some(n),
+                _ => exit_usage("--threads needs a positive count"),
+            },
+            "--schedule" => match it.next() {
+                Some(spec) => match Schedule::parse(&spec) {
+                    Ok(s) => defaults.schedule = s,
+                    Err(e) => exit_usage(&e),
+                },
+                None => exit_usage("--schedule needs static | dynamic[(N)] | guided"),
+            },
             "--workload" => match it.next() {
                 Some(n) => workload = Some(n),
                 None => exit_usage("--workload needs a name"),
@@ -83,13 +108,21 @@ fn main() {
     if batch {
         if profile {
             // Human-readable batch summary on stderr; the machine-readable
-            // profile report alone on stdout.
+            // profile report alone on stdout. A threaded execution (if
+            // requested) happens before the report is emitted, so its loop
+            // profiles and scheduler counters land in the JSON.
             let mut err = std::io::stderr();
             let r = ped.analyze_all();
             writeln!(err, "analyzed {} loop(s) across {} unit(s)", r.loops, r.units).ok();
+            if defaults.threads.is_some() {
+                batch_run_threads(&ped, defaults, true);
+            }
             println!("{}", ped.profile_report().to_json().to_string_pretty());
         } else {
             print_batch_report(&mut ped);
+            if defaults.threads.is_some() {
+                batch_run_threads(&ped, defaults, false);
+            }
         }
         return;
     }
@@ -104,7 +137,7 @@ fn main() {
             break;
         }
         let words: Vec<&str> = line.split_whitespace().collect();
-        match run_command(&mut ped, &mut cur_unit, &words) {
+        match run_command(&mut ped, &mut cur_unit, &mut defaults, &words) {
             Ok(true) => break,
             Ok(false) => {}
             Err(e) => println!("error: {e}"),
@@ -148,6 +181,48 @@ fn validate_profile(file: &str) {
     }
 }
 
+/// Execute the program on the worker pool with the batch-mode defaults.
+/// With `quiet`, everything goes to stderr so stdout stays machine-readable
+/// (the `--profile` JSON contract).
+fn batch_run_threads(ped: &Ped, defaults: RunDefaults, quiet: bool) {
+    let n = defaults.threads.unwrap_or(1);
+    let config = ExecConfig {
+        mode: ParallelMode::Threads(n),
+        schedule: defaults.schedule,
+        ..ExecConfig::default()
+    };
+    match ped.run(config) {
+        Ok(r) => {
+            let mut err = std::io::stderr();
+            if quiet {
+                for l in &r.printed {
+                    writeln!(err, "  {l}").ok();
+                }
+            } else {
+                for l in &r.printed {
+                    println!("  {l}");
+                }
+            }
+            writeln!(
+                err,
+                "ran with {n} thread(s), {} schedule: {} statement(s), \
+                 {} parallel loop(s), {} chunk(s) ({} stolen), imbalance {:.2}",
+                defaults.schedule,
+                r.steps,
+                r.sched.parallel_loops,
+                r.sched.chunks_executed,
+                r.sched.chunks_stolen,
+                r.sched.imbalance_ratio()
+            )
+            .ok();
+        }
+        Err(e) => {
+            eprintln!("run failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 /// Run whole-program analysis and print the [`ped_core::BatchReport`].
 fn print_batch_report(ped: &mut Ped) {
     let t0 = std::time::Instant::now();
@@ -170,7 +245,12 @@ fn print_batch_report(ped: &mut Ped) {
 }
 
 /// Execute one command; Ok(true) = quit.
-fn run_command(ped: &mut Ped, cur_unit: &mut usize, words: &[&str]) -> Result<bool, String> {
+fn run_command(
+    ped: &mut Ped,
+    cur_unit: &mut usize,
+    defaults: &mut RunDefaults,
+    words: &[&str],
+) -> Result<bool, String> {
     let parse_stmt = |s: &str| -> Result<ped_fortran::StmtId, String> {
         let t = s.trim_start_matches('s');
         t.parse::<u32>().map(ped_fortran::StmtId).map_err(|_| format!("bad statement id {s}"))
@@ -196,6 +276,9 @@ apply <stmt> <xform>          apply a transformation
 undo / redo
 source                        print the regenerated source
 run [serial|sim <P>|threads <N>] [check]
+threads [<N>|off]             default thread count for bare `run`
+schedule [static|dynamic[(N)]|guided]
+                              chunking policy for threaded runs
 estimate                      loop cost table for the current unit
 profile [on|off|json]         session profile: phase timings, dep-test
                               histogram, cache hit rates (alias: stats)
@@ -318,8 +401,45 @@ quit"
             println!("{}", ped.profile_report().to_json().to_string_pretty());
             Ok(false)
         }
+        ["threads"] => {
+            match defaults.threads {
+                Some(n) => println!("default: threads {n} ({} schedule)", defaults.schedule),
+                None => println!("default: serial (set with `threads <N>`)"),
+            }
+            Ok(false)
+        }
+        ["threads", "off"] => {
+            defaults.threads = None;
+            println!("bare `run` is serial again");
+            Ok(false)
+        }
+        ["threads", n] => {
+            let n: usize = n.parse().map_err(|_| "threads needs a count or `off`".to_string())?;
+            if n == 0 {
+                return Err("thread count must be positive (use `threads off`)".into());
+            }
+            defaults.threads = Some(n);
+            println!("bare `run` now uses threads {n} ({} schedule)", defaults.schedule);
+            Ok(false)
+        }
+        ["schedule"] => {
+            println!("schedule: {}", defaults.schedule);
+            Ok(false)
+        }
+        ["schedule", spec] => {
+            defaults.schedule = Schedule::parse(spec)?;
+            println!("schedule: {}", defaults.schedule);
+            Ok(false)
+        }
         ["run", rest @ ..] => {
-            let mut config = ExecConfig::default();
+            let mut config = ExecConfig {
+                mode: match defaults.threads {
+                    Some(n) => ParallelMode::Threads(n),
+                    None => ParallelMode::Serial,
+                },
+                schedule: defaults.schedule,
+                ..ExecConfig::default()
+            };
             let mut it = rest.iter();
             while let Some(w) = it.next() {
                 match *w {
@@ -347,6 +467,15 @@ quit"
                 println!("  {l}");
             }
             println!("(vtime {:.0} ops, {} statements)", r.vtime, r.steps);
+            if r.sched.parallel_loops > 0 {
+                println!(
+                    "(scheduler: {} parallel loop(s), {} chunk(s), {} stolen, imbalance {:.2})",
+                    r.sched.parallel_loops,
+                    r.sched.chunks_executed,
+                    r.sched.chunks_stolen,
+                    r.sched.imbalance_ratio()
+                );
+            }
             if config.detect_races {
                 if r.races.is_empty() {
                     println!("run-time dependence check: clean");

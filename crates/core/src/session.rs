@@ -1024,6 +1024,12 @@ impl Ped {
                     ops: ls.ops,
                 });
             }
+            self.obs.record_sched(&ped_obs::SchedSample {
+                parallel_loops: result.sched.parallel_loops,
+                chunks_executed: result.sched.chunks_executed,
+                chunks_stolen: result.sched.chunks_stolen,
+                worker_iterations: result.sched.worker_iterations.clone(),
+            });
         }
         Ok(result)
     }

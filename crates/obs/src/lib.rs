@@ -22,7 +22,7 @@ pub mod report;
 
 pub use report::{
     CacheReport, DepTestStat, IncrementalReport, LoopProfileStat, PhaseStat, ProfileReport,
-    UnitStat, PROFILE_SCHEMA_MIN_VERSION, PROFILE_SCHEMA_VERSION,
+    SchedulerReport, UnitStat, PROFILE_SCHEMA_MIN_VERSION, PROFILE_SCHEMA_VERSION,
 };
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -201,6 +201,20 @@ pub struct LoopSample {
     pub ops: f64,
 }
 
+/// Scheduler counters from threaded runs (feeds the schema-v3
+/// `scheduler` section of the profile report).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SchedSample {
+    /// `PARALLEL DO` invocations dispatched to the worker pool.
+    pub parallel_loops: u64,
+    /// Chunks executed across all loops and workers.
+    pub chunks_executed: u64,
+    /// Chunks served by work stealing.
+    pub chunks_stolen: u64,
+    /// Iterations executed per worker (index = worker id).
+    pub worker_iterations: Vec<u64>,
+}
+
 /// Plain-data snapshot of an [`Obs`] registry.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ObsSnapshot {
@@ -218,6 +232,8 @@ pub struct ObsSnapshot {
     pub units: Vec<(String, u64, u64)>,
     /// Loop profiles recorded from runs.
     pub loops: Vec<LoopSample>,
+    /// Parallel-runtime scheduler counters accumulated over runs.
+    pub sched: SchedSample,
 }
 
 /// The instrumentation registry: atomic counters behind an enable flag.
@@ -231,6 +247,7 @@ pub struct Obs {
     edge_hist: [AtomicU64; TestKind::COUNT],
     units: Mutex<Vec<UnitSample>>,
     loops: Mutex<Vec<LoopSample>>,
+    sched: Mutex<SchedSample>,
 }
 
 impl Default for Obs {
@@ -250,6 +267,7 @@ impl Obs {
             edge_hist: std::array::from_fn(|_| AtomicU64::new(0)),
             units: Mutex::new(Vec::new()),
             loops: Mutex::new(Vec::new()),
+            sched: Mutex::new(SchedSample::default()),
         }
     }
 
@@ -311,6 +329,23 @@ impl Obs {
         self.loops.lock().unwrap().push(sample);
     }
 
+    /// Fold one run's parallel-scheduler counters into the registry.
+    pub fn record_sched(&self, sample: &SchedSample) {
+        if !self.enabled() {
+            return;
+        }
+        let mut s = self.sched.lock().unwrap();
+        s.parallel_loops += sample.parallel_loops;
+        s.chunks_executed += sample.chunks_executed;
+        s.chunks_stolen += sample.chunks_stolen;
+        if s.worker_iterations.len() < sample.worker_iterations.len() {
+            s.worker_iterations.resize(sample.worker_iterations.len(), 0);
+        }
+        for (a, b) in s.worker_iterations.iter_mut().zip(&sample.worker_iterations) {
+            *a += b;
+        }
+    }
+
     /// Copy out everything recorded so far. Per-unit samples are aggregated
     /// and both unit and loop lists are sorted for deterministic reports.
     pub fn snapshot(&self) -> ObsSnapshot {
@@ -350,6 +385,7 @@ impl Obs {
                 .collect(),
             units,
             loops,
+            sched: self.sched.lock().unwrap().clone(),
         }
     }
 
@@ -371,6 +407,7 @@ impl Obs {
         }
         self.units.lock().unwrap().clear();
         self.loops.lock().unwrap().clear();
+        *self.sched.lock().unwrap() = SchedSample::default();
     }
 }
 

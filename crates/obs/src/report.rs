@@ -6,10 +6,10 @@ use crate::json::{self, Json};
 use crate::{ObsSnapshot, Phase, TestKind};
 
 /// Version stamped into every emitted report. Parsing accepts this version
-/// and every earlier one it knows how to upgrade (v1 reports simply lack
-/// the `incremental` section, which defaults to all-zero); later or unknown
-/// versions are rejected.
-pub const PROFILE_SCHEMA_VERSION: u64 = 2;
+/// and every earlier one it knows how to upgrade (v1 reports lack the
+/// `incremental` section, v1/v2 reports lack the `scheduler` section; both
+/// default to all-zero); later or unknown versions are rejected.
+pub const PROFILE_SCHEMA_VERSION: u64 = 3;
 
 /// Oldest schema version [`ProfileReport::from_json`] still accepts.
 pub const PROFILE_SCHEMA_MIN_VERSION: u64 = 1;
@@ -102,6 +102,35 @@ pub struct IncrementalReport {
     pub snapshot_bytes: u64,
 }
 
+/// Parallel-runtime scheduler counters (schema v3). All zero in reports
+/// parsed from v1/v2 JSON or from sessions that never ran threaded.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SchedulerReport {
+    /// `PARALLEL DO` invocations dispatched to the worker pool.
+    pub parallel_loops: u64,
+    /// Chunks executed across all loops and workers.
+    pub chunks_executed: u64,
+    /// Chunks served by work stealing.
+    pub chunks_stolen: u64,
+    /// Iterations executed per worker (index = worker id).
+    pub worker_iterations: Vec<u64>,
+}
+
+impl SchedulerReport {
+    /// Max-over-mean of per-worker iteration counts: 1.0 is a perfect
+    /// balance. Derived, so it is written to JSON for readers but
+    /// recomputed (never trusted) on parse.
+    pub fn imbalance_ratio(&self) -> f64 {
+        let n = self.worker_iterations.len();
+        let total: u64 = self.worker_iterations.iter().sum();
+        if n == 0 || total == 0 {
+            return 1.0;
+        }
+        let max = *self.worker_iterations.iter().max().unwrap() as f64;
+        max / (total as f64 / n as f64)
+    }
+}
+
 /// Per-unit analysis timing.
 #[derive(Debug, Clone, PartialEq)]
 pub struct UnitStat {
@@ -143,6 +172,9 @@ pub struct ProfileReport {
     pub cache: CacheReport,
     /// Incremental-engine counters (all zero when parsed from v1 JSON).
     pub incremental: IncrementalReport,
+    /// Parallel-runtime scheduler counters (all zero when parsed from
+    /// pre-v3 JSON).
+    pub scheduler: SchedulerReport,
     /// Per-unit graph-build timings.
     pub units: Vec<UnitStat>,
     /// Loop profiles from runs, if any.
@@ -159,6 +191,7 @@ impl ProfileReport {
             dep_tests: Vec::new(),
             cache: CacheReport::default(),
             incremental: IncrementalReport::default(),
+            scheduler: SchedulerReport::default(),
             units: Vec::new(),
             loop_profiles: Vec::new(),
         }
@@ -166,7 +199,7 @@ impl ProfileReport {
 
     /// Assemble a report from a registry snapshot plus the session-level
     /// cache and incremental-engine counters (which live outside the
-    /// registry).
+    /// registry). Scheduler counters come from the snapshot itself.
     pub fn from_snapshot(
         snap: &ObsSnapshot,
         cache: CacheReport,
@@ -199,6 +232,12 @@ impl ProfileReport {
             dep_tests,
             cache,
             incremental,
+            scheduler: SchedulerReport {
+                parallel_loops: snap.sched.parallel_loops,
+                chunks_executed: snap.sched.chunks_executed,
+                chunks_stolen: snap.sched.chunks_stolen,
+                worker_iterations: snap.sched.worker_iterations.clone(),
+            },
             units: snap
                 .units
                 .iter()
@@ -287,6 +326,27 @@ impl ProfileReport {
                     ("redo_entries", Json::int(self.incremental.redo_entries)),
                     ("journal_bytes", Json::int(self.incremental.journal_bytes)),
                     ("snapshot_bytes", Json::int(self.incremental.snapshot_bytes)),
+                ]),
+            ),
+            (
+                "scheduler",
+                Json::obj(vec![
+                    ("parallel_loops", Json::int(self.scheduler.parallel_loops)),
+                    ("chunks_executed", Json::int(self.scheduler.chunks_executed)),
+                    ("chunks_stolen", Json::int(self.scheduler.chunks_stolen)),
+                    (
+                        "worker_iterations",
+                        Json::Arr(
+                            self.scheduler
+                                .worker_iterations
+                                .iter()
+                                .map(|&n| Json::int(n))
+                                .collect(),
+                        ),
+                    ),
+                    // Derived convenience value for readers; recomputed
+                    // (never trusted) on parse.
+                    ("imbalance_ratio", Json::Num(self.scheduler.imbalance_ratio())),
                 ]),
             ),
             (
@@ -411,6 +471,27 @@ impl ProfileReport {
             },
         };
 
+        // v1/v2 reports predate the parallel-runtime scheduler; the
+        // section defaults to all-zero. From v3 on it is required. The
+        // emitted `imbalance_ratio` is derived, so it is ignored here and
+        // recomputed on demand.
+        let scheduler = match v.get("scheduler") {
+            None if schema_version < 3 => SchedulerReport::default(),
+            None => return Err("missing field 'scheduler'".to_string()),
+            Some(s) => SchedulerReport {
+                parallel_loops: need_u64(s, "parallel_loops")?,
+                chunks_executed: need_u64(s, "chunks_executed")?,
+                chunks_stolen: need_u64(s, "chunks_stolen")?,
+                worker_iterations: need_arr(s, "worker_iterations")?
+                    .iter()
+                    .map(|w| {
+                        w.as_u64()
+                            .ok_or_else(|| "non-integer entry in 'worker_iterations'".to_string())
+                    })
+                    .collect::<Result<Vec<u64>, String>>()?,
+            },
+        };
+
         let mut units = Vec::new();
         for u in need_arr(v, "units")? {
             units.push(UnitStat {
@@ -441,6 +522,7 @@ impl ProfileReport {
             dep_tests,
             cache,
             incremental,
+            scheduler,
             units,
             loop_profiles,
         })
@@ -501,6 +583,17 @@ impl ProfileReport {
                 inc.undo_entries, inc.redo_entries, inc.journal_bytes, inc.snapshot_bytes
             ));
         }
+        let sched = &self.scheduler;
+        if *sched != SchedulerReport::default() {
+            out.push_str(&format!(
+                "scheduler: {} parallel loops, {} chunks ({} stolen), \
+                 imbalance {:.2}\n",
+                sched.parallel_loops,
+                sched.chunks_executed,
+                sched.chunks_stolen,
+                sched.imbalance_ratio()
+            ));
+        }
         if !self.units.is_empty() {
             out.push_str("per-unit analysis:\n");
             for u in &self.units {
@@ -540,7 +633,15 @@ fn fmt_ns(ns: u64) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{LoopSample, Obs, PairVerdict, Phase, TestKind};
+    use crate::{LoopSample, Obs, PairVerdict, Phase, SchedSample, TestKind};
+
+    /// Delete a `,"name":{...}` object from compact JSON text. Works for
+    /// sections whose object nests arrays but no sub-objects.
+    fn strip_section(v: &mut String, name: &str) {
+        let start = v.find(&format!(",\"{name}\":{{")).unwrap();
+        let end = v[start..].find('}').unwrap() + start + 1;
+        v.replace_range(start..end, "");
+    }
 
     fn sample_report() -> ProfileReport {
         let obs = Obs::new();
@@ -558,6 +659,12 @@ mod tests {
             invocations: 2,
             iterations: 20,
             ops: 123.5,
+        });
+        obs.record_sched(&SchedSample {
+            parallel_loops: 3,
+            chunks_executed: 24,
+            chunks_stolen: 5,
+            worker_iterations: vec![40, 60, 50, 50],
         });
         ProfileReport::from_snapshot(
             &obs.snapshot(),
@@ -597,21 +704,21 @@ mod tests {
     }
 
     #[test]
-    fn accepts_v1_reports_without_incremental_section() {
+    fn accepts_v1_reports_without_incremental_or_scheduler_section() {
         let r = sample_report();
         let mut v = r.to_json().to_string_compact();
-        // Downgrade to v1: old version stamp, no incremental section.
+        // Downgrade to v1: old version stamp, no v2/v3 sections.
         v = v.replacen(
             &format!("\"schema_version\":{PROFILE_SCHEMA_VERSION}"),
             "\"schema_version\":1",
             1,
         );
-        let start = v.find(",\"incremental\":{").unwrap();
-        let end = v[start..].find('}').unwrap() + start + 1;
-        v.replace_range(start..end, "");
+        strip_section(&mut v, "incremental");
+        strip_section(&mut v, "scheduler");
         let back = ProfileReport::from_json_str(&v).unwrap();
         assert_eq!(back.schema_version, 1);
         assert_eq!(back.incremental, IncrementalReport::default());
+        assert_eq!(back.scheduler, SchedulerReport::default());
         assert_eq!(back.cache, r.cache);
         assert_eq!(back.dep_tests, r.dep_tests);
     }
@@ -620,11 +727,51 @@ mod tests {
     fn v2_report_requires_incremental_section() {
         let r = sample_report();
         let mut v = r.to_json().to_string_compact();
-        let start = v.find(",\"incremental\":{").unwrap();
-        let end = v[start..].find('}').unwrap() + start + 1;
-        v.replace_range(start..end, "");
+        v = v.replacen(
+            &format!("\"schema_version\":{PROFILE_SCHEMA_VERSION}"),
+            "\"schema_version\":2",
+            1,
+        );
+        strip_section(&mut v, "incremental");
+        strip_section(&mut v, "scheduler");
         let err = ProfileReport::from_json_str(&v).unwrap_err();
         assert!(err.contains("incremental"), "{err}");
+    }
+
+    #[test]
+    fn v2_report_accepts_missing_scheduler_section() {
+        let r = sample_report();
+        let mut v = r.to_json().to_string_compact();
+        v = v.replacen(
+            &format!("\"schema_version\":{PROFILE_SCHEMA_VERSION}"),
+            "\"schema_version\":2",
+            1,
+        );
+        strip_section(&mut v, "scheduler");
+        let back = ProfileReport::from_json_str(&v).unwrap();
+        assert_eq!(back.schema_version, 2);
+        assert_eq!(back.scheduler, SchedulerReport::default());
+        assert_eq!(back.incremental, r.incremental);
+    }
+
+    #[test]
+    fn v3_report_requires_scheduler_section() {
+        let r = sample_report();
+        let mut v = r.to_json().to_string_compact();
+        strip_section(&mut v, "scheduler");
+        let err = ProfileReport::from_json_str(&v).unwrap_err();
+        assert!(err.contains("scheduler"), "{err}");
+    }
+
+    #[test]
+    fn imbalance_ratio_is_recomputed_not_trusted() {
+        let r = sample_report();
+        let forged = r
+            .to_json()
+            .to_string_compact()
+            .replacen("\"imbalance_ratio\":", "\"imbalance_ratio\":99.0,\"x\":", 1);
+        let back = ProfileReport::from_json_str(&forged).unwrap();
+        assert!((back.scheduler.imbalance_ratio() - 1.2).abs() < 1e-12);
     }
 
     #[test]

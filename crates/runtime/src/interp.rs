@@ -2,6 +2,7 @@
 
 use crate::machine::Machine;
 use crate::memory::{Cell, Frame};
+use crate::pool::{plan_chunks, Chunk, ChunkQueues, Pool, SchedStats, Schedule, StepBudget};
 use crate::value::Value;
 use ped_fortran::ast::Intrinsic;
 use ped_fortran::symbols::Const;
@@ -9,7 +10,9 @@ use ped_fortran::{
     BinOp, Expr, LValue, Program, ProgramUnit, RedOp, StmtId, StmtKind, SymId, Ty, UnOp,
 };
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// How `PARALLEL DO` loops execute.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -30,13 +33,21 @@ pub struct ExecConfig {
     /// Record per-iteration access sets of parallel loops and report
     /// cross-iteration conflicts (Simulate mode only).
     pub detect_races: bool,
-    /// Abort after this many statement executions (runaway guard).
+    /// How Threads mode cuts parallel loops into chunks.
+    pub schedule: Schedule,
+    /// Abort after this many statement executions (runaway guard). The cap
+    /// is global: in Threads mode it is shared by all workers combined.
     pub max_steps: u64,
 }
 
 impl Default for ExecConfig {
     fn default() -> Self {
-        ExecConfig { mode: ParallelMode::Serial, detect_races: false, max_steps: 500_000_000 }
+        ExecConfig {
+            mode: ParallelMode::Serial,
+            detect_races: false,
+            schedule: Schedule::default(),
+            max_steps: 500_000_000,
+        }
     }
 }
 
@@ -45,11 +56,13 @@ impl Default for ExecConfig {
 pub struct RtError {
     /// Description, including the offending unit.
     pub message: String,
+    /// Statements executed before the error (across all threads).
+    pub steps: u64,
 }
 
 impl RtError {
     fn new(msg: impl Into<String>) -> RtError {
-        RtError { message: msg.into() }
+        RtError { message: msg.into(), steps: 0 }
     }
 }
 
@@ -71,6 +84,12 @@ pub struct LoopStats {
     pub iterations: u64,
     /// Virtual operations spent inside (inclusive).
     pub ops: f64,
+    /// Wall-clock nanoseconds spent inside (inclusive). For a loop
+    /// executed *within* parallel chunks this sums across workers, i.e.
+    /// it is CPU time; for a top-level `PARALLEL DO` it is the real
+    /// elapsed time the submitting thread waited, which is what the E14
+    /// measured-speedup comparison reads.
+    pub wall_ns: u64,
 }
 
 /// A cross-iteration conflict found by the run-time dependence checker.
@@ -99,7 +118,16 @@ pub struct RunResult {
     pub profile: HashMap<(String, StmtId), LoopStats>,
     /// Conflicts found by race detection.
     pub races: Vec<RaceReport>,
+    /// Scheduler counters (all zero outside Threads mode).
+    pub sched: SchedStats,
 }
+
+/// Final memory of the main unit, captured by [`Interp::run_with_memory`]:
+/// one `(name, element bits)` entry per bound symbol, sorted by name.
+/// Arrays dump every element in column-major order; scalars are
+/// single-element vectors. Bits compare exactly, so two snapshots agree
+/// iff the final memories are bit-identical.
+pub type MemorySnapshot = Vec<(String, Vec<u64>)>;
 
 enum Flow {
     Normal,
@@ -123,38 +151,121 @@ struct RaceRec {
     iter: u64,
 }
 
-struct ExecState {
+/// One `PARALLEL DO` invocation packaged for the worker pool. Fully owned
+/// payload (the loop is cloned; the frame's cells are `Arc`s), so a job
+/// outlives the submitting stack frame without lifetime juggling.
+struct LoopJob {
+    unit_idx: usize,
+    d: ped_fortran::DoLoop,
+    vals: Vec<i64>,
+    /// The submitting frame; workers overlay private slots on a clone.
+    base_frame: Frame,
+    info: ped_fortran::ParallelInfo,
+    budget: Arc<StepBudget>,
+    queues: ChunkQueues,
+    chunks_stolen: AtomicU64,
+    outs: Mutex<Vec<ChunkOut>>,
+}
+
+/// What one executed chunk hands back for the deterministic merge.
+struct ChunkOut {
+    /// First iteration offset — the merge sort key (iteration order).
+    start: usize,
+    worker: usize,
+    iters: u64,
+    printed: Vec<String>,
+    steps: u64,
+    vtime: f64,
+    profile: HashMap<(String, StmtId), LoopStats>,
+    /// Per-iteration reduction contributions:
+    /// `[reduction][iteration-in-chunk]`.
+    red_contribs: Vec<Vec<RedContrib>>,
+    /// Values of the lastprivate cells when the chunk finished.
+    lastprivates: Vec<(SymId, Value)>,
+    err: Option<RtError>,
+}
+
+/// One iteration's contribution to a reduction variable.
+enum RedContrib {
+    /// Recognized accumulation operands, in execution order. The merge
+    /// replays `cur = cur ⊕ x` per operand, which reproduces the serial
+    /// fold bit-for-bit even when one iteration accumulates several times
+    /// (e.g. an inner serial loop summing into the reduction variable).
+    Ops(Vec<Value>),
+    /// Fallback when some store to the cell was not a recognized
+    /// accumulation: the iteration's whole effect folded from the
+    /// identity. Exact for single accumulations and for min/max (which
+    /// are associative-commutative even in floats).
+    Delta(Value),
+}
+
+/// A reduction cell observed during chunk execution so accumulation
+/// operands can be logged at their store sites (see [`RedContrib`]).
+struct RedWatch {
+    cell: Arc<Cell>,
+    op: RedOp,
+    /// Operands logged since the last iteration boundary.
+    log: Vec<Value>,
+    /// Cleared when a store bypassed the accumulation recognizer.
+    clean: bool,
+}
+
+struct ExecState<'a> {
     printed: Vec<String>,
     vtime: f64,
     steps: u64,
-    max_steps: u64,
+    /// The global statement budget, shared with every worker.
+    budget: Arc<StepBudget>,
+    /// Steps claimed from the budget but not yet spent by `tick`.
+    granted: u64,
     profile: HashMap<(String, StmtId), LoopStats>,
     races: Vec<RaceReport>,
     rec: Option<RaceRec>,
     in_parallel: bool,
+    /// The worker pool, when Threads mode spawned one for this run.
+    pool: Option<&'a Pool<LoopJob>>,
+    sched: SchedStats,
+    /// Reduction cells under operand logging (non-empty only while a
+    /// worker executes a chunk of a loop with reductions).
+    red_watch: Vec<RedWatch>,
 }
 
-impl ExecState {
-    fn new(max_steps: u64) -> ExecState {
+impl<'a> ExecState<'a> {
+    fn new(budget: Arc<StepBudget>) -> ExecState<'a> {
         ExecState {
             printed: Vec::new(),
             vtime: 0.0,
             steps: 0,
-            max_steps,
+            budget,
+            granted: 0,
             profile: HashMap::new(),
             races: Vec::new(),
             rec: None,
             in_parallel: false,
+            pool: None,
+            sched: SchedStats::default(),
+            red_watch: Vec::new(),
         }
     }
 
     fn tick(&mut self, ops: f64) -> Result<(), RtError> {
         self.vtime += ops;
-        self.steps += 1;
-        if self.steps > self.max_steps {
-            return Err(RtError::new("statement step limit exceeded"));
+        if self.granted == 0 {
+            // Refill in blocks so the shared counter is touched rarely.
+            self.granted = self.budget.acquire(crate::pool::BUDGET_BLOCK);
+            if self.granted == 0 {
+                return Err(RtError::new("statement step limit exceeded"));
+            }
         }
+        self.granted -= 1;
+        self.steps += 1;
         Ok(())
+    }
+
+    /// Hand unspent steps back to the shared budget.
+    fn release_grant(&mut self) {
+        self.budget.release(self.granted);
+        self.granted = 0;
     }
 
     fn record(&mut self, cell: &Arc<Cell>, element: usize, write: bool, unit_idx: usize, sym: SymId) {
@@ -217,22 +328,234 @@ impl<'p> Interp<'p> {
 
     /// Run the main program.
     pub fn run(&self) -> Result<RunResult, RtError> {
+        Ok(self.run_inner(false)?.0)
+    }
+
+    /// Run the main program and also capture its final memory (see
+    /// [`MemorySnapshot`]) — the oracle the equivalence tests compare
+    /// across execution modes.
+    pub fn run_with_memory(&self) -> Result<(RunResult, MemorySnapshot), RtError> {
+        let (r, m) = self.run_inner(true)?;
+        Ok((r, m.unwrap_or_default()))
+    }
+
+    fn run_inner(
+        &self,
+        want_memory: bool,
+    ) -> Result<(RunResult, Option<MemorySnapshot>), RtError> {
         let main_idx = self
             .program
             .units
             .iter()
             .position(|u| u.kind == ped_fortran::UnitKind::Main)
             .ok_or_else(|| RtError::new("no main program unit"))?;
-        let mut state = ExecState::new(self.config.max_steps);
-        let frame = self.make_frame(main_idx, &[], &mut state)?;
-        self.exec_unit(main_idx, &frame, &mut state)?;
-        Ok(RunResult {
-            printed: state.printed,
-            vtime: state.vtime,
-            steps: state.steps,
-            profile: state.profile,
-            races: state.races,
+        // The worker pool is built lazily in the sense that a run whose
+        // program has no parallel loop (or isn't in Threads mode) never
+        // spawns a thread. When it is built, it is built once and reused
+        // by every PARALLEL DO of the run: fork cost per loop is a condvar
+        // wakeup, not nthreads thread spawns.
+        let workers = match self.config.mode {
+            ParallelMode::Threads(n) if self.has_parallel_loop() => n.max(1),
+            _ => 0,
+        };
+        if workers == 0 {
+            return self.run_main(main_idx, None, want_memory);
+        }
+        let pool: Pool<LoopJob> = Pool::new(workers);
+        std::thread::scope(|scope| {
+            for w in 0..workers {
+                let pool = &pool;
+                scope.spawn(move || self.worker_main(pool, w));
+            }
+            let out = self.run_main(main_idx, Some(&pool), want_memory);
+            pool.shutdown();
+            out
         })
+    }
+
+    fn run_main(
+        &self,
+        main_idx: usize,
+        pool: Option<&Pool<LoopJob>>,
+        want_memory: bool,
+    ) -> Result<(RunResult, Option<MemorySnapshot>), RtError> {
+        let mut state = ExecState::new(Arc::new(StepBudget::new(self.config.max_steps)));
+        state.pool = pool;
+        let res = self
+            .make_frame(main_idx, &[], &mut state)
+            .and_then(|frame| self.exec_unit(main_idx, &frame, &mut state).map(|_| frame));
+        match res {
+            Ok(frame) => {
+                let mem = want_memory.then(|| self.snapshot_memory(main_idx, &frame));
+                Ok((
+                    RunResult {
+                        printed: state.printed,
+                        vtime: state.vtime,
+                        steps: state.steps,
+                        profile: state.profile,
+                        races: state.races,
+                        sched: state.sched,
+                    },
+                    mem,
+                ))
+            }
+            Err(mut e) => {
+                e.steps = state.steps;
+                Err(e)
+            }
+        }
+    }
+
+    /// Does any unit contain a `PARALLEL DO`? Decides whether Threads mode
+    /// spawns workers at all.
+    fn has_parallel_loop(&self) -> bool {
+        self.program.units.iter().any(|u| {
+            let mut found = false;
+            ped_fortran::visit::for_each_stmt(u, &u.body, &mut |sid| {
+                if let StmtKind::Do(d) = &u.stmt(sid).kind {
+                    found |= d.is_parallel();
+                }
+            });
+            found
+        })
+    }
+
+    fn snapshot_memory(&self, unit_idx: usize, frame: &Frame) -> MemorySnapshot {
+        let unit = &self.program.units[unit_idx];
+        let mut out: MemorySnapshot = Vec::new();
+        for (id, sym) in unit.symbols.iter() {
+            let Some(cell) = frame.get(id) else { continue };
+            let bits = if cell.is_array() {
+                let a = cell.as_array();
+                (0..a.len()).map(|i| a.load_flat(i).to_bits()).collect()
+            } else {
+                vec![cell.load_scalar().to_bits()]
+            };
+            out.push((sym.name.clone(), bits));
+        }
+        out.sort();
+        out
+    }
+
+    /// Worker thread body: serve `PARALLEL DO` jobs until shutdown.
+    fn worker_main(&self, pool: &Pool<LoopJob>, worker: usize) {
+        let mut generation = 0u64;
+        while let Some(job) = pool.next_job(&mut generation) {
+            self.run_job_chunks(&job, worker);
+            pool.finish_job();
+        }
+    }
+
+    /// One worker's share of a job: bind per-worker private slots once,
+    /// then drain chunks (own deque first, stealing when it runs dry).
+    fn run_job_chunks(&self, job: &LoopJob, worker: usize) {
+        let unit = &self.program.units[job.unit_idx];
+        let mut fr = job.base_frame.clone();
+        let var_cell = Cell::scalar(Ty::Integer);
+        fr.bind(job.d.var, var_cell.clone());
+        for &s in job.info.private.iter().chain(job.info.lastprivate.iter()) {
+            fr.bind(s, Cell::scalar(unit.symbols.sym(s).ty));
+        }
+        let mut red_cells = Vec::with_capacity(job.info.reductions.len());
+        for &(op, s) in &job.info.reductions {
+            let ty = unit.symbols.sym(s).ty;
+            let c = Cell::scalar(ty);
+            fr.bind(s, c.clone());
+            red_cells.push((op, ty, c));
+        }
+        let last_cells: Vec<(SymId, Arc<Cell>)> = job
+            .info
+            .lastprivate
+            .iter()
+            .map(|&s| (s, fr.get(s).expect("bound above").clone()))
+            .collect();
+        while let Some((chunk, stolen)) = job.queues.take(worker) {
+            if stolen {
+                job.chunks_stolen.fetch_add(1, Ordering::Relaxed);
+            }
+            let out = self.exec_chunk(job, chunk, worker, &fr, &var_cell, &red_cells, &last_cells);
+            job.outs.lock().unwrap().push(out);
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn exec_chunk(
+        &self,
+        job: &LoopJob,
+        chunk: Chunk,
+        worker: usize,
+        fr: &Frame,
+        var_cell: &Arc<Cell>,
+        red_cells: &[(RedOp, Ty, Arc<Cell>)],
+        last_cells: &[(SymId, Arc<Cell>)],
+    ) -> ChunkOut {
+        let mut st = ExecState::new(job.budget.clone());
+        st.in_parallel = true;
+        st.red_watch = red_cells
+            .iter()
+            .map(|(op, _, c)| RedWatch { cell: c.clone(), op: *op, log: Vec::new(), clean: true })
+            .collect();
+        let mut red_contribs: Vec<Vec<RedContrib>> =
+            red_cells.iter().map(|_| Vec::with_capacity(chunk.len)).collect();
+        let mut err = None;
+        let mut iters = 0u64;
+        for k in 0..chunk.len {
+            // Each iteration accumulates into a fresh identity while the
+            // store sites log the actual operands (see `red_assign`). The
+            // merge replays operands — or, when a store defeated the
+            // recognizer, the iteration's delta — in global iteration
+            // order: the same fold the serial loop performs, which is what
+            // makes float reductions bit-identical to serial no matter the
+            // chunking, schedule, or thread count.
+            for (op, ty, c) in red_cells {
+                c.store_scalar(red_identity(*op, *ty));
+            }
+            for w in &mut st.red_watch {
+                w.log.clear();
+                w.clean = true;
+            }
+            if let Err(e) = st.tick(2.0) {
+                err = Some(e);
+                break;
+            }
+            var_cell.store_scalar(Value::Int(job.vals[chunk.start + k]));
+            match self.exec_block(job.unit_idx, &job.d.body, fr, &mut st) {
+                Ok(Flow::Normal) => {}
+                Ok(_) => {
+                    err = Some(RtError::new("RETURN/STOP inside a PARALLEL DO is not supported"));
+                    break;
+                }
+                Err(e) => {
+                    err = Some(e);
+                    break;
+                }
+            }
+            for (i, (_, _, c)) in red_cells.iter().enumerate() {
+                let w = &mut st.red_watch[i];
+                red_contribs[i].push(if w.clean {
+                    RedContrib::Ops(std::mem::take(&mut w.log))
+                } else {
+                    RedContrib::Delta(c.load_scalar())
+                });
+            }
+            iters += 1;
+        }
+        st.release_grant();
+        // Capture lastprivate values now — the cells are reused by this
+        // worker's next chunk.
+        let lastprivates = last_cells.iter().map(|(s, c)| (*s, c.load_scalar())).collect();
+        ChunkOut {
+            start: chunk.start,
+            worker,
+            iters,
+            printed: st.printed,
+            steps: st.steps,
+            vtime: st.vtime,
+            profile: st.profile,
+            red_contribs,
+            lastprivates,
+            err,
+        }
     }
 
     /// Allocate a frame for a unit invocation; `bound` pairs formal symbols
@@ -241,7 +564,7 @@ impl<'p> Interp<'p> {
         &self,
         unit_idx: usize,
         bound: &[(SymId, Arc<Cell>)],
-        state: &mut ExecState,
+        state: &mut ExecState<'_>,
     ) -> Result<Frame, RtError> {
         let unit = &self.program.units[unit_idx];
         let mut frame = Frame::with_capacity(unit.symbols.len());
@@ -288,7 +611,7 @@ impl<'p> Interp<'p> {
         &self,
         unit_idx: usize,
         frame: &Frame,
-        state: &mut ExecState,
+        state: &mut ExecState<'_>,
     ) -> Result<Flow, RtError> {
         let body = self.program.units[unit_idx].body.clone();
         self.exec_block(unit_idx, &body, frame, state)
@@ -299,7 +622,7 @@ impl<'p> Interp<'p> {
         unit_idx: usize,
         block: &[StmtId],
         frame: &Frame,
-        state: &mut ExecState,
+        state: &mut ExecState<'_>,
     ) -> Result<Flow, RtError> {
         for &sid in block {
             match self.exec_stmt(unit_idx, sid, frame, state)? {
@@ -315,12 +638,26 @@ impl<'p> Interp<'p> {
         unit_idx: usize,
         sid: StmtId,
         frame: &Frame,
-        state: &mut ExecState,
+        state: &mut ExecState<'_>,
     ) -> Result<Flow, RtError> {
         let unit = &self.program.units[unit_idx];
         state.tick(1.0)?;
         match &unit.stmt(sid).kind {
             StmtKind::Assign { lhs, rhs } => {
+                // Scalar stores to a watched reduction cell go through the
+                // operand recognizer (cell identity, so cross-unit stores
+                // through arguments and COMMON are caught too).
+                if !state.red_watch.is_empty() {
+                    if let LValue::Var(s) = lhs {
+                        let cell = self.cell(unit, frame, *s)?.clone();
+                        if let Some(wi) =
+                            state.red_watch.iter().position(|w| Arc::ptr_eq(&w.cell, &cell))
+                        {
+                            self.red_assign(unit_idx, wi, rhs, &cell, frame, state)?;
+                            return Ok(Flow::Normal);
+                        }
+                    }
+                }
                 let v = self.eval(unit_idx, rhs, frame, state)?;
                 match lhs {
                     LValue::Var(s) => {
@@ -387,7 +724,7 @@ impl<'p> Interp<'p> {
         unit_idx: usize,
         d: &ped_fortran::DoLoop,
         frame: &Frame,
-        state: &mut ExecState,
+        state: &mut ExecState<'_>,
     ) -> Result<Vec<i64>, RtError> {
         let lo = self.eval(unit_idx, &d.lo, frame, state)?.as_int();
         let hi = self.eval(unit_idx, &d.hi, frame, state)?.as_int();
@@ -419,12 +756,13 @@ impl<'p> Interp<'p> {
         unit_idx: usize,
         sid: StmtId,
         frame: &Frame,
-        state: &mut ExecState,
+        state: &mut ExecState<'_>,
     ) -> Result<Flow, RtError> {
         let unit = &self.program.units[unit_idx];
         let d = unit.loop_of(sid).clone();
         let vals = self.iteration_values(unit_idx, &d, frame, state)?;
         let vt0 = state.vtime;
+        let wall0 = Instant::now();
         let key = (unit.name.clone(), sid);
 
         let flow = if d.is_parallel() && !state.in_parallel {
@@ -433,9 +771,7 @@ impl<'p> Interp<'p> {
                 ParallelMode::Simulate(machine) => {
                     self.run_simulated(unit_idx, sid, &d, &vals, frame, state, machine)?
                 }
-                ParallelMode::Threads(n) => {
-                    self.run_threads(unit_idx, &d, &vals, frame, state, n)?
-                }
+                ParallelMode::Threads(_) => self.run_threads(unit_idx, &d, &vals, frame, state)?,
             }
         } else {
             self.run_serial(unit_idx, &d, &vals, frame, state)?
@@ -445,6 +781,7 @@ impl<'p> Interp<'p> {
         entry.invocations += 1;
         entry.iterations += vals.len() as u64;
         entry.ops += state.vtime - vt0;
+        entry.wall_ns += wall0.elapsed().as_nanos() as u64;
         Ok(flow)
     }
 
@@ -454,7 +791,7 @@ impl<'p> Interp<'p> {
         d: &ped_fortran::DoLoop,
         vals: &[i64],
         frame: &Frame,
-        state: &mut ExecState,
+        state: &mut ExecState<'_>,
     ) -> Result<Flow, RtError> {
         let unit = &self.program.units[unit_idx];
         let var_cell = self.cell(unit, frame, d.var)?.clone();
@@ -477,7 +814,7 @@ impl<'p> Interp<'p> {
         d: &ped_fortran::DoLoop,
         vals: &[i64],
         frame: &Frame,
-        state: &mut ExecState,
+        state: &mut ExecState<'_>,
         machine: Machine,
     ) -> Result<Flow, RtError> {
         let unit = &self.program.units[unit_idx];
@@ -562,136 +899,109 @@ impl<'p> Interp<'p> {
         Ok(flow)
     }
 
+    /// Dispatch a `PARALLEL DO` to the persistent worker pool and merge
+    /// the chunk results deterministically: printed lines in iteration
+    /// order, reductions recombined in serial fold order (per-iteration
+    /// deltas), lastprivate from the chunk holding the final iteration.
+    /// Threaded output is therefore bit-identical to serial execution.
     fn run_threads(
         &self,
         unit_idx: usize,
         d: &ped_fortran::DoLoop,
         vals: &[i64],
         frame: &Frame,
-        state: &mut ExecState,
-        nthreads: usize,
+        state: &mut ExecState<'_>,
     ) -> Result<Flow, RtError> {
         let unit = &self.program.units[unit_idx];
-        let n = nthreads.max(1);
-        let info = d.parallel.clone().unwrap_or_default();
-        let chunk = vals.len().div_ceil(n).max(1);
-        let chunks: Vec<&[i64]> = vals.chunks(chunk).collect();
-
-        struct ChunkOut {
-            state: ExecState,
-            reductions: Vec<(RedOp, SymId, Value)>,
-            lastprivates: Vec<(SymId, Value)>,
-            has_last: bool,
-            err: Option<RtError>,
+        let Some(pool) = state.pool else {
+            // No pool for this run (defensive): reference semantics.
+            return self.run_serial(unit_idx, d, vals, frame, state);
+        };
+        if vals.is_empty() {
+            return Ok(Flow::Normal);
         }
-
-        let remaining = state.max_steps.saturating_sub(state.steps);
-        let per_thread_budget = remaining; // each thread shares the global cap loosely
-        let outs: Vec<ChunkOut> = std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for (ci, ch) in chunks.iter().enumerate() {
-                let info = info.clone();
-                let is_last_chunk = ci == chunks.len() - 1;
-                let base_frame = frame.clone();
-                handles.push(scope.spawn(move || {
-                    let mut st = ExecState::new(per_thread_budget);
-                    st.in_parallel = true;
-                    let mut fr = base_frame;
-                    // Private copies.
-                    let var_cell = Cell::scalar(Ty::Integer);
-                    fr.bind(d.var, var_cell.clone());
-                    for &s in info.private.iter().chain(info.lastprivate.iter()) {
-                        let ty = self.program.units[unit_idx].symbols.sym(s).ty;
-                        fr.bind(s, Cell::scalar(ty));
-                    }
-                    let mut red_cells = Vec::new();
-                    for &(op, s) in &info.reductions {
-                        let ty = self.program.units[unit_idx].symbols.sym(s).ty;
-                        let c = Cell::scalar(ty);
-                        c.store_scalar(red_identity(op, ty));
-                        fr.bind(s, c.clone());
-                        red_cells.push((op, s, c));
-                    }
-                    let mut err = None;
-                    for &v in *ch {
-                        if st.tick(2.0).is_err() {
-                            err = Some(RtError::new("step limit in parallel chunk"));
-                            break;
-                        }
-                        var_cell.store_scalar(Value::Int(v));
-                        match self.exec_block(unit_idx, &d.body, &fr, &mut st) {
-                            Ok(Flow::Normal) => {}
-                            Ok(_) => {
-                                err = Some(RtError::new(
-                                    "RETURN/STOP inside a PARALLEL DO is not supported",
-                                ));
-                                break;
-                            }
-                            Err(e) => {
-                                err = Some(e);
-                                break;
-                            }
-                        }
-                    }
-                    let reductions = red_cells
-                        .iter()
-                        .map(|(op, s, c)| (*op, *s, c.load_scalar()))
-                        .collect();
-                    let lastprivates = info
-                        .lastprivate
-                        .iter()
-                        .map(|&s| (s, fr.get(s).expect("bound above").load_scalar()))
-                        .collect();
-                    ChunkOut {
-                        state: st,
-                        reductions,
-                        lastprivates,
-                        has_last: is_last_chunk,
-                        err,
-                    }
-                }));
-            }
-            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        let n = pool.workers();
+        let chunks = plan_chunks(self.config.schedule, vals.len(), n);
+        let job = Arc::new(LoopJob {
+            unit_idx,
+            d: d.clone(),
+            vals: vals.to_vec(),
+            base_frame: frame.clone(),
+            info: d.parallel.clone().unwrap_or_default(),
+            budget: state.budget.clone(),
+            queues: ChunkQueues::seed(&chunks, n),
+            chunks_stolen: AtomicU64::new(0),
+            outs: Mutex::new(Vec::with_capacity(chunks.len())),
         });
+        pool.run_job(job.clone());
 
-        // Merge: first error wins; printed output in chunk order; vtime is
-        // the max thread time (plus what we already had).
-        let mut max_vt = 0.0f64;
-        for out in &outs {
-            if let Some(e) = &out.err {
-                return Err(e.clone());
-            }
-            max_vt = max_vt.max(out.state.vtime);
+        let mut outs = std::mem::take(&mut *job.outs.lock().unwrap());
+        outs.sort_by_key(|o| o.start);
+
+        // Fold executed statements in before any error return, so budget
+        // accounting covers aborted chunks too.
+        for o in &outs {
+            state.steps += o.steps;
         }
-        for out in &outs {
-            state.printed.extend(out.state.printed.iter().cloned());
-            state.steps += out.state.steps;
-            for (k, v) in &out.state.profile {
+        state.sched.parallel_loops += 1;
+        state.sched.chunks_executed += outs.len() as u64;
+        state.sched.chunks_stolen += job.chunks_stolen.load(Ordering::Relaxed);
+        if state.sched.worker_iterations.len() < n {
+            state.sched.worker_iterations.resize(n, 0);
+        }
+        // Parallel time charge: the busiest worker's total.
+        let mut worker_vtime = vec![0.0f64; n];
+        for o in &outs {
+            state.sched.worker_iterations[o.worker] += o.iters;
+            worker_vtime[o.worker] += o.vtime;
+        }
+        state.vtime += worker_vtime.iter().copied().fold(0.0, f64::max);
+        for o in &outs {
+            for (k, v) in &o.profile {
                 let e = state.profile.entry(k.clone()).or_default();
                 e.invocations += v.invocations;
                 e.iterations += v.iterations;
                 e.ops += v.ops;
+                e.wall_ns += v.wall_ns;
             }
         }
-        state.vtime += max_vt;
-        // Combine reductions in chunk order (deterministic float sums).
-        for out in &outs {
-            for &(op, s, v) in &out.reductions {
-                let cell = self.cell(unit, frame, s)?;
-                let cur = cell.load_scalar();
-                cell.store_scalar(combine(op, cur, v));
-            }
+        // First error in iteration order wins.
+        if let Some(e) = outs.iter().find_map(|o| o.err.clone()) {
+            return Err(e);
         }
-        for out in &outs {
-            if out.has_last {
-                for &(s, v) in &out.lastprivates {
-                    self.cell(unit, frame, s)?.store_scalar(v);
+        for o in &outs {
+            state.printed.extend_from_slice(&o.printed);
+        }
+        // Reductions: replay each iteration's logged accumulation operands
+        // (or its fallback delta) in global iteration order — exactly the
+        // serial fold, bit for bit.
+        for (ri, &(op, s)) in job.info.reductions.iter().enumerate() {
+            let cell = self.cell(unit, frame, s)?;
+            let mut cur = cell.load_scalar();
+            for o in &outs {
+                for contrib in &o.red_contribs[ri] {
+                    match contrib {
+                        RedContrib::Ops(xs) => {
+                            for &x in xs {
+                                cur = combine(op, cur, x);
+                            }
+                        }
+                        RedContrib::Delta(d) => cur = combine(op, cur, *d),
+                    }
                 }
             }
+            cell.store_scalar(cur);
         }
-        // The loop variable's final value (F77 leaves it past the end).
+        // Lastprivate: the chunk containing the final iteration.
+        if let Some(last_out) = outs.last() {
+            for &(s, v) in &last_out.lastprivates {
+                self.cell(unit, frame, s)?.store_scalar(v);
+            }
+        }
+        // The loop variable's final value: the serial interpreter leaves
+        // it at the last executed iteration value, so match that exactly.
         if let Some(&last) = vals.last() {
-            self.cell(unit, frame, d.var)?.store_scalar(Value::Int(last + 1));
+            self.cell(unit, frame, d.var)?.store_scalar(Value::Int(last));
         }
         Ok(Flow::Normal)
     }
@@ -702,7 +1012,7 @@ impl<'p> Interp<'p> {
         name: &str,
         args: &[Expr],
         frame: &Frame,
-        state: &mut ExecState,
+        state: &mut ExecState<'_>,
     ) -> Result<Option<Value>, RtError> {
         let unit = &self.program.units[unit_idx];
         let callee_idx = self
@@ -787,6 +1097,122 @@ impl<'p> Interp<'p> {
         }
     }
 
+    /// Store to a watched reduction cell. When `rhs` has the recognized
+    /// accumulation shape `cell ⊕ x₁ ⊕ x₂ …`, only the operands are
+    /// evaluated (the spine merely reloads the cell) and they are logged
+    /// so the merge can replay the exact serial fold — this is what keeps
+    /// iterations that accumulate *several times* (an inner serial loop
+    /// summing into the reduction variable, say) bit-identical to serial.
+    /// Any other store voids the iteration's log; it falls back to the
+    /// per-iteration delta.
+    fn red_assign(
+        &self,
+        unit_idx: usize,
+        wi: usize,
+        rhs: &Expr,
+        cell: &Arc<Cell>,
+        frame: &Frame,
+        state: &mut ExecState<'_>,
+    ) -> Result<(), RtError> {
+        let op = state.red_watch[wi].op;
+        let mut operands = Vec::new();
+        if self.match_accum(unit_idx, rhs, frame, op, cell, &mut operands) {
+            // Charge what the plain evaluation would have: one node per
+            // spine operator plus the reload of the cell itself.
+            state.vtime += operands.len() as f64 + 1.0;
+            let mut vals = Vec::with_capacity(operands.len());
+            for e in &operands {
+                vals.push(self.eval(unit_idx, e, frame, state)?);
+            }
+            let mut v = cell.load_scalar();
+            for &x in &vals {
+                v = combine(op, v, x);
+            }
+            state.red_watch[wi].log.extend(vals);
+            cell.store_scalar(v);
+        } else {
+            state.red_watch[wi].clean = false;
+            let v = self.eval(unit_idx, rhs, frame, state)?;
+            cell.store_scalar(v);
+        }
+        Ok(())
+    }
+
+    /// Recognize `e` as an accumulation spine over the watched cell:
+    /// `cell`, `spine ⊕ x`, or `x ⊕ spine-var` (IEEE `+` and `*` commute
+    /// bitwise, so both orientations fold identically). Operands are
+    /// pushed in serial application order; each must be pure (no calls —
+    /// a call could read or write the cell) and must not read the cell.
+    fn match_accum<'e>(
+        &self,
+        unit_idx: usize,
+        e: &'e Expr,
+        frame: &Frame,
+        op: RedOp,
+        cell: &Arc<Cell>,
+        out: &mut Vec<&'e Expr>,
+    ) -> bool {
+        let spine_op = match op {
+            RedOp::Sum => BinOp::Add,
+            RedOp::Product => BinOp::Mul,
+            // MIN/MAX are exactly associative-commutative, so the delta
+            // fallback already matches serial bit-for-bit.
+            _ => return false,
+        };
+        match e {
+            Expr::Var(s) => self.resolves_to(unit_idx, *s, frame, cell),
+            Expr::Bin { op: b, l, r } if *b == spine_op => {
+                let mark = out.len();
+                if self.match_accum(unit_idx, l, frame, op, cell, out) {
+                    if self.expr_avoids(unit_idx, r, frame, cell) {
+                        out.push(r);
+                        return true;
+                    }
+                    out.truncate(mark);
+                    return false;
+                }
+                if matches!(&**r, Expr::Var(s) if self.resolves_to(unit_idx, *s, frame, cell))
+                    && self.expr_avoids(unit_idx, l, frame, cell)
+                {
+                    out.push(l);
+                    return true;
+                }
+                false
+            }
+            _ => false,
+        }
+    }
+
+    /// True when `s` is a runtime variable bound to exactly this cell.
+    fn resolves_to(&self, unit_idx: usize, s: SymId, frame: &Frame, cell: &Arc<Cell>) -> bool {
+        self.program.units[unit_idx].symbols.sym(s).param.is_none()
+            && frame.get(s).is_some_and(|c| Arc::ptr_eq(c, cell))
+    }
+
+    /// Pure and cell-free: no calls anywhere, and no load of the watched
+    /// scalar. Array cells are distinct allocations from any scalar cell,
+    /// so walking their subscripts suffices.
+    fn expr_avoids(&self, unit_idx: usize, e: &Expr, frame: &Frame, cell: &Arc<Cell>) -> bool {
+        match e {
+            Expr::Int(_) | Expr::Real(_) | Expr::Double(_) | Expr::Logical(_) | Expr::Str(_) => {
+                true
+            }
+            Expr::Var(s) => !self.resolves_to(unit_idx, *s, frame, cell),
+            Expr::ArrayRef { subs, .. } => {
+                subs.iter().all(|x| self.expr_avoids(unit_idx, x, frame, cell))
+            }
+            Expr::Un { e, .. } => self.expr_avoids(unit_idx, e, frame, cell),
+            Expr::Bin { l, r, .. } => {
+                self.expr_avoids(unit_idx, l, frame, cell)
+                    && self.expr_avoids(unit_idx, r, frame, cell)
+            }
+            Expr::Intrinsic { args, .. } => {
+                args.iter().all(|x| self.expr_avoids(unit_idx, x, frame, cell))
+            }
+            Expr::Call { .. } => false,
+        }
+    }
+
     fn cell<'f>(
         &self,
         unit: &ProgramUnit,
@@ -803,7 +1229,7 @@ impl<'p> Interp<'p> {
         unit_idx: usize,
         e: &Expr,
         frame: &Frame,
-        state: &mut ExecState,
+        state: &mut ExecState<'_>,
     ) -> Result<Value, RtError> {
         let unit = &self.program.units[unit_idx];
         state.vtime += 1.0;
@@ -1065,6 +1491,16 @@ pub fn run_source(src: &str, config: ExecConfig) -> Result<RunResult, RtError> {
     Interp::new(&program, config)?.run()
 }
 
+/// Like [`run_source`], but also captures the main unit's final memory.
+pub fn run_source_with_memory(
+    src: &str,
+    config: ExecConfig,
+) -> Result<(RunResult, MemorySnapshot), RtError> {
+    let program =
+        ped_fortran::parse_program(src).map_err(|e| RtError::new(format!("parse: {e}")))?;
+    Interp::new(&program, config)?.run_with_memory()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1210,6 +1646,128 @@ mod tests {
         )
         .unwrap();
         assert_eq!(par.printed, vec!["100.0"]);
+    }
+
+    #[test]
+    fn threaded_step_budget_is_global() {
+        // The budget is one shared atomic pool: however many workers run,
+        // the total number of executed statements can never exceed
+        // max_steps (the old per-thread budgets allowed ~nthreads× that).
+        let src = "program t\nreal a(100000)\nparallel do i = 1, 100000\na(i) = i * 1.0\nenddo\nend\n";
+        let e = run_source(
+            src,
+            ExecConfig {
+                mode: ParallelMode::Threads(4),
+                max_steps: 10_000,
+                ..ExecConfig::default()
+            },
+        )
+        .unwrap_err();
+        assert!(e.message.contains("step limit"), "{e}");
+        assert!(e.steps > 0 && e.steps <= 10_000, "executed {} steps > cap", e.steps);
+    }
+
+    #[test]
+    fn nested_parallel_runs_serially_under_threads() {
+        let src = "program t\nreal a(64,64)\nparallel do j = 1, 64 private(i)\n\
+                   parallel do i = 1, 64\na(i,j) = i * 1.0 + j\nenddo\nenddo\n\
+                   s = 0.0\ndo j = 1, 64\ndo i = 1, 64\ns = s + a(i,j)\nenddo\nenddo\n\
+                   print *, s\nend\n";
+        let serial = run_source(src, ExecConfig::default()).unwrap();
+        let par = run_source(
+            src,
+            ExecConfig { mode: ParallelMode::Threads(4), ..ExecConfig::default() },
+        )
+        .unwrap();
+        assert_eq!(serial.printed, par.printed);
+        // Only the outer loop was dispatched to the pool: the inner
+        // PARALLEL DO ran serially inside the workers (in_parallel guard).
+        assert_eq!(par.sched.parallel_loops, 1);
+        // Its iterations are still charged, to its own profile entry,
+        // inside the outer loop's inclusive ops.
+        let program = ped_fortran::parse_program(src).unwrap();
+        let unit = &program.units[0];
+        let tree = ped_fortran::visit::loop_tree(unit);
+        let outer = tree.iter().find(|n| n.depth == 1 && !n.children.is_empty()).unwrap();
+        let inner_sid = outer.children[0];
+        let outer_st = par.profile[&(unit.name.clone(), outer.stmt)];
+        let inner_st = par.profile[&(unit.name.clone(), inner_sid)];
+        assert_eq!(outer_st.iterations, 64);
+        assert_eq!(inner_st.iterations, 64 * 64);
+        assert_eq!(inner_st.invocations, 64);
+        // The outer entry's ops are the parallel (busiest-worker) charge —
+        // smaller than the inner entries' serial sum, but present.
+        assert!(outer_st.ops > 0.0);
+        assert!(inner_st.ops > 0.0);
+    }
+
+    #[test]
+    fn threads_and_schedules_bit_identical_to_serial() {
+        // Sum of squares of 0.1*i: the float fold is order-sensitive, so
+        // string equality (full-precision Debug formatting) means the
+        // threaded combine reproduced the serial fold bit for bit.
+        let src = "program t\nreal a(777)\nparallel do i = 1, 777\na(i) = 0.1 * i\nenddo\n\
+                   s = 0.0\nparallel do i = 1, 777 reduction(+:s)\ns = s + a(i) * a(i)\nenddo\n\
+                   print *, s\nend\n";
+        let serial = run_source(src, ExecConfig::default()).unwrap();
+        for k in [1usize, 2, 3, 4, 8] {
+            for schedule in [Schedule::Static, Schedule::Dynamic(5), Schedule::Guided] {
+                let par = run_source(
+                    src,
+                    ExecConfig {
+                        mode: ParallelMode::Threads(k),
+                        schedule,
+                        ..ExecConfig::default()
+                    },
+                )
+                .unwrap();
+                assert_eq!(serial.printed, par.printed, "threads={k} schedule={schedule}");
+                assert_eq!(par.sched.parallel_loops, 2);
+                assert!(par.sched.chunks_executed > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn multi_accumulation_reduction_bit_identical() {
+        // Each parallel iteration folds several operands into the reduction
+        // variable through an inner serial loop (the spec77 `energy` shape).
+        // Per-iteration delta merging would differ in the last ulp; operand
+        // logging must replay the exact serial fold.
+        let src = "program t\nreal a(40)\nparallel do i = 1, 40\na(i) = 0.3 * i\nenddo\n\
+                   e = 0.0\nparallel do i = 1, 40 reduction(+:e) lastprivate(j)\n\
+                   do j = 1, 7\ne = e + a(i) * 0.1 * j\nenddo\nenddo\n\
+                   print *, e\nend\n";
+        let serial = run_source(src, ExecConfig::default()).unwrap();
+        for k in [2usize, 3, 4] {
+            for schedule in [Schedule::Static, Schedule::Dynamic(3), Schedule::Guided] {
+                let par = run_source(
+                    src,
+                    ExecConfig {
+                        mode: ParallelMode::Threads(k),
+                        schedule,
+                        ..ExecConfig::default()
+                    },
+                )
+                .unwrap();
+                assert_eq!(serial.printed, par.printed, "threads={k} schedule={schedule}");
+            }
+        }
+    }
+
+    #[test]
+    fn run_with_memory_matches_across_modes() {
+        let src = "program t\nreal a(50)\nparallel do i = 1, 50\na(i) = i * 2.0\nenddo\n\
+                   print *, a(25)\nend\n";
+        let (rs, ms) = run_source_with_memory(src, ExecConfig::default()).unwrap();
+        let (rt, mt) = run_source_with_memory(
+            src,
+            ExecConfig { mode: ParallelMode::Threads(3), ..ExecConfig::default() },
+        )
+        .unwrap();
+        assert_eq!(rs.printed, rt.printed);
+        assert_eq!(ms, mt, "final memory must be bit-identical");
+        assert!(ms.iter().any(|(n, bits)| n == "a" && bits.len() == 50));
     }
 
     #[test]

@@ -12,8 +12,12 @@
 //!   (fork + max-chunk + barrier), so speedup curves and crossover points
 //!   are stable across host machines — this mode regenerates the paper's
 //!   performance shapes;
-//! * **real parallel** — `PARALLEL DO` iterations actually run on host
-//!   threads (scoped), with private/reduction/lastprivate semantics. All
+//! * **real parallel** — `PARALLEL DO` iterations actually run on a
+//!   persistent pool of host threads (see [`pool`]) built once per run and
+//!   reused by every parallel loop: per-worker deques with chunk-level
+//!   work stealing, selectable schedules (static / dynamic / guided), and
+//!   deterministic merges that keep threaded output bit-identical to
+//!   serial execution, with private/reduction/lastprivate semantics. All
 //!   storage cells are relaxed atomics, so concurrent element access is
 //!   data-race-free by construction; *correctness* of a parallelization is
 //!   still the analysis' job, which is why the
@@ -26,9 +30,11 @@
 pub mod interp;
 pub mod machine;
 pub mod memory;
+pub mod pool;
 pub mod value;
 
-pub use interp::{ExecConfig, Interp, ParallelMode, RtError, RunResult};
+pub use interp::{ExecConfig, Interp, MemorySnapshot, ParallelMode, RtError, RunResult};
 pub use machine::Machine;
 pub use memory::{ArrayCell, Cell, Frame};
+pub use pool::{SchedStats, Schedule};
 pub use value::Value;

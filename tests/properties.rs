@@ -211,6 +211,85 @@ fn parallelization_preserves_semantics() {
     }
 }
 
+/// Scalars of the main unit that are `private` (but not `lastprivate`) in
+/// some parallel loop. Their post-loop value is unspecified by the dialect
+/// — serial leaves the last iteration's value, a worker pool leaves some
+/// worker's — so the memory comparison excludes them. Everything else
+/// (arrays, reductions, lastprivates, loop variables) must match bitwise.
+fn unspecified_privates(src: &str) -> Vec<String> {
+    let program = ped_fortran::parse_program(src).expect("source parses");
+    let main = program.main().expect("has a main unit");
+    let mut names = Vec::new();
+    for stmt in &main.stmts {
+        if let ped_fortran::StmtKind::Do(d) = &stmt.kind {
+            if let Some(info) = &d.parallel {
+                for &p in &info.private {
+                    if !info.lastprivate.contains(&p) {
+                        names.push(main.symbols.name(p).to_string());
+                    }
+                }
+            }
+        }
+    }
+    names.sort();
+    names.dedup();
+    names
+}
+
+/// Serial, simulated, and threaded execution agree *exactly*: identical
+/// printed output (full-precision float formatting, so string equality is
+/// bit equality) and bit-identical final memory, across schedules and
+/// thread counts — including float reductions, which the threaded runtime
+/// recombines in serial iteration order.
+#[test]
+fn execution_modes_agree_bitwise() {
+    use ped_runtime::{interp, ExecConfig, Machine, ParallelMode, Schedule};
+    for seed in 0u64..10 {
+        let src = ped_workloads::generator::gen_source(ped_workloads::generator::GenConfig {
+            units: 2,
+            loops_per_unit: 4,
+            stmts_per_loop: 3,
+            extent: 24,
+            seed,
+        });
+        let mut ped = ped_core::Ped::open(&src).unwrap();
+        let converted = ped_bench::parallelize_everything(&mut ped);
+        let par_src = ped.source();
+        let skip = unspecified_privates(&par_src);
+
+        let (serial, serial_mem) =
+            interp::run_source_with_memory(&par_src, ExecConfig::default())
+                .expect("serial run succeeds");
+        let serial_mem: Vec<_> =
+            serial_mem.into_iter().filter(|(n, _)| !skip.contains(n)).collect();
+
+        let mut configs = vec![ExecConfig {
+            mode: ParallelMode::Simulate(Machine::with_procs(4)),
+            ..ExecConfig::default()
+        }];
+        for threads in [1usize, 2, 4] {
+            for schedule in [Schedule::Static, Schedule::Dynamic(3), Schedule::Guided] {
+                configs.push(ExecConfig {
+                    mode: ParallelMode::Threads(threads),
+                    schedule,
+                    ..ExecConfig::default()
+                });
+            }
+        }
+        for config in configs {
+            let label = format!(
+                "seed {seed} ({converted} parallel loops) under {:?}/{}",
+                config.mode, config.schedule
+            );
+            let (r, mem) = interp::run_source_with_memory(&par_src, config)
+                .unwrap_or_else(|e| panic!("{label}: {e}"));
+            assert_eq!(serial.printed, r.printed, "{label}: printed output diverged");
+            let mem: Vec<_> = mem.into_iter().filter(|(n, _)| !skip.contains(n)).collect();
+            assert_eq!(serial_mem, mem, "{label}: final memory diverged");
+        }
+    }
+}
+
 /// The oracle itself sanity-checks against hand calculations (fixed cases).
 #[test]
 fn oracle_hand_cases() {
