@@ -19,14 +19,23 @@
 //! chunking policy (`static`, `dynamic[(N)]`, `guided`).
 //! `--validate-profile <file>` parses a previously emitted report and
 //! exits nonzero when it is malformed (the CI smoke check).
+//!
+//! `--check` (batch) runs the program once under the shadow-memory logger
+//! and cross-checks the observed cross-iteration dependences against the
+//! static graphs: races on parallel-marked loops are reported with a
+//! verdict (contradicted deletion, missing clause, forced parallelization,
+//! or analysis miss) and make the process exit nonzero. `--autopar` first
+//! converts every provably-safe loop to `PARALLEL DO` (outermost-first),
+//! so `--batch --autopar --check` is the push-button
+//! analyze→parallelize→validate pipeline.
 
 use ped_core::{render, Assertion, DepFilter, Mark, Ped, ProfileReport, SourceFilter};
 use ped_runtime::{ExecConfig, Machine, ParallelMode, Schedule};
 use ped_transform::Xform;
 use std::io::{BufRead, Write};
 
-const USAGE: &str = "usage: ped [--batch] [--profile] [--threads <N>] [--schedule <spec>] <file.f>\n\
-       ped [--batch] [--profile] [--threads <N>] [--schedule <spec>] --workload <name>\n\
+const USAGE: &str = "usage: ped [--batch] [--profile] [--autopar] [--check] [--threads <N>] [--schedule <spec>] <file.f>\n\
+       ped [--batch] [--profile] [--autopar] [--check] [--threads <N>] [--schedule <spec>] --workload <name>\n\
        ped --validate-profile <report.json>";
 
 /// Session-level execution defaults, set by `--threads`/`--schedule` and
@@ -43,6 +52,8 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut batch = false;
     let mut profile = false;
+    let mut check = false;
+    let mut autopar = false;
     let mut defaults = RunDefaults::default();
     let mut workload: Option<String> = None;
     let mut path: Option<String> = None;
@@ -51,6 +62,8 @@ fn main() {
         match a.as_str() {
             "--batch" => batch = true,
             "--profile" => profile = true,
+            "--check" => check = true,
+            "--autopar" => autopar = true,
             "--threads" => match it.next().and_then(|n| n.parse::<usize>().ok()) {
                 Some(n) if n > 0 => defaults.threads = Some(n),
                 _ => exit_usage("--threads needs a positive count"),
@@ -106,16 +119,25 @@ fn main() {
         }
     };
     if batch {
+        if autopar {
+            let n = autoparallelize(&mut ped);
+            eprintln!("auto-parallelized {n} loop(s)");
+        }
+        let mut clean = true;
         if profile {
             // Human-readable batch summary on stderr; the machine-readable
             // profile report alone on stdout. A threaded execution (if
-            // requested) happens before the report is emitted, so its loop
-            // profiles and scheduler counters land in the JSON.
+            // requested) and the shadow check happen before the report is
+            // emitted, so their loop profiles, scheduler counters, and
+            // validation section land in the JSON.
             let mut err = std::io::stderr();
             let r = ped.analyze_all();
             writeln!(err, "analyzed {} loop(s) across {} unit(s)", r.loops, r.units).ok();
             if defaults.threads.is_some() {
                 batch_run_threads(&ped, defaults, true);
+            }
+            if check {
+                clean = batch_check(&mut ped, defaults, true);
             }
             println!("{}", ped.profile_report().to_json().to_string_pretty());
         } else {
@@ -123,6 +145,12 @@ fn main() {
             if defaults.threads.is_some() {
                 batch_run_threads(&ped, defaults, false);
             }
+            if check {
+                clean = batch_check(&mut ped, defaults, false);
+            }
+        }
+        if !clean {
+            std::process::exit(1);
         }
         return;
     }
@@ -223,6 +251,67 @@ fn batch_run_threads(ped: &Ped, defaults: RunDefaults, quiet: bool) {
     }
 }
 
+/// Convert every provably-parallelizable loop into a `PARALLEL DO`,
+/// outermost-first, skipping loops nested inside an already-parallel one
+/// (the same policy the benchmark suite uses).
+fn autoparallelize(ped: &mut Ped) -> usize {
+    let mut converted = 0;
+    for ui in 0..ped.program().units.len() {
+        let loops = ped.loops(ui);
+        let mut covered: Vec<ped_fortran::StmtId> = Vec::new();
+        for (h, _) in loops {
+            if covered.contains(&h) {
+                continue;
+            }
+            if ped.parallelizable(ui, h).unwrap_or(false)
+                && ped.apply(ui, h, &Xform::Parallelize).is_ok()
+            {
+                converted += 1;
+                let unit = &ped.program().units[ui];
+                ped_fortran::visit::for_each_stmt(unit, &unit.loop_of(h).body, &mut |s| {
+                    if unit.is_loop(s) {
+                        covered.push(s);
+                    }
+                });
+            }
+        }
+    }
+    converted
+}
+
+/// Build the execution config the batch-mode defaults describe.
+fn exec_config(defaults: RunDefaults) -> ExecConfig {
+    ExecConfig {
+        mode: match defaults.threads {
+            Some(n) => ParallelMode::Threads(n),
+            None => ParallelMode::Serial,
+        },
+        schedule: defaults.schedule,
+        ..ExecConfig::default()
+    }
+}
+
+/// Shadow-runtime validation of the current (possibly just parallelized)
+/// program. Prints the verdict report — to stderr with `quiet`, keeping
+/// stdout machine-readable — and returns whether the run was race-free.
+fn batch_check(ped: &mut Ped, defaults: RunDefaults, quiet: bool) -> bool {
+    match ped.check(exec_config(defaults)) {
+        Ok(r) => {
+            let text = r.render_text();
+            if quiet {
+                eprint!("{text}");
+            } else {
+                print!("{text}");
+            }
+            r.clean()
+        }
+        Err(e) => {
+            eprintln!("check failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 /// Run whole-program analysis and print the [`ped_core::BatchReport`].
 fn print_batch_report(ped: &mut Ped) {
     let t0 = std::time::Instant::now();
@@ -276,6 +365,9 @@ apply <stmt> <xform>          apply a transformation
 undo / redo
 source                        print the regenerated source
 run [serial|sim <P>|threads <N>] [check]
+check                         shadow-runtime validation: run once with the
+                              access logger on, cross-check observed deps
+                              against the static graphs, report races
 threads [<N>|off]             default thread count for bare `run`
 schedule [static|dynamic[(N)]|guided]
                               chunking policy for threaded runs
@@ -429,6 +521,12 @@ quit"
         ["schedule", spec] => {
             defaults.schedule = Schedule::parse(spec)?;
             println!("schedule: {}", defaults.schedule);
+            Ok(false)
+        }
+        ["check"] => {
+            let config = exec_config(*defaults);
+            let r = ped.check(config).map_err(|e| e.to_string())?;
+            print!("{}", r.render_text());
             Ok(false)
         }
         ["run", rest @ ..] => {

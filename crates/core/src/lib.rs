@@ -13,11 +13,13 @@
 //! marking/filtering/steering behave*, all of which [`render`] and
 //! [`session`] expose as data and text.
 
+pub mod check;
 pub mod equiv;
 pub mod filters;
 pub mod render;
 pub mod session;
 
+pub use check::{LoopValidation, RaceFinding, RaceVerdict, ValidationReport};
 pub use filters::{DepFilter, SourceFilter};
 pub use ped_obs::{IncrementalReport, ProfileReport, PROFILE_SCHEMA_VERSION};
 pub use session::{

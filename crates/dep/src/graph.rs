@@ -461,10 +461,12 @@ pub fn build_graph(
                     push_scalar_dep(&mut deps, w, w2, sym, DepKind::Output, cause);
                 }
             }
+            // Including r == w: a statement reading then writing the
+            // scalar carries an anti dependence onto itself (the read at
+            // iteration i precedes the write at i+1) — the shadow
+            // validator observes it, so the static set must contain it.
             for &r in reads {
-                if r != w {
-                    push_scalar_dep(&mut deps, r, w, sym, DepKind::Anti, cause);
-                }
+                push_scalar_dep(&mut deps, r, w, sym, DepKind::Anti, cause);
             }
         }
     }
@@ -711,6 +713,27 @@ mod tests {
         );
         assert!(!g.parallelizable());
         assert!(g.blocking().iter().any(|d| d.cause == DepCause::Scalar));
+    }
+
+    /// Regression (found by the shadow validator's observed⊆static
+    /// property): a single statement that reads and writes a shared scalar
+    /// carries an anti dependence onto itself, which the emitter used to
+    /// drop — the runtime observed an anti pair no static edge accounted
+    /// for.
+    #[test]
+    fn self_statement_shared_scalar_has_anti_edge() {
+        let (u, g) = graph(
+            "program t\nreal a(100)\ndo i = 1, 100\ns = s + a(i) + a(i)\nenddo\nend\n",
+        );
+        let s = u.symbols.lookup("s").unwrap();
+        // The double-spine defeats the reduction recognizer: s is Shared.
+        assert!(matches!(g.scalar_classes[&s], ScalarClass::Shared));
+        for kind in [DepKind::True, DepKind::Anti, DepKind::Output] {
+            assert!(
+                g.deps.iter().any(|d| d.var == Some(s) && d.kind == kind && d.src == d.dst),
+                "missing carried {kind:?} self-edge on s"
+            );
+        }
     }
 
     #[test]

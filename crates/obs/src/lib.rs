@@ -22,7 +22,8 @@ pub mod report;
 
 pub use report::{
     CacheReport, DepTestStat, IncrementalReport, LoopProfileStat, PhaseStat, ProfileReport,
-    SchedulerReport, UnitStat, PROFILE_SCHEMA_MIN_VERSION, PROFILE_SCHEMA_VERSION,
+    SchedulerReport, UnitStat, ValidationSummary, PROFILE_SCHEMA_MIN_VERSION,
+    PROFILE_SCHEMA_VERSION,
 };
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -215,6 +216,26 @@ pub struct SchedSample {
     pub worker_iterations: Vec<u64>,
 }
 
+/// Shadow-runtime validation counters from checked runs (feeds the schema
+/// v4 `validation` section of the profile report).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ValidationSample {
+    /// Checked runs performed.
+    pub checks: u64,
+    /// Loops whose observations were cross-checked against a graph.
+    pub loops_checked: u64,
+    /// Soundness violations found (observed carried dependences on
+    /// parallel loops the static story does not license).
+    pub races: u64,
+    /// Observed carried (variable, kind) dependences across all loops.
+    pub observed_deps: u64,
+    /// Active static carried edges never observed on any tested input
+    /// (the conservatism count).
+    pub static_unobserved: u64,
+    /// User-deleted edges that no tested input ever contradicted.
+    pub validated_deletions: u64,
+}
+
 /// Plain-data snapshot of an [`Obs`] registry.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ObsSnapshot {
@@ -234,6 +255,8 @@ pub struct ObsSnapshot {
     pub loops: Vec<LoopSample>,
     /// Parallel-runtime scheduler counters accumulated over runs.
     pub sched: SchedSample,
+    /// Shadow-runtime validation counters accumulated over checked runs.
+    pub validation: ValidationSample,
 }
 
 /// The instrumentation registry: atomic counters behind an enable flag.
@@ -248,6 +271,7 @@ pub struct Obs {
     units: Mutex<Vec<UnitSample>>,
     loops: Mutex<Vec<LoopSample>>,
     sched: Mutex<SchedSample>,
+    validation: Mutex<ValidationSample>,
 }
 
 impl Default for Obs {
@@ -268,6 +292,7 @@ impl Obs {
             units: Mutex::new(Vec::new()),
             loops: Mutex::new(Vec::new()),
             sched: Mutex::new(SchedSample::default()),
+            validation: Mutex::new(ValidationSample::default()),
         }
     }
 
@@ -346,6 +371,20 @@ impl Obs {
         }
     }
 
+    /// Fold one checked run's validation counters into the registry.
+    pub fn record_validation(&self, sample: &ValidationSample) {
+        if !self.enabled() {
+            return;
+        }
+        let mut s = self.validation.lock().unwrap();
+        s.checks += sample.checks;
+        s.loops_checked += sample.loops_checked;
+        s.races += sample.races;
+        s.observed_deps += sample.observed_deps;
+        s.static_unobserved += sample.static_unobserved;
+        s.validated_deletions += sample.validated_deletions;
+    }
+
     /// Copy out everything recorded so far. Per-unit samples are aggregated
     /// and both unit and loop lists are sorted for deterministic reports.
     pub fn snapshot(&self) -> ObsSnapshot {
@@ -386,6 +425,7 @@ impl Obs {
             units,
             loops,
             sched: self.sched.lock().unwrap().clone(),
+            validation: self.validation.lock().unwrap().clone(),
         }
     }
 
@@ -408,6 +448,7 @@ impl Obs {
         self.units.lock().unwrap().clear();
         self.loops.lock().unwrap().clear();
         *self.sched.lock().unwrap() = SchedSample::default();
+        *self.validation.lock().unwrap() = ValidationSample::default();
     }
 }
 

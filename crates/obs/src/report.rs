@@ -5,11 +5,31 @@
 use crate::json::{self, Json};
 use crate::{ObsSnapshot, Phase, TestKind};
 
+/// Shadow-runtime validation counters (schema v4). All zero in reports
+/// parsed from pre-v4 JSON or from sessions that never ran `check`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ValidationSummary {
+    /// Checked runs performed.
+    pub checks: u64,
+    /// Loops whose observations were cross-checked against a graph.
+    pub loops_checked: u64,
+    /// Soundness violations found (observed carried dependences on
+    /// parallel loops the static story does not license).
+    pub races: u64,
+    /// Observed carried (variable, kind) dependences across all loops.
+    pub observed_deps: u64,
+    /// Active static carried edges never observed on any tested input.
+    pub static_unobserved: u64,
+    /// User-deleted edges no tested input ever contradicted.
+    pub validated_deletions: u64,
+}
+
 /// Version stamped into every emitted report. Parsing accepts this version
 /// and every earlier one it knows how to upgrade (v1 reports lack the
-/// `incremental` section, v1/v2 reports lack the `scheduler` section; both
-/// default to all-zero); later or unknown versions are rejected.
-pub const PROFILE_SCHEMA_VERSION: u64 = 3;
+/// `incremental` section, v1/v2 reports lack the `scheduler` section,
+/// v1–v3 reports lack the `validation` section; all default to all-zero);
+/// later or unknown versions are rejected.
+pub const PROFILE_SCHEMA_VERSION: u64 = 4;
 
 /// Oldest schema version [`ProfileReport::from_json`] still accepts.
 pub const PROFILE_SCHEMA_MIN_VERSION: u64 = 1;
@@ -175,6 +195,9 @@ pub struct ProfileReport {
     /// Parallel-runtime scheduler counters (all zero when parsed from
     /// pre-v3 JSON).
     pub scheduler: SchedulerReport,
+    /// Shadow-runtime validation counters (all zero when parsed from
+    /// pre-v4 JSON).
+    pub validation: ValidationSummary,
     /// Per-unit graph-build timings.
     pub units: Vec<UnitStat>,
     /// Loop profiles from runs, if any.
@@ -192,6 +215,7 @@ impl ProfileReport {
             cache: CacheReport::default(),
             incremental: IncrementalReport::default(),
             scheduler: SchedulerReport::default(),
+            validation: ValidationSummary::default(),
             units: Vec::new(),
             loop_profiles: Vec::new(),
         }
@@ -237,6 +261,14 @@ impl ProfileReport {
                 chunks_executed: snap.sched.chunks_executed,
                 chunks_stolen: snap.sched.chunks_stolen,
                 worker_iterations: snap.sched.worker_iterations.clone(),
+            },
+            validation: ValidationSummary {
+                checks: snap.validation.checks,
+                loops_checked: snap.validation.loops_checked,
+                races: snap.validation.races,
+                observed_deps: snap.validation.observed_deps,
+                static_unobserved: snap.validation.static_unobserved,
+                validated_deletions: snap.validation.validated_deletions,
             },
             units: snap
                 .units
@@ -347,6 +379,17 @@ impl ProfileReport {
                     // Derived convenience value for readers; recomputed
                     // (never trusted) on parse.
                     ("imbalance_ratio", Json::Num(self.scheduler.imbalance_ratio())),
+                ]),
+            ),
+            (
+                "validation",
+                Json::obj(vec![
+                    ("checks", Json::int(self.validation.checks)),
+                    ("loops_checked", Json::int(self.validation.loops_checked)),
+                    ("races", Json::int(self.validation.races)),
+                    ("observed_deps", Json::int(self.validation.observed_deps)),
+                    ("static_unobserved", Json::int(self.validation.static_unobserved)),
+                    ("validated_deletions", Json::int(self.validation.validated_deletions)),
                 ]),
             ),
             (
@@ -492,6 +535,21 @@ impl ProfileReport {
             },
         };
 
+        // v1–v3 reports predate the shadow-runtime checker; the section
+        // defaults to all-zero. From v4 on it is required.
+        let validation = match v.get("validation") {
+            None if schema_version < 4 => ValidationSummary::default(),
+            None => return Err("missing field 'validation'".to_string()),
+            Some(s) => ValidationSummary {
+                checks: need_u64(s, "checks")?,
+                loops_checked: need_u64(s, "loops_checked")?,
+                races: need_u64(s, "races")?,
+                observed_deps: need_u64(s, "observed_deps")?,
+                static_unobserved: need_u64(s, "static_unobserved")?,
+                validated_deletions: need_u64(s, "validated_deletions")?,
+            },
+        };
+
         let mut units = Vec::new();
         for u in need_arr(v, "units")? {
             units.push(UnitStat {
@@ -523,6 +581,7 @@ impl ProfileReport {
             cache,
             incremental,
             scheduler,
+            validation,
             units,
             loop_profiles,
         })
@@ -594,6 +653,19 @@ impl ProfileReport {
                 sched.imbalance_ratio()
             ));
         }
+        let val = &self.validation;
+        if *val != ValidationSummary::default() {
+            out.push_str(&format!(
+                "validation: {} checked runs, {} loops; {} races, \
+                 {} observed deps, {} static edges unobserved, {} deletions validated\n",
+                val.checks,
+                val.loops_checked,
+                val.races,
+                val.observed_deps,
+                val.static_unobserved,
+                val.validated_deletions
+            ));
+        }
         if !self.units.is_empty() {
             out.push_str("per-unit analysis:\n");
             for u in &self.units {
@@ -633,7 +705,7 @@ fn fmt_ns(ns: u64) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{LoopSample, Obs, PairVerdict, Phase, SchedSample, TestKind};
+    use crate::{LoopSample, Obs, PairVerdict, Phase, SchedSample, TestKind, ValidationSample};
 
     /// Delete a `,"name":{...}` object from compact JSON text. Works for
     /// sections whose object nests arrays but no sub-objects.
@@ -665,6 +737,14 @@ mod tests {
             chunks_executed: 24,
             chunks_stolen: 5,
             worker_iterations: vec![40, 60, 50, 50],
+        });
+        obs.record_validation(&ValidationSample {
+            checks: 1,
+            loops_checked: 6,
+            races: 1,
+            observed_deps: 11,
+            static_unobserved: 2,
+            validated_deletions: 3,
         });
         ProfileReport::from_snapshot(
             &obs.snapshot(),
@@ -761,6 +841,31 @@ mod tests {
         strip_section(&mut v, "scheduler");
         let err = ProfileReport::from_json_str(&v).unwrap_err();
         assert!(err.contains("scheduler"), "{err}");
+    }
+
+    #[test]
+    fn v3_report_accepts_missing_validation_section() {
+        let r = sample_report();
+        let mut v = r.to_json().to_string_compact();
+        v = v.replacen(
+            &format!("\"schema_version\":{PROFILE_SCHEMA_VERSION}"),
+            "\"schema_version\":3",
+            1,
+        );
+        strip_section(&mut v, "validation");
+        let back = ProfileReport::from_json_str(&v).unwrap();
+        assert_eq!(back.schema_version, 3);
+        assert_eq!(back.validation, ValidationSummary::default());
+        assert_eq!(back.scheduler, r.scheduler);
+    }
+
+    #[test]
+    fn v4_report_requires_validation_section() {
+        let r = sample_report();
+        let mut v = r.to_json().to_string_compact();
+        strip_section(&mut v, "validation");
+        let err = ProfileReport::from_json_str(&v).unwrap_err();
+        assert!(err.contains("validation"), "{err}");
     }
 
     #[test]

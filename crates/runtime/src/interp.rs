@@ -3,6 +3,7 @@
 use crate::machine::Machine;
 use crate::memory::{Cell, Frame};
 use crate::pool::{plan_chunks, Chunk, ChunkQueues, Pool, SchedStats, Schedule, StepBudget};
+use crate::shadow::{ShadowChunk, ShadowLog, ShadowRec};
 use crate::value::Value;
 use ped_fortran::ast::Intrinsic;
 use ped_fortran::symbols::Const;
@@ -38,6 +39,11 @@ pub struct ExecConfig {
     /// Abort after this many statement executions (runaway guard). The cap
     /// is global: in Threads mode it is shared by all workers combined.
     pub max_steps: u64,
+    /// Shadow-memory access logging: record every touch per loop
+    /// iteration and derive the observed cross-iteration dependence set
+    /// (see [`crate::shadow`]). Works in every mode; the result lands in
+    /// [`RunResult::shadow`].
+    pub shadow: bool,
 }
 
 impl Default for ExecConfig {
@@ -47,6 +53,7 @@ impl Default for ExecConfig {
             detect_races: false,
             schedule: Schedule::default(),
             max_steps: 500_000_000,
+            shadow: false,
         }
     }
 }
@@ -120,6 +127,8 @@ pub struct RunResult {
     pub races: Vec<RaceReport>,
     /// Scheduler counters (all zero outside Threads mode).
     pub sched: SchedStats,
+    /// Observed-dependence log (present iff [`ExecConfig::shadow`]).
+    pub shadow: Option<ShadowLog>,
 }
 
 /// Final memory of the main unit, captured by [`Interp::run_with_memory`]:
@@ -182,6 +191,8 @@ struct ChunkOut {
     red_contribs: Vec<Vec<RedContrib>>,
     /// Values of the lastprivate cells when the chunk finished.
     lastprivates: Vec<(SymId, Value)>,
+    /// Shadow observations (raw events + inner-loop log) of the chunk.
+    shadow: Option<ShadowChunk>,
     err: Option<RtError>,
 }
 
@@ -228,6 +239,8 @@ struct ExecState<'a> {
     /// Reduction cells under operand logging (non-empty only while a
     /// worker executes a chunk of a loop with reductions).
     red_watch: Vec<RedWatch>,
+    /// Shadow-memory recorder (present iff `ExecConfig::shadow`).
+    shadow: Option<Box<ShadowRec>>,
 }
 
 impl<'a> ExecState<'a> {
@@ -245,6 +258,7 @@ impl<'a> ExecState<'a> {
             pool: None,
             sched: SchedStats::default(),
             red_watch: Vec::new(),
+            shadow: None,
         }
     }
 
@@ -268,7 +282,20 @@ impl<'a> ExecState<'a> {
         self.granted = 0;
     }
 
+    /// Record the per-iteration store to a DO variable. Shadow-only: the
+    /// race detector keeps its historical exclusion of loop indexes, but
+    /// the shadow log needs the write so an enclosing parallel scope can
+    /// observe an index the parallelization failed to privatize.
+    fn record_var_store(&mut self, cell: &Arc<Cell>, unit_idx: usize, sym: SymId) {
+        if let Some(sh) = self.shadow.as_deref_mut() {
+            sh.record(cell, 0, true, unit_idx, sym);
+        }
+    }
+
     fn record(&mut self, cell: &Arc<Cell>, element: usize, write: bool, unit_idx: usize, sym: SymId) {
+        if let Some(sh) = self.shadow.as_deref_mut() {
+            sh.record(cell, element, write, unit_idx, sym);
+        }
         let Some(rec) = self.rec.as_mut() else { return };
         let ptr = Arc::as_ptr(cell) as usize;
         if rec.excluded.contains(&ptr) {
@@ -381,6 +408,9 @@ impl<'p> Interp<'p> {
     ) -> Result<(RunResult, Option<MemorySnapshot>), RtError> {
         let mut state = ExecState::new(Arc::new(StepBudget::new(self.config.max_steps)));
         state.pool = pool;
+        if self.config.shadow {
+            state.shadow = Some(Box::new(ShadowRec::serial()));
+        }
         let res = self
             .make_frame(main_idx, &[], &mut state)
             .and_then(|frame| self.exec_unit(main_idx, &frame, &mut state).map(|_| frame));
@@ -395,6 +425,7 @@ impl<'p> Interp<'p> {
                         profile: state.profile,
                         races: state.races,
                         sched: state.sched,
+                        shadow: state.shadow.take().map(|s| s.into_log()),
                     },
                     mem,
                 ))
@@ -491,6 +522,23 @@ impl<'p> Interp<'p> {
     ) -> ChunkOut {
         let mut st = ExecState::new(job.budget.clone());
         st.in_parallel = true;
+        if self.config.shadow {
+            // The chunk's event tap stands in for the parallel loop's
+            // scope (which lives on the submitting thread); worker-local
+            // rebindings are its exclusion set, mirroring the serial
+            // scope's masking of the same names.
+            let mut excluded = std::collections::HashSet::new();
+            excluded.insert(Arc::as_ptr(var_cell) as usize);
+            for &s in job.info.private.iter().chain(job.info.lastprivate.iter()) {
+                if let Some(c) = fr.get(s) {
+                    excluded.insert(Arc::as_ptr(c) as usize);
+                }
+            }
+            for (_, _, c) in red_cells {
+                excluded.insert(Arc::as_ptr(c) as usize);
+            }
+            st.shadow = Some(Box::new(ShadowRec::tapped(excluded)));
+        }
         st.red_watch = red_cells
             .iter()
             .map(|(op, _, c)| RedWatch { cell: c.clone(), op: *op, log: Vec::new(), clean: true })
@@ -514,10 +562,14 @@ impl<'p> Interp<'p> {
                 w.log.clear();
                 w.clean = true;
             }
+            if let Some(sh) = st.shadow.as_deref_mut() {
+                sh.set_tap_iter((chunk.start + k) as u64);
+            }
             if let Err(e) = st.tick(2.0) {
                 err = Some(e);
                 break;
             }
+            st.record_var_store(var_cell, job.unit_idx, job.d.var);
             var_cell.store_scalar(Value::Int(job.vals[chunk.start + k]));
             match self.exec_block(job.unit_idx, &job.d.body, fr, &mut st) {
                 Ok(Flow::Normal) => {}
@@ -554,6 +606,7 @@ impl<'p> Interp<'p> {
             profile: st.profile,
             red_contribs,
             lastprivates,
+            shadow: st.shadow.take().map(|sh| sh.into_chunk()),
             err,
         }
     }
@@ -653,7 +706,7 @@ impl<'p> Interp<'p> {
                         if let Some(wi) =
                             state.red_watch.iter().position(|w| Arc::ptr_eq(&w.cell, &cell))
                         {
-                            self.red_assign(unit_idx, wi, rhs, &cell, frame, state)?;
+                            self.red_assign(unit_idx, wi, *s, rhs, &cell, frame, state)?;
                             return Ok(Flow::Normal);
                         }
                     }
@@ -765,6 +818,32 @@ impl<'p> Interp<'p> {
         let wall0 = Instant::now();
         let key = (unit.name.clone(), sid);
 
+        if state.shadow.is_some() {
+            // A parallel loop's shadow scope masks exactly what Threads
+            // mode rebinds per worker: its variable plus the clause cells.
+            // A serial DO rebinds nothing — its index is an ordinary
+            // shared cell whose per-iteration store must stay visible to
+            // enclosing scopes (a missing private() on an inner loop's
+            // index is a real race the checker has to observe).
+            let mut excluded = std::collections::HashSet::new();
+            if let Some(info) = &d.parallel {
+                excluded.insert(Arc::as_ptr(self.cell(unit, frame, d.var)?) as usize);
+                for &s in info
+                    .private
+                    .iter()
+                    .chain(info.lastprivate.iter())
+                    .chain(info.reductions.iter().map(|(_, s)| s))
+                {
+                    if let Some(c) = frame.get(s) {
+                        excluded.insert(Arc::as_ptr(c) as usize);
+                    }
+                }
+            }
+            if let Some(sh) = state.shadow.as_mut() {
+                sh.push_scope(sid, excluded);
+            }
+        }
+
         let flow = if d.is_parallel() && !state.in_parallel {
             match self.config.mode {
                 ParallelMode::Serial => self.run_serial(unit_idx, &d, &vals, frame, state)?,
@@ -777,6 +856,12 @@ impl<'p> Interp<'p> {
             self.run_serial(unit_idx, &d, &vals, frame, state)?
         };
 
+        if let Some(sh) = state.shadow.as_deref_mut() {
+            let prog = self.program;
+            sh.pop_scope(&unit.name, vals.len() as u64, |u, s| {
+                prog.units[u].symbols.name(s).to_string()
+            });
+        }
         let entry = state.profile.entry(key).or_default();
         entry.invocations += 1;
         entry.iterations += vals.len() as u64;
@@ -795,8 +880,12 @@ impl<'p> Interp<'p> {
     ) -> Result<Flow, RtError> {
         let unit = &self.program.units[unit_idx];
         let var_cell = self.cell(unit, frame, d.var)?.clone();
-        for &v in vals {
+        for (k, &v) in vals.iter().enumerate() {
+            if let Some(sh) = state.shadow.as_deref_mut() {
+                sh.set_iter(k as u64);
+            }
             state.tick(2.0)?;
+            state.record_var_store(&var_cell, unit_idx, d.var);
             var_cell.store_scalar(Value::Int(v));
             match self.exec_block(unit_idx, &d.body, frame, state)? {
                 Flow::Normal => {}
@@ -852,8 +941,12 @@ impl<'p> Interp<'p> {
             if let Some(rec) = state.rec.as_mut() {
                 rec.iter = k as u64;
             }
+            if let Some(sh) = state.shadow.as_deref_mut() {
+                sh.set_iter(k as u64);
+            }
             let t0 = state.vtime;
             state.tick(2.0)?;
+            state.record_var_store(&var_cell, unit_idx, d.var);
             var_cell.store_scalar(Value::Int(v));
             match self.exec_block(unit_idx, &d.body, frame, state) {
                 Ok(Flow::Normal) => {}
@@ -971,6 +1064,18 @@ impl<'p> Interp<'p> {
         }
         for o in &outs {
             state.printed.extend_from_slice(&o.printed);
+        }
+        // Shadow merge: replay each chunk's event stream — in iteration
+        // (chunk-start) order — through this thread's scope stack, whose
+        // innermost scope is this loop's; fold worker inner-loop logs.
+        // The concatenated stream equals the serial access stream, so the
+        // observation is deterministic and mode-independent.
+        if let Some(sh) = state.shadow.as_deref_mut() {
+            for o in &mut outs {
+                if let Some(chunk) = o.shadow.take() {
+                    sh.absorb_chunk(chunk);
+                }
+            }
         }
         // Reductions: replay each iteration's logged accumulation operands
         // (or its fallback delta) in global iteration order — exactly the
@@ -1105,10 +1210,12 @@ impl<'p> Interp<'p> {
     /// summing into the reduction variable, say) bit-identical to serial.
     /// Any other store voids the iteration's log; it falls back to the
     /// per-iteration delta.
+    #[allow(clippy::too_many_arguments)]
     fn red_assign(
         &self,
         unit_idx: usize,
         wi: usize,
+        sym: SymId,
         rhs: &Expr,
         cell: &Arc<Cell>,
         frame: &Frame,
@@ -1124,15 +1231,22 @@ impl<'p> Interp<'p> {
             for e in &operands {
                 vals.push(self.eval(unit_idx, e, frame, state)?);
             }
+            // The recognizer replaced the spine reload with a direct load;
+            // the shadow log still needs the read-then-write the plain
+            // evaluation would have recorded (inner serial scopes observe
+            // the accumulator exactly as they do in serial execution).
+            state.record(cell, 0, false, unit_idx, sym);
             let mut v = cell.load_scalar();
             for &x in &vals {
                 v = combine(op, v, x);
             }
             state.red_watch[wi].log.extend(vals);
+            state.record(cell, 0, true, unit_idx, sym);
             cell.store_scalar(v);
         } else {
             state.red_watch[wi].clean = false;
             let v = self.eval(unit_idx, rhs, frame, state)?;
+            state.record(cell, 0, true, unit_idx, sym);
             cell.store_scalar(v);
         }
         Ok(())
@@ -1844,11 +1958,182 @@ mod tests {
     }
 
     #[test]
+    fn shadow_off_by_default_and_absent_from_result() {
+        let r = run("program t\nreal a(10)\ndo i = 1, 10\na(i) = 1.0\nenddo\nend\n");
+        assert!(r.shadow.is_none());
+    }
+
+    #[test]
+    fn shadow_observes_recurrence() {
+        use crate::shadow::ObsKind;
+        let src = "program t\nreal a(50)\na(1) = 1.0\ndo i = 2, 50\na(i) = a(i-1) + 1.0\n\
+                   enddo\nprint *, a(50)\nend\n";
+        let r = run_source(src, ExecConfig { shadow: true, ..ExecConfig::default() }).unwrap();
+        let log = r.shadow.expect("shadow log");
+        let obs = log.loops.values().find(|l| !l.carried.is_empty()).expect("observed deps");
+        let flow = obs.carried[&("a".to_string(), ObsKind::True)];
+        assert_eq!((flow.count, flow.min_dist, flow.max_dist), (48, 1, 1));
+    }
+
+    #[test]
+    fn shadow_clean_on_privatized_parallel_loop() {
+        let src = "program t\nreal a(40)\nparallel do i = 1, 40 private(t1)\nt1 = i * 2.0\n\
+                   a(i) = t1 + 1.0\nenddo\nprint *, a(7)\nend\n";
+        let r = run_source(src, ExecConfig { shadow: true, ..ExecConfig::default() }).unwrap();
+        let log = r.shadow.unwrap();
+        assert_eq!(log.loops.len(), 1);
+        let obs = log.loops.values().next().unwrap();
+        assert!(obs.carried.is_empty(), "{:?}", obs.carried);
+        assert_eq!((obs.invocations, obs.iterations), (1, 40));
+    }
+
+    #[test]
+    fn shadow_unprivatized_scalar_is_observed() {
+        // The same loop without the private clause: t1 crosses iterations.
+        let src = "program t\nreal a(40)\nparallel do i = 1, 40\nt1 = i * 2.0\n\
+                   a(i) = t1 + 1.0\nenddo\nprint *, a(7)\nend\n";
+        let r = run_source(src, ExecConfig { shadow: true, ..ExecConfig::default() }).unwrap();
+        let log = r.shadow.unwrap();
+        let obs = log.loops.values().next().unwrap();
+        assert!(
+            obs.carried.keys().any(|(n, _)| n == "t1"),
+            "expected observed dep on t1: {:?}",
+            obs.carried
+        );
+    }
+
+    #[test]
+    fn shadow_log_identical_across_modes_and_schedules() {
+        // Parallel loops with private scalars, a reduction, an inner
+        // serial loop, and a serial recurrence: the observed log must be
+        // bit-identical whether executed serially, simulated, or threaded
+        // under any schedule (events replay in serial iteration order).
+        let src = "program t\nreal a(60), b(60)\ndo i = 1, 60\nb(i) = 0.1 * i\nenddo\n\
+                   parallel do i = 1, 60 private(t1) lastprivate(j)\nt1 = b(i) * 2.0\n\
+                   do j = 1, 5\na(i) = b(i) + t1 * j\nenddo\nenddo\n\
+                   s = 0.0\nparallel do i = 1, 60 reduction(+:s)\ns = s + a(i)\nenddo\n\
+                   a(1) = 0.0\ndo i = 2, 60\na(i) = a(i-1) + b(i)\nenddo\nprint *, s, a(60)\nend\n";
+        let base = run_source(src, ExecConfig { shadow: true, ..ExecConfig::default() })
+            .unwrap()
+            .shadow
+            .unwrap();
+        assert!(base.observed_deps() > 0);
+        let sim = run_source(
+            src,
+            ExecConfig {
+                shadow: true,
+                mode: ParallelMode::Simulate(Machine::alliant8()),
+                ..ExecConfig::default()
+            },
+        )
+        .unwrap()
+        .shadow
+        .unwrap();
+        assert_eq!(base, sim);
+        for k in [2usize, 4] {
+            for schedule in [Schedule::Static, Schedule::Dynamic(7), Schedule::Guided] {
+                let par = run_source(
+                    src,
+                    ExecConfig {
+                        shadow: true,
+                        mode: ParallelMode::Threads(k),
+                        schedule,
+                        ..ExecConfig::default()
+                    },
+                )
+                .unwrap()
+                .shadow
+                .unwrap();
+                assert_eq!(base, par, "threads={k} schedule={schedule}");
+            }
+        }
+    }
+
+    #[test]
     fn element_argument_copy_in_out() {
         let r = run(
             "program t\nreal a(3)\na(2) = 5.0\ncall twice(a(2))\nprint *, a(2)\nend\n\
              subroutine twice(x)\nreal x\nx = x * 2.0\nend\n",
         );
         assert_eq!(r.printed, vec!["10.0"]);
+    }
+
+    /// Regression (shrunk from spec77's energy routine): a reduction
+    /// accumulated inside an inner serial loop. Workers route the store
+    /// through the operand recognizer, which used to bypass shadow
+    /// recording entirely — the inner loop's scope observed the
+    /// accumulator under serial execution but not under Threads, so the
+    /// logs diverged.
+    #[test]
+    fn shadow_sees_reduction_accumulator_in_inner_loop_across_modes() {
+        use crate::shadow::ObsKind;
+        let src = "program t\nreal a(12)\nreal s\ndo i = 1, 12\na(i) = 0.5 * i\nenddo\n\
+                   s = 0.0\nparallel do j = 1, 6 private(i) reduction(+:s)\ndo i = 1, 12\n\
+                   s = s + a(i)\nenddo\nenddo\nprint *, s\nend\n";
+        let serial =
+            run_source(src, ExecConfig { shadow: true, ..ExecConfig::default() }).unwrap();
+        // The accumulating inner loop runs 6 invocations x 12 iterations.
+        let inner = serial
+            .shadow
+            .as_ref()
+            .unwrap()
+            .loops
+            .values()
+            .find(|l| l.iterations == 72)
+            .unwrap();
+        assert!(
+            inner.carried.contains_key(&("s".to_string(), ObsKind::True)),
+            "inner loop must observe the accumulator: {:?}",
+            inner.carried
+        );
+        let par = run_source(
+            src,
+            ExecConfig {
+                shadow: true,
+                mode: ParallelMode::Threads(3),
+                ..ExecConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(serial.shadow, par.shadow);
+        assert_eq!(serial.printed, par.printed);
+    }
+
+    /// Regression (shrunk from the stripped-`private(i)` mutation of
+    /// spec77's init routine): an inner serial loop's index that the
+    /// parallel loop fails to privatize is a shared cell every worker
+    /// writes. The old scope masking excluded every loop's own variable,
+    /// so the parallel scope never saw the carried write-write and the
+    /// checker called the race-y program clean.
+    #[test]
+    fn shadow_observes_unprivatized_inner_loop_index_at_parallel_scope() {
+        use crate::shadow::ObsKind;
+        let src = "program t\nreal a(6, 6)\nparallel do j = 1, 6\ndo i = 1, 6\n\
+                   a(i, j) = 1.0\nenddo\nenddo\nprint *, a(3, 3)\nend\n";
+        let r = run_source(src, ExecConfig { shadow: true, ..ExecConfig::default() }).unwrap();
+        let log = r.shadow.unwrap();
+        // The parallel loop is the one entered once for 6 iterations.
+        let par_of =
+            |log: &ShadowLog| log.loops.values().find(|l| l.invocations == 1).cloned().unwrap();
+        let par = par_of(&log);
+        assert!(
+            par.carried.contains_key(&("i".to_string(), ObsKind::Output)),
+            "parallel scope must see the shared index: {:?}",
+            par.carried
+        );
+        // With the clause the index is worker-local: invisible outward,
+        // still observed by the inner loop's own scope.
+        let fixed = src.replace("parallel do j = 1, 6", "parallel do j = 1, 6 private(i)");
+        let r = run_source(&fixed, ExecConfig { shadow: true, ..ExecConfig::default() })
+            .unwrap();
+        let log = r.shadow.unwrap();
+        let par = par_of(&log);
+        assert!(
+            par.carried.keys().all(|(n, _)| n != "i"),
+            "privatized index must be masked: {:?}",
+            par.carried
+        );
+        let inner = log.loops.values().find(|l| l.invocations == 6).unwrap();
+        assert!(inner.carried.contains_key(&("i".to_string(), ObsKind::Output)));
     }
 }

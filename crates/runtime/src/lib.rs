@@ -31,10 +31,12 @@ pub mod interp;
 pub mod machine;
 pub mod memory;
 pub mod pool;
+pub mod shadow;
 pub mod value;
 
 pub use interp::{ExecConfig, Interp, MemorySnapshot, ParallelMode, RtError, RunResult};
 pub use machine::Machine;
 pub use memory::{ArrayCell, Cell, Frame};
 pub use pool::{SchedStats, Schedule};
+pub use shadow::{LoopObs, ObsKind, ObsStat, ShadowLog};
 pub use value::Value;

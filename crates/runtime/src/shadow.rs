@@ -1,0 +1,512 @@
+//! Shadow-memory access logging: the observed-dependence side of the
+//! validation checker.
+//!
+//! When [`crate::ExecConfig::shadow`] is on, the interpreter reports every
+//! memory touch (cell, flat element, read/write) to a [`ShadowRec`]. The
+//! recorder maintains one [`ShadowScope`] per active DO loop and derives,
+//! online, the *observed* cross-iteration dependences of each loop: for
+//! every (cell, element) it keeps only the nearest prior read/write
+//! iteration, so a touch at iteration `i` immediately yields the carried
+//! flow/anti/output/input pairs ending at `i` with their distances. Memory
+//! stays proportional to the touched footprint, not the run length.
+//!
+//! Privatized names are handled by *masking*: a parallel loop's scope
+//! carries the cell addresses Threads mode rebinds per worker — the loop
+//! variable plus `private`/`lastprivate`/`reduction` clause cells. A touch
+//! walks the scope stack innermost-out and stops at the first scope that
+//! excludes the cell — an inner serial loop still observes the clause
+//! locals, while the privatizing loop and everything enclosing it never
+//! sees them, exactly mirroring what the worker-local rebinding makes
+//! invisible in Threads mode. Serial loops mask nothing: even their own
+//! index is an ordinary shared cell, and its per-iteration store must stay
+//! visible to any enclosing parallel scope whose parallelization failed to
+//! privatize it.
+//!
+//! Threads mode keeps the observation deterministic by construction:
+//! workers do not update the parallel loop's scope concurrently. Instead
+//! each chunk logs its raw events through an [`EventTap`] (inner serial
+//! loops inside the chunk use ordinary local scopes) and the merge replays
+//! the event streams on the submitting thread in chunk-start order — the
+//! serial iteration order — through the same scope stack. The resulting
+//! [`ShadowLog`] is therefore identical under Serial, Simulate, and
+//! Threads execution of the same program.
+
+use crate::memory::Cell;
+use ped_fortran::{StmtId, SymId};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::Arc;
+
+/// Kind of an observed cross-iteration dependence, aligned with the static
+/// graph's `DepKind`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ObsKind {
+    /// Write then later read (flow).
+    True,
+    /// Read then later write.
+    Anti,
+    /// Write then later write.
+    Output,
+    /// Read then later read.
+    Input,
+}
+
+impl ObsKind {
+    /// Stable machine-readable name, matching `DepKind`'s display form.
+    pub fn name(self) -> &'static str {
+        match self {
+            ObsKind::True => "true",
+            ObsKind::Anti => "anti",
+            ObsKind::Output => "output",
+            ObsKind::Input => "input",
+        }
+    }
+}
+
+impl std::fmt::Display for ObsKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Occurrence statistics of one observed (variable, kind) dependence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObsStat {
+    /// Access pairs observed.
+    pub count: u64,
+    /// Smallest iteration distance seen.
+    pub min_dist: u64,
+    /// Largest iteration distance seen.
+    pub max_dist: u64,
+}
+
+impl ObsStat {
+    fn new(dist: u64) -> ObsStat {
+        ObsStat { count: 1, min_dist: dist, max_dist: dist }
+    }
+
+    fn merge(&mut self, other: ObsStat) {
+        self.count += other.count;
+        self.min_dist = self.min_dist.min(other.min_dist);
+        self.max_dist = self.max_dist.max(other.max_dist);
+    }
+}
+
+/// What one loop's executions observed, across all invocations.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LoopObs {
+    /// Times the loop was entered with shadow recording active.
+    pub invocations: u64,
+    /// Total iterations executed.
+    pub iterations: u64,
+    /// Observed loop-carried dependences keyed by (variable name, kind).
+    pub carried: BTreeMap<(String, ObsKind), ObsStat>,
+}
+
+/// The observed-dependence log of a whole run, keyed by
+/// (unit name, DO statement). Deterministic: equal runs produce equal logs
+/// regardless of execution mode, schedule, or thread count.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShadowLog {
+    /// Per-loop observations.
+    pub loops: BTreeMap<(String, StmtId), LoopObs>,
+}
+
+impl ShadowLog {
+    /// Merge another log (worker-local inner-loop observations).
+    pub fn fold(&mut self, other: ShadowLog) {
+        for (key, obs) in other.loops {
+            let e = self.loops.entry(key).or_default();
+            e.invocations += obs.invocations;
+            e.iterations += obs.iterations;
+            for (k, stat) in obs.carried {
+                match e.carried.get_mut(&k) {
+                    Some(s) => s.merge(stat),
+                    None => {
+                        e.carried.insert(k, stat);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Total observed carried (variable, kind) dependences over all loops.
+    pub fn observed_deps(&self) -> usize {
+        self.loops.values().map(|l| l.carried.len()).sum()
+    }
+}
+
+/// Nearest-access history of one (cell, element). `prev_read` matters when
+/// an iteration reads a location it later writes: the write's carried
+/// anti-dependence must pair with the last read of an *earlier* iteration,
+/// which `last_read` alone (already advanced to the current iteration)
+/// would mask.
+#[derive(Debug, Clone, Copy, Default)]
+struct ElemHist {
+    last_read: Option<u64>,
+    prev_read: Option<u64>,
+    last_write: Option<u64>,
+}
+
+/// One raw access event captured in a worker chunk, replayed at the merge.
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    ptr: usize,
+    elem: usize,
+    write: bool,
+    /// Global (serial) iteration index of the enclosing parallel loop.
+    iter: u64,
+    unit: usize,
+    sym: SymId,
+}
+
+/// Worker-side event buffer standing in for the parallel loop's scope
+/// (which lives on the submitting thread).
+struct EventTap {
+    excluded: HashSet<usize>,
+    iter: u64,
+    events: Vec<Event>,
+}
+
+/// The per-loop observation state while the loop is running.
+struct ShadowScope {
+    stmt: StmtId,
+    iter: u64,
+    /// Cell addresses this loop privatizes (invisible to it and outward).
+    excluded: HashSet<usize>,
+    hist: HashMap<(usize, usize), ElemHist>,
+    /// Carried dependences keyed by the sink access's (unit, symbol, kind);
+    /// resolved to names when the scope pops.
+    obs: HashMap<(usize, SymId, ObsKind), ObsStat>,
+}
+
+impl ShadowScope {
+    fn touch(&mut self, ptr: usize, elem: usize, write: bool, unit: usize, sym: SymId) {
+        let i = self.iter;
+        let h = self.hist.entry((ptr, elem)).or_default();
+        let prior_read = if h.last_read == Some(i) { h.prev_read } else { h.last_read };
+        let mut noted: [Option<(ObsKind, u64)>; 2] = [None, None];
+        if write {
+            if let Some(r) = prior_read {
+                noted[0] = Some((ObsKind::Anti, i - r));
+            }
+            if let Some(w) = h.last_write.filter(|&w| w < i) {
+                noted[1] = Some((ObsKind::Output, i - w));
+            }
+            h.last_write = Some(i);
+        } else {
+            if let Some(w) = h.last_write.filter(|&w| w < i) {
+                noted[0] = Some((ObsKind::True, i - w));
+            }
+            if h.last_read != Some(i) {
+                if let Some(r) = h.last_read {
+                    noted[1] = Some((ObsKind::Input, i - r));
+                }
+                h.prev_read = h.last_read;
+                h.last_read = Some(i);
+            }
+        }
+        for (kind, dist) in noted.into_iter().flatten() {
+            match self.obs.get_mut(&(unit, sym, kind)) {
+                Some(s) => s.merge(ObsStat::new(dist)),
+                None => {
+                    self.obs.insert((unit, sym, kind), ObsStat::new(dist));
+                }
+            }
+        }
+    }
+}
+
+/// Everything one worker chunk observed, handed back for the merge.
+pub struct ShadowChunk {
+    events: Vec<Event>,
+    log: ShadowLog,
+    keep: Vec<Arc<Cell>>,
+}
+
+/// The per-execution-context shadow recorder: a scope stack plus, in
+/// worker chunks, the event tap standing in for the parallel loop.
+pub struct ShadowRec {
+    scopes: Vec<ShadowScope>,
+    tap: Option<EventTap>,
+    /// Keeps every recorded cell alive so freed-cell addresses are never
+    /// reused (which would alias distinct per-invocation locals).
+    keep_seen: HashSet<usize>,
+    keep: Vec<Arc<Cell>>,
+    log: ShadowLog,
+}
+
+impl ShadowRec {
+    /// Recorder for the submitting (serial/simulate/main) thread.
+    pub fn serial() -> ShadowRec {
+        ShadowRec {
+            scopes: Vec::new(),
+            tap: None,
+            keep_seen: HashSet::new(),
+            keep: Vec::new(),
+            log: ShadowLog::default(),
+        }
+    }
+
+    /// Recorder for one worker chunk: accesses that fall past every local
+    /// scope land in the event tap unless the chunk privatizes them.
+    pub fn tapped(excluded: HashSet<usize>) -> ShadowRec {
+        ShadowRec {
+            tap: Some(EventTap { excluded, iter: 0, events: Vec::new() }),
+            ..ShadowRec::serial()
+        }
+    }
+
+    /// Enter a loop. `excluded` holds the cell addresses the loop
+    /// privatizes: the variable + clause cells for a parallel loop,
+    /// nothing for a serial one.
+    pub fn push_scope(&mut self, stmt: StmtId, excluded: HashSet<usize>) {
+        self.scopes.push(ShadowScope {
+            stmt,
+            iter: 0,
+            excluded,
+            hist: HashMap::new(),
+            obs: HashMap::new(),
+        });
+    }
+
+    /// Set the innermost loop's current iteration index.
+    pub fn set_iter(&mut self, iter: u64) {
+        if let Some(top) = self.scopes.last_mut() {
+            top.iter = iter;
+        }
+    }
+
+    /// Set the global iteration index chunk events are stamped with.
+    pub fn set_tap_iter(&mut self, iter: u64) {
+        if let Some(tap) = self.tap.as_mut() {
+            tap.iter = iter;
+        }
+    }
+
+    /// Leave the innermost loop, folding what it observed into the log.
+    /// `resolve` maps the sink access's (unit, symbol) to a variable name.
+    pub fn pop_scope(
+        &mut self,
+        unit_name: &str,
+        iterations: u64,
+        resolve: impl Fn(usize, SymId) -> String,
+    ) {
+        let Some(scope) = self.scopes.pop() else { return };
+        let e = self.log.loops.entry((unit_name.to_string(), scope.stmt)).or_default();
+        e.invocations += 1;
+        e.iterations += iterations;
+        for ((u, s, kind), stat) in scope.obs {
+            let key = (resolve(u, s), kind);
+            match e.carried.get_mut(&key) {
+                Some(cur) => cur.merge(stat),
+                None => {
+                    e.carried.insert(key, stat);
+                }
+            }
+        }
+    }
+
+    /// Record one access. Walks active scopes innermost-out, stopping at
+    /// the first scope that privatizes the cell; accesses that pass every
+    /// scope reach the event tap (worker chunks only).
+    pub fn record(&mut self, cell: &Arc<Cell>, elem: usize, write: bool, unit: usize, sym: SymId) {
+        let ptr = Arc::as_ptr(cell) as usize;
+        if self.keep_seen.insert(ptr) {
+            self.keep.push(cell.clone());
+        }
+        if !self.feed(ptr, elem, write, unit, sym) {
+            return;
+        }
+        if let Some(tap) = self.tap.as_mut() {
+            if !tap.excluded.contains(&ptr) {
+                tap.events.push(Event { ptr, elem, write, iter: tap.iter, unit, sym });
+            }
+        }
+    }
+
+    /// Feed scopes innermost-out; false when some scope excluded the cell.
+    fn feed(&mut self, ptr: usize, elem: usize, write: bool, unit: usize, sym: SymId) -> bool {
+        for scope in self.scopes.iter_mut().rev() {
+            if scope.excluded.contains(&ptr) {
+                return false;
+            }
+            scope.touch(ptr, elem, write, unit, sym);
+        }
+        true
+    }
+
+    /// Merge one chunk's observations: replay its event stream through the
+    /// live scope stack (the innermost scope is the parallel loop the
+    /// chunk belongs to) and fold its inner-loop log. Chunks must be
+    /// absorbed in iteration (chunk-start) order.
+    pub fn absorb_chunk(&mut self, chunk: ShadowChunk) {
+        for cell in chunk.keep {
+            if self.keep_seen.insert(Arc::as_ptr(&cell) as usize) {
+                self.keep.push(cell);
+            }
+        }
+        for e in &chunk.events {
+            self.set_iter(e.iter);
+            self.feed(e.ptr, e.elem, e.write, e.unit, e.sym);
+        }
+        self.log.fold(chunk.log);
+    }
+
+    /// Finish a worker chunk: hand the raw events + local log to the merge.
+    pub fn into_chunk(self) -> ShadowChunk {
+        ShadowChunk {
+            events: self.tap.map(|t| t.events).unwrap_or_default(),
+            log: self.log,
+            keep: self.keep,
+        }
+    }
+
+    /// Finish the run.
+    pub fn into_log(self) -> ShadowLog {
+        self.log
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sym(n: u32) -> SymId {
+        SymId(n)
+    }
+
+    fn scoped() -> ShadowRec {
+        let mut rec = ShadowRec::serial();
+        rec.push_scope(StmtId(1), HashSet::new());
+        rec
+    }
+
+    fn pop(mut rec: ShadowRec, iters: u64) -> LoopObs {
+        rec.pop_scope("main", iters, |_, s| format!("v{}", s.0));
+        rec.into_log().loops.remove(&("main".to_string(), StmtId(1))).unwrap()
+    }
+
+    fn cell() -> Arc<Cell> {
+        Cell::scalar(ped_fortran::Ty::Real)
+    }
+
+    #[test]
+    fn flow_and_output_distances() {
+        let c = cell();
+        let mut rec = scoped();
+        for i in 0..4u64 {
+            rec.set_iter(i);
+            rec.record(&c, 0, false, 0, sym(7)); // read
+            rec.record(&c, 0, true, 0, sym(7)); // write
+        }
+        let obs = pop(rec, 4);
+        let flow = obs.carried[&("v7".to_string(), ObsKind::True)];
+        assert_eq!((flow.count, flow.min_dist, flow.max_dist), (3, 1, 1));
+        let out = obs.carried[&("v7".to_string(), ObsKind::Output)];
+        assert_eq!((out.count, out.min_dist, out.max_dist), (3, 1, 1));
+    }
+
+    #[test]
+    fn same_iteration_accesses_are_loop_independent() {
+        let c = cell();
+        let mut rec = scoped();
+        rec.set_iter(2);
+        rec.record(&c, 0, true, 0, sym(1));
+        rec.record(&c, 0, false, 0, sym(1));
+        rec.record(&c, 0, true, 0, sym(1));
+        let obs = pop(rec, 1);
+        assert!(obs.carried.is_empty(), "{:?}", obs.carried);
+    }
+
+    #[test]
+    fn prev_read_unmasks_carried_anti() {
+        // Regression shape: every iteration reads x, one later iteration
+        // also writes it. The write at iteration 2 pairs with the read at
+        // iteration 1 (anti, distance 1); with only `last_read` the same-
+        // iteration read at 2 would hide it.
+        let c = cell();
+        let mut rec = scoped();
+        for i in 0..3u64 {
+            rec.set_iter(i);
+            rec.record(&c, 0, false, 0, sym(3));
+            if i == 2 {
+                rec.record(&c, 0, true, 0, sym(3));
+            }
+        }
+        let obs = pop(rec, 3);
+        let anti = obs.carried[&("v3".to_string(), ObsKind::Anti)];
+        assert_eq!((anti.count, anti.min_dist), (1, 1));
+    }
+
+    #[test]
+    fn excluded_cells_invisible_to_excluding_scope_and_outward() {
+        let private = cell();
+        let shared = cell();
+        let mut rec = ShadowRec::serial();
+        rec.push_scope(StmtId(1), HashSet::new()); // outer
+        let mut excl = HashSet::new();
+        excl.insert(Arc::as_ptr(&private) as usize);
+        rec.push_scope(StmtId(2), excl); // parallel loop privatizing
+        rec.push_scope(StmtId(3), HashSet::new()); // inner serial loop
+        for i in 0..2u64 {
+            // Inner scope sees the private cell (carried there is fine);
+            // the privatizing scope and the outer one must not.
+            if let Some(s) = rec.scopes.get_mut(2) {
+                s.iter = i;
+            }
+            rec.record(&private, 0, true, 0, sym(5));
+            rec.record(&private, 0, false, 0, sym(5));
+            rec.record(&shared, 0, true, 0, sym(6));
+        }
+        rec.pop_scope("main", 2, |_, s| format!("v{}", s.0));
+        rec.pop_scope("main", 1, |_, s| format!("v{}", s.0));
+        rec.pop_scope("main", 1, |_, s| format!("v{}", s.0));
+        let log = rec.into_log();
+        // Each iteration writes then reads the private cell: the read is
+        // satisfied same-iteration (no carried flow), but the write at
+        // iteration 1 pairs with iteration 0's read/write.
+        let inner = &log.loops[&("main".to_string(), StmtId(3))];
+        assert!(inner.carried.contains_key(&("v5".to_string(), ObsKind::Anti)));
+        assert!(inner.carried.contains_key(&("v5".to_string(), ObsKind::Output)));
+        let par = &log.loops[&("main".to_string(), StmtId(2))];
+        assert!(par.carried.keys().all(|(n, _)| n != "v5"), "{:?}", par.carried);
+        // Shared writes at iteration 0 of the parallel scope only (its
+        // iter never advanced) — no carried dep, but also no crash.
+        let outer = &log.loops[&("main".to_string(), StmtId(1))];
+        assert!(outer.carried.keys().all(|(n, _)| n != "v5"));
+    }
+
+    #[test]
+    fn tap_replay_matches_direct_recording() {
+        let shared = cell();
+        let worker_private = cell();
+        // Direct: one scope observing iterations 0..4 of a(0) writes.
+        let mut direct = ShadowRec::serial();
+        direct.push_scope(StmtId(9), HashSet::new());
+        for i in 0..4u64 {
+            direct.set_iter(i);
+            direct.record(&shared, 0, true, 0, sym(2));
+        }
+        direct.pop_scope("main", 4, |_, s| format!("v{}", s.0));
+        // Tapped: two chunks recording the same accesses, replayed.
+        let mut main = ShadowRec::serial();
+        main.push_scope(StmtId(9), HashSet::new());
+        let mut excl = HashSet::new();
+        excl.insert(Arc::as_ptr(&worker_private) as usize);
+        let mut chunks = Vec::new();
+        for (start, len) in [(0u64, 2u64), (2, 2)] {
+            let mut w = ShadowRec::tapped(excl.clone());
+            for i in start..start + len {
+                w.set_tap_iter(i);
+                w.record(&shared, 0, true, 0, sym(2));
+                w.record(&worker_private, 0, true, 0, sym(4));
+            }
+            chunks.push(w.into_chunk());
+        }
+        for c in chunks {
+            main.absorb_chunk(c);
+        }
+        main.pop_scope("main", 4, |_, s| format!("v{}", s.0));
+        assert_eq!(direct.into_log(), main.into_log());
+    }
+}

@@ -13,6 +13,7 @@
 //! size for the scalability benchmarks (E10/E11).
 
 pub mod generator;
+pub mod racy;
 pub mod rng;
 pub mod suite;
 

@@ -1,0 +1,75 @@
+//! Seeded mutations that reintroduce races into parallelized programs.
+//!
+//! The shadow-runtime validator's mutation tests need programs that are
+//! *almost* right: a correct parallelization with exactly one enabling
+//! ingredient undone — a privatization clause dropped, a reduction clause
+//! broken, a user-deleted dependence made real again. These helpers produce
+//! those variants textually, from the regenerated source of a parallelized
+//! session, so the mutation is visible in the program text the checker
+//! re-analyzes (exactly what a careless later edit would look like).
+
+/// The `onedim` program with its index-array permutation broken: `ind(2)`
+/// is overwritten with a value that already occurs, so two iterations of
+/// the scatter loop write the same element of `a`. A user's permutation
+/// assertion over `ind` is now a lie the shadow checker can catch.
+pub fn onedim_duplicate_index() -> String {
+    crate::suite::ONEDIM
+        .source
+        .replacen(
+            "enddo\ndo i = 1, n\n  a(ind(i))",
+            "enddo\nind(2) = 5\ndo i = 1, n\n  a(ind(i))",
+            1,
+        )
+}
+
+/// Strip every `kind(...)` clause (`private`, `lastprivate`, `reduction`)
+/// from the `parallel do` headers of `src`, leaving the loops marked
+/// parallel. Returns the mutated source; equal to the input when no such
+/// clause exists.
+pub fn strip_clause(src: &str, kind: &str) -> String {
+    let needle = format!(" {kind}(");
+    let mut out = String::with_capacity(src.len());
+    for line in src.lines() {
+        if line.trim_start().starts_with("parallel do") && line.contains(&needle) {
+            let mut l = line.to_string();
+            while let Some(p) = l.find(&needle) {
+                let close = l[p..].find(')').map(|c| p + c + 1).unwrap_or(l.len());
+                l.replace_range(p..close, "");
+            }
+            out.push_str(&l);
+        } else {
+            out.push_str(line);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicate_index_differs_only_by_one_statement() {
+        let orig = crate::suite::ONEDIM.source;
+        let muted = onedim_duplicate_index();
+        assert_ne!(orig, muted);
+        assert!(muted.contains("ind(2) = 5"));
+        assert_eq!(muted.lines().count(), orig.lines().count() + 1);
+    }
+
+    #[test]
+    fn strip_clause_removes_only_the_requested_kind() {
+        let src = "program t\nreal a(10), s\n\
+            parallel do i = 1, 10 private(t1, t2) reduction(+:s)\n\
+            t1 = a(i)\ns = s + t1\nenddo\nend\n";
+        let no_priv = strip_clause(src, "private");
+        assert!(!no_priv.contains("private("));
+        assert!(no_priv.contains("reduction(+:s)"));
+        let no_red = strip_clause(src, "reduction");
+        assert!(no_red.contains("private(t1, t2)"));
+        assert!(!no_red.contains("reduction("));
+        // No clause of that kind: identity.
+        assert_eq!(strip_clause(src, "lastprivate"), src);
+    }
+}

@@ -1,0 +1,108 @@
+//! Golden snapshot tests for the three-pane renders of the nine-program
+//! evaluation suite.
+//!
+//! For every suite program this renders, per unit, the navigation overview
+//! plus the full loop view (source pane, dependence pane, variable pane) of
+//! every loop, and compares the concatenation byte-for-byte against
+//! `tests/snapshots/<name>.txt`. The snapshots pin what the user actually
+//! sees: dependence kinds/vectors/statuses, test attributions, and scalar
+//! classifications. Any analysis change that shifts a pane shows up as a
+//! reviewable text diff.
+//!
+//! Bless flow: `UPDATE_SNAPSHOTS=1 cargo test -p ped-bench --test snapshots`
+//! rewrites the files; commit the diff together with the change that caused
+//! it.
+
+use ped_core::{render, DepFilter, Ped, SourceFilter};
+use ped_workloads::all_programs;
+use std::path::{Path, PathBuf};
+
+fn snapshot_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/snapshots")
+}
+
+fn blessing() -> bool {
+    std::env::var("UPDATE_SNAPSHOTS").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// Render every pane of every loop of every unit, in stable order.
+fn render_program(source: &str) -> String {
+    let mut ped = Ped::open(source).unwrap();
+    let mut out = String::new();
+    for u in 0..ped.program().units.len() {
+        out.push_str(&render::render_unit_overview(&mut ped, u).unwrap());
+        let headers: Vec<_> = ped.loops(u).iter().map(|&(h, _)| h).collect();
+        for h in headers {
+            let view = render::render_loop_view(
+                &mut ped,
+                u,
+                h,
+                &DepFilter::default(),
+                &SourceFilter::All,
+            )
+            .unwrap();
+            out.push_str(&view);
+        }
+    }
+    out
+}
+
+/// First differing line, for a reviewable failure message.
+fn first_diff(got: &str, want: &str) -> String {
+    for (i, (g, w)) in got.lines().zip(want.lines()).enumerate() {
+        if g != w {
+            return format!("line {}:\n  snapshot: {w}\n  rendered: {g}", i + 1);
+        }
+    }
+    format!(
+        "line counts differ: snapshot {} lines, rendered {} lines",
+        want.lines().count(),
+        got.lines().count()
+    )
+}
+
+#[test]
+fn suite_pane_renders_match_snapshots() {
+    let dir = snapshot_dir();
+    let mut failures = Vec::new();
+    for w in all_programs() {
+        let got = render_program(w.source);
+        assert!(got.contains("dependences:"), "{}: no dependence pane", w.name);
+        assert!(got.contains("variables:"), "{}: no variable pane", w.name);
+        let path = dir.join(format!("{}.txt", w.name));
+        if blessing() {
+            std::fs::create_dir_all(&dir).unwrap();
+            std::fs::write(&path, &got).unwrap();
+            continue;
+        }
+        let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "missing snapshot {} ({e}); bless with UPDATE_SNAPSHOTS=1",
+                path.display()
+            )
+        });
+        if got != want {
+            failures.push(format!("{}: {}", w.name, first_diff(&got, &want)));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "pane renders diverged from snapshots (re-bless with UPDATE_SNAPSHOTS=1 \
+         if the change is intended):\n{}",
+        failures.join("\n")
+    );
+}
+
+/// The renders the snapshots pin must themselves be deterministic: two
+/// sessions over the same source produce identical text.
+#[test]
+fn pane_renders_are_deterministic() {
+    for w in all_programs() {
+        assert_eq!(
+            render_program(w.source),
+            render_program(w.source),
+            "{}: render not deterministic",
+            w.name
+        );
+    }
+}
