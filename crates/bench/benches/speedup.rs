@@ -17,15 +17,21 @@
 //! kernels) only asserts when the host actually has ≥ 4 cores; output
 //! equality and the global step-budget check assert everywhere.
 //!
-//! Results go to `target/BENCH_E14.json`, including a schema-v3 profile
-//! report from a profiled Threads(2) session so downstream checks can see
-//! the scheduler counters end to end.
+//! Since the bytecode engine landed, the serial baseline *and* the
+//! threaded sweep both run lowered register code; the tree walker is run
+//! once per kernel as the differential oracle (identical output/memory)
+//! and as the throughput reference — serial bytecode must beat it by ≥ 5×
+//! on every kernel (the CI floor; the headline target is ≥ 10×).
+//!
+//! Results go to `target/BENCH_E14.json`, including a profile report from
+//! a profiled Threads(2) session so downstream checks can see the
+//! scheduler counters end to end.
 
 use ped_bench::harness::fmt_ns;
 use ped_bench::{apply_suite_assertions, parallelize_everything, Table};
 use ped_core::Ped;
 use ped_obs::json::Json;
-use ped_runtime::{interp, ExecConfig, Machine, ParallelMode, Schedule};
+use ped_runtime::{interp, Engine, ExecConfig, Machine, ParallelMode, Schedule};
 use ped_workloads::all_programs;
 
 /// Thread counts swept against the serial baseline.
@@ -152,16 +158,20 @@ fn main() {
     let kernels: Vec<(&str, String)> =
         vec![("vscale", vscale_src()), ("dotred", dotred_src()), ("tri", tri_src())];
 
-    let mut table =
-        Table::new(&["kernel", "trip", "serial", "t2", "t4", "t8", "meas(4)", "pred(4)", "calib"]);
+    let mut table = Table::new(&[
+        "kernel", "trip", "tree", "serial", "ratio", "t2", "t4", "t8", "meas(4)", "pred(4)",
+        "calib",
+    ]);
     let mut rows: Vec<Json> = Vec::new();
     let mut flagged = 0usize;
+    let mut min_ratio = f64::INFINITY;
 
     for (name, src) in &kernels {
         let (ui, header, unit_name) = parallel_loop_of(src);
         let key = (unit_name, header);
 
-        // Serial baseline: reference output, memory, and loop wall time.
+        // Serial baseline (bytecode engine): reference output, memory, and
+        // loop wall time.
         let (serial, serial_mem) = interp::run_source_with_memory(src, ExecConfig::default())
             .unwrap_or_else(|e| panic!("{name} serial: {e}"));
         let expect = (serial.printed.clone(), serial_mem);
@@ -169,6 +179,23 @@ fn main() {
             timed_loop_wall(&format!("{name}/serial"), src, &ExecConfig::default(), &key, None)
                 .max(serial.profile[&key].wall_ns.max(1));
         let trip = serial.profile[&key].iterations;
+
+        // Tree-walker oracle: identical output and memory, and the serial
+        // throughput reference the bytecode engine is gated against.
+        let tree_cfg = ExecConfig { engine: Engine::Tree, ..ExecConfig::default() };
+        let tree_wall = timed_loop_wall(
+            &format!("{name}/tree"),
+            src,
+            &tree_cfg,
+            &key,
+            Some(&expect),
+        );
+        let ratio = tree_wall as f64 / serial_wall as f64;
+        min_ratio = min_ratio.min(ratio);
+        assert!(
+            ratio >= 5.0,
+            "{name}: serial bytecode only {ratio:.1}x over the tree walker (floor is 5x)"
+        );
 
         // Predicted speedup on the 4-processor machine model.
         let program = ped_fortran::parse_program(src).expect("kernel parses");
@@ -208,7 +235,9 @@ fn main() {
         table.row(vec![
             name.to_string(),
             trip.to_string(),
+            fmt_ns(tree_wall as u128),
             fmt_ns(serial_wall as u128),
+            format!("{ratio:.1}x"),
             fmt_ns(walls[0].1 as u128),
             fmt_ns(walls[1].1 as u128),
             fmt_ns(walls[2].1 as u128),
@@ -219,7 +248,9 @@ fn main() {
         rows.push(Json::obj(vec![
             ("kernel", Json::str(name)),
             ("trip", Json::int(trip)),
+            ("tree_serial_wall_ns", Json::int(tree_wall)),
             ("serial_wall_ns", Json::int(serial_wall)),
+            ("engine_throughput_ratio", Json::Num(ratio)),
             (
                 "threads",
                 Json::Arr(
@@ -304,9 +335,15 @@ fn main() {
     assert!(report.scheduler.parallel_loops > 0, "profiled run recorded no parallel loop");
     assert!(report.scheduler.chunks_executed > 0, "profiled run recorded no chunks");
 
+    println!(
+        "engine: serial bytecode ≥ {min_ratio:.1}x over the tree walker on every kernel"
+    );
+
     let doc = Json::obj(vec![
         ("bench", Json::str("E14")),
-        ("schema_version", Json::int(1)),
+        ("schema_version", Json::int(2)),
+        ("engine", Json::str("bytecode")),
+        ("min_engine_throughput_ratio", Json::Num(min_ratio)),
         ("cores", Json::int(cores as u64)),
         ("speedup_asserted", Json::Bool(cores >= 4)),
         ("output_equal", Json::Bool(true)),

@@ -19,6 +19,10 @@
 //! chunking policy (`static`, `dynamic[(N)]`, `guided`).
 //! `--validate-profile <file>` parses a previously emitted report and
 //! exits nonzero when it is malformed (the CI smoke check).
+//! `--engine <bytecode|tree>` picks the execution engine: `bytecode`
+//! (default) runs programs on the lowered register machine, `tree` on the
+//! AST-walking oracle; the interactive `engine` command switches it
+//! mid-session. Both produce bit-identical output.
 //!
 //! `--check` (batch) runs the program once under the shadow-memory logger
 //! and cross-checks the observed cross-iteration dependences against the
@@ -30,12 +34,12 @@
 //! analyze→parallelize→validate pipeline.
 
 use ped_core::{render, Assertion, DepFilter, Mark, Ped, ProfileReport, SourceFilter};
-use ped_runtime::{ExecConfig, Machine, ParallelMode, Schedule};
+use ped_runtime::{Engine, ExecConfig, Machine, ParallelMode, Schedule};
 use ped_transform::Xform;
 use std::io::{BufRead, Write};
 
-const USAGE: &str = "usage: ped [--batch] [--profile] [--autopar] [--check] [--threads <N>] [--schedule <spec>] <file.f>\n\
-       ped [--batch] [--profile] [--autopar] [--check] [--threads <N>] [--schedule <spec>] --workload <name>\n\
+const USAGE: &str = "usage: ped [--batch] [--profile] [--autopar] [--check] [--threads <N>] [--schedule <spec>] [--engine <bytecode|tree>] <file.f>\n\
+       ped [--batch] [--profile] [--autopar] [--check] [--threads <N>] [--schedule <spec>] [--engine <bytecode|tree>] --workload <name>\n\
        ped --validate-profile <report.json>";
 
 /// Session-level execution defaults, set by `--threads`/`--schedule` and
@@ -46,6 +50,8 @@ struct RunDefaults {
     threads: Option<usize>,
     /// Chunking policy for Threads mode.
     schedule: Schedule,
+    /// Execution engine (bytecode register machine by default).
+    engine: Engine,
 }
 
 fn main() {
@@ -74,6 +80,10 @@ fn main() {
                     Err(e) => exit_usage(&e),
                 },
                 None => exit_usage("--schedule needs static | dynamic[(N)] | guided"),
+            },
+            "--engine" => match it.next().as_deref().and_then(Engine::from_name) {
+                Some(e) => defaults.engine = e,
+                None => exit_usage("--engine needs bytecode | tree"),
             },
             "--workload" => match it.next() {
                 Some(n) => workload = Some(n),
@@ -217,6 +227,7 @@ fn batch_run_threads(ped: &Ped, defaults: RunDefaults, quiet: bool) {
     let config = ExecConfig {
         mode: ParallelMode::Threads(n),
         schedule: defaults.schedule,
+        engine: defaults.engine,
         ..ExecConfig::default()
     };
     match ped.run(config) {
@@ -287,6 +298,7 @@ fn exec_config(defaults: RunDefaults) -> ExecConfig {
             None => ParallelMode::Serial,
         },
         schedule: defaults.schedule,
+        engine: defaults.engine,
         ..ExecConfig::default()
     }
 }
@@ -371,6 +383,8 @@ check                         shadow-runtime validation: run once with the
 threads [<N>|off]             default thread count for bare `run`
 schedule [static|dynamic[(N)]|guided]
                               chunking policy for threaded runs
+engine [bytecode|tree]        execution engine: lowered register machine
+                              (default) or the AST-walking oracle
 estimate                      loop cost table for the current unit
 profile [on|off|json]         session profile: phase timings, dep-test
                               histogram, cache hit rates (alias: stats)
@@ -523,6 +537,16 @@ quit"
             println!("schedule: {}", defaults.schedule);
             Ok(false)
         }
+        ["engine"] => {
+            println!("engine: {}", defaults.engine);
+            Ok(false)
+        }
+        ["engine", name] => {
+            defaults.engine =
+                Engine::from_name(name).ok_or("engine needs bytecode | tree".to_string())?;
+            println!("engine: {}", defaults.engine);
+            Ok(false)
+        }
         ["check"] => {
             let config = exec_config(*defaults);
             let r = ped.check(config).map_err(|e| e.to_string())?;
@@ -536,6 +560,7 @@ quit"
                     None => ParallelMode::Serial,
                 },
                 schedule: defaults.schedule,
+                engine: defaults.engine,
                 ..ExecConfig::default()
             };
             let mut it = rest.iter();

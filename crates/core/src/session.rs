@@ -186,6 +186,10 @@ pub struct Ped {
     /// here; only an explicit edit resets the counter — the E10 experiment
     /// reads it as "work done to re-answer queries after an edit".
     pub reanalysis_count: usize,
+    /// Engine of the most recent [`Ped::run`] (effective, after mode
+    /// fallbacks), stamped into the profile report. `true` means the tree
+    /// walker; the default is the bytecode engine.
+    last_run_tree: std::sync::atomic::AtomicBool,
 }
 
 /// What one [`Ped::analyze_all`] batch run did.
@@ -255,6 +259,7 @@ impl Ped {
             ip_recomputes_total: 0,
             ip_recomputes_skipped_total: 0,
             reanalysis_count: 0,
+            last_run_tree: std::sync::atomic::AtomicBool::new(false),
         }
     }
 
@@ -288,7 +293,7 @@ impl Ped {
             return ProfileReport::empty();
         }
         let st = self.pair_cache.stats();
-        ProfileReport::from_snapshot(
+        let mut report = ProfileReport::from_snapshot(
             &self.obs.snapshot(),
             CacheReport {
                 pair_hits: st.hits,
@@ -297,7 +302,11 @@ impl Ped {
                 graphs_reused: self.graphs_reused_total,
             },
             self.incremental_stats(),
-        )
+        );
+        if self.last_run_tree.load(std::sync::atomic::Ordering::Relaxed) {
+            report.engine = "tree".to_string();
+        }
+        report
     }
 
     /// Counters of the incremental engine: graphs retained across edits,
@@ -1008,6 +1017,10 @@ impl Ped {
     /// as the `interpret` phase and its loop profiles are folded into the
     /// session's report.
     pub fn run(&self, config: ped_runtime::ExecConfig) -> Result<ped_runtime::RunResult, PedError> {
+        self.last_run_tree.store(
+            config.effective_engine() == ped_runtime::Engine::Tree,
+            std::sync::atomic::Ordering::Relaxed,
+        );
         let result = {
             let _t = PhaseTimer::start(self.obs_ref(), Phase::Interpret);
             let interp = ped_runtime::Interp::new(&self.program, config)

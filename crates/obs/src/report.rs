@@ -27,9 +27,11 @@ pub struct ValidationSummary {
 /// Version stamped into every emitted report. Parsing accepts this version
 /// and every earlier one it knows how to upgrade (v1 reports lack the
 /// `incremental` section, v1/v2 reports lack the `scheduler` section,
-/// v1–v3 reports lack the `validation` section; all default to all-zero);
-/// later or unknown versions are rejected.
-pub const PROFILE_SCHEMA_VERSION: u64 = 4;
+/// v1–v3 reports lack the `validation` section; all default to all-zero.
+/// v1–v4 reports lack the `engine` field, which defaults to `"tree"` —
+/// the only engine that existed before v5); later or unknown versions are
+/// rejected.
+pub const PROFILE_SCHEMA_VERSION: u64 = 5;
 
 /// Oldest schema version [`ProfileReport::from_json`] still accepts.
 pub const PROFILE_SCHEMA_MIN_VERSION: u64 = 1;
@@ -182,6 +184,10 @@ pub struct LoopProfileStat {
 pub struct ProfileReport {
     /// Report format version ([`PROFILE_SCHEMA_VERSION`]).
     pub schema_version: u64,
+    /// Which execution engine ran the session's programs: `"bytecode"`
+    /// (the lowered register machine, the default) or `"tree"` (the
+    /// AST-walking oracle). Reports older than v5 parse as `"tree"`.
+    pub engine: String,
     /// Whether instrumentation was on when the snapshot was taken.
     pub enabled: bool,
     /// Per-phase wall-clock totals, in pipeline order.
@@ -209,6 +215,7 @@ impl ProfileReport {
     pub fn empty() -> ProfileReport {
         ProfileReport {
             schema_version: PROFILE_SCHEMA_VERSION,
+            engine: "bytecode".to_string(),
             enabled: false,
             phases: Vec::new(),
             dep_tests: Vec::new(),
@@ -251,6 +258,7 @@ impl ProfileReport {
             .collect();
         ProfileReport {
             schema_version: PROFILE_SCHEMA_VERSION,
+            engine: "bytecode".to_string(),
             enabled: snap.enabled,
             phases,
             dep_tests,
@@ -305,6 +313,7 @@ impl ProfileReport {
         Json::obj(vec![
             ("schema_version", Json::int(self.schema_version)),
             ("tool", Json::str("ped")),
+            ("engine", Json::str(&self.engine)),
             ("enabled", Json::Bool(self.enabled)),
             (
                 "phases",
@@ -460,6 +469,20 @@ impl ProfileReport {
                  (expected {PROFILE_SCHEMA_MIN_VERSION}..={PROFILE_SCHEMA_VERSION})"
             ));
         }
+        // v1–v4 reports predate the bytecode engine: everything they
+        // describe ran on the tree walker. From v5 on the field is
+        // required and must name a known engine.
+        let engine = match v.get("engine") {
+            None if schema_version < 5 => "tree".to_string(),
+            None => return Err("missing field 'engine'".to_string()),
+            Some(e) => {
+                let s = e.as_str().ok_or("non-string field 'engine'")?;
+                if !matches!(s, "tree" | "bytecode") {
+                    return Err(format!("unknown engine '{s}'"));
+                }
+                s.to_string()
+            }
+        };
         let enabled = v
             .get("enabled")
             .and_then(Json::as_bool)
@@ -575,6 +598,7 @@ impl ProfileReport {
 
         Ok(ProfileReport {
             schema_version,
+            engine,
             enabled,
             phases,
             dep_tests,
@@ -593,6 +617,7 @@ impl ProfileReport {
         if !self.enabled {
             out.push_str("profiling is off (use `profile on` or start with --profile)\n");
         }
+        out.push_str(&format!("engine: {}\n", self.engine));
         out.push_str("phase timings:\n");
         if self.phases.is_empty() {
             out.push_str("  (none recorded)\n");
@@ -866,6 +891,38 @@ mod tests {
         strip_section(&mut v, "validation");
         let err = ProfileReport::from_json_str(&v).unwrap_err();
         assert!(err.contains("validation"), "{err}");
+    }
+
+    #[test]
+    fn v4_report_defaults_engine_to_tree() {
+        let r = sample_report();
+        let mut v = r.to_json().to_string_compact();
+        v = v.replacen(
+            &format!("\"schema_version\":{PROFILE_SCHEMA_VERSION}"),
+            "\"schema_version\":4",
+            1,
+        );
+        v = v.replacen(",\"engine\":\"bytecode\"", "", 1);
+        let back = ProfileReport::from_json_str(&v).unwrap();
+        assert_eq!(back.schema_version, 4);
+        assert_eq!(back.engine, "tree");
+        assert_eq!(back.validation, r.validation);
+    }
+
+    #[test]
+    fn v5_report_requires_engine_field() {
+        let r = sample_report();
+        let v = r.to_json().to_string_compact().replacen(",\"engine\":\"bytecode\"", "", 1);
+        let err = ProfileReport::from_json_str(&v).unwrap_err();
+        assert!(err.contains("engine"), "{err}");
+    }
+
+    #[test]
+    fn rejects_unknown_engine() {
+        let r = sample_report();
+        let v = r.to_json().to_string_compact().replacen("\"bytecode\"", "\"quantum\"", 1);
+        let err = ProfileReport::from_json_str(&v).unwrap_err();
+        assert!(err.contains("unknown engine"), "{err}");
     }
 
     #[test]

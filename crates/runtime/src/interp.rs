@@ -26,6 +26,52 @@ pub enum ParallelMode {
     Threads(usize),
 }
 
+/// Which execution engine runs program bodies.
+///
+/// Both engines implement one semantics — "two engines, one semantics" is
+/// enforced by differential property tests — but they trade differently:
+/// the register **bytecode** engine lowers every unit once at
+/// [`Interp::new`] (names resolved to frame slots, subscripts to
+/// stride+offset fast paths, per-node cost model coalesced into one charge
+/// per straight-line region) and is the default; the **tree** walker
+/// interprets the AST directly and stays on as the differential oracle,
+/// and is the only engine for `Simulate` mode and the race detector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// Compile to register bytecode first (see [`crate::bytecode`]), then
+    /// execute the compact form. Default.
+    #[default]
+    Bytecode,
+    /// Walk the AST directly (the reference oracle).
+    Tree,
+}
+
+impl Engine {
+    /// Stable lower-case name (used by the profile report's `engine` field
+    /// and the `--engine` CLI flag).
+    pub fn name(self) -> &'static str {
+        match self {
+            Engine::Bytecode => "bytecode",
+            Engine::Tree => "tree",
+        }
+    }
+
+    /// Parse a CLI spelling.
+    pub fn from_name(s: &str) -> Option<Engine> {
+        match s {
+            "bytecode" => Some(Engine::Bytecode),
+            "tree" => Some(Engine::Tree),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
 /// Execution configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct ExecConfig {
@@ -44,6 +90,10 @@ pub struct ExecConfig {
     /// (see [`crate::shadow`]). Works in every mode; the result lands in
     /// [`RunResult::shadow`].
     pub shadow: bool,
+    /// Which engine executes program bodies (see [`Engine`]). Requests for
+    /// the bytecode engine fall back to the tree walker in the modes only
+    /// it supports — check [`ExecConfig::effective_engine`].
+    pub engine: Engine,
 }
 
 impl Default for ExecConfig {
@@ -54,6 +104,20 @@ impl Default for ExecConfig {
             schedule: Schedule::default(),
             max_steps: 500_000_000,
             shadow: false,
+            engine: Engine::default(),
+        }
+    }
+}
+
+impl ExecConfig {
+    /// The engine that will actually run: simulated-parallel charging and
+    /// the race detector are tree-walker instrumentation, so those modes
+    /// pin the tree engine regardless of the request.
+    pub fn effective_engine(&self) -> Engine {
+        if self.detect_races || matches!(self.mode, ParallelMode::Simulate(_)) {
+            Engine::Tree
+        } else {
+            self.engine
         }
     }
 }
@@ -68,7 +132,7 @@ pub struct RtError {
 }
 
 impl RtError {
-    fn new(msg: impl Into<String>) -> RtError {
+    pub(crate) fn new(msg: impl Into<String>) -> RtError {
         RtError { message: msg.into(), steps: 0 }
     }
 }
@@ -138,7 +202,7 @@ pub struct RunResult {
 /// iff the final memories are bit-identical.
 pub type MemorySnapshot = Vec<(String, Vec<u64>)>;
 
-enum Flow {
+pub(crate) enum Flow {
     Normal,
     Return,
     Stop,
@@ -163,7 +227,7 @@ struct RaceRec {
 /// One `PARALLEL DO` invocation packaged for the worker pool. Fully owned
 /// payload (the loop is cloned; the frame's cells are `Arc`s), so a job
 /// outlives the submitting stack frame without lifetime juggling.
-struct LoopJob {
+pub(crate) struct LoopJob {
     unit_idx: usize,
     d: ped_fortran::DoLoop,
     vals: Vec<i64>,
@@ -174,6 +238,10 @@ struct LoopJob {
     queues: ChunkQueues,
     chunks_stolen: AtomicU64,
     outs: Mutex<Vec<ChunkOut>>,
+    /// Index into the unit's compiled-loop table when the bytecode engine
+    /// submitted this job: workers execute the compiled body instead of
+    /// walking the cloned AST in `d`.
+    cdo: Option<u32>,
 }
 
 /// What one executed chunk hands back for the deterministic merge.
@@ -212,7 +280,7 @@ enum RedContrib {
 
 /// A reduction cell observed during chunk execution so accumulation
 /// operands can be logged at their store sites (see [`RedContrib`]).
-struct RedWatch {
+pub(crate) struct RedWatch {
     cell: Arc<Cell>,
     op: RedOp,
     /// Operands logged since the last iteration boundary.
@@ -221,26 +289,26 @@ struct RedWatch {
     clean: bool,
 }
 
-struct ExecState<'a> {
-    printed: Vec<String>,
-    vtime: f64,
-    steps: u64,
+pub(crate) struct ExecState<'a> {
+    pub(crate) printed: Vec<String>,
+    pub(crate) vtime: f64,
+    pub(crate) steps: u64,
     /// The global statement budget, shared with every worker.
     budget: Arc<StepBudget>,
     /// Steps claimed from the budget but not yet spent by `tick`.
-    granted: u64,
-    profile: HashMap<(String, StmtId), LoopStats>,
+    pub(crate) granted: u64,
+    pub(crate) profile: HashMap<(String, StmtId), LoopStats>,
     races: Vec<RaceReport>,
     rec: Option<RaceRec>,
-    in_parallel: bool,
+    pub(crate) in_parallel: bool,
     /// The worker pool, when Threads mode spawned one for this run.
     pool: Option<&'a Pool<LoopJob>>,
     sched: SchedStats,
     /// Reduction cells under operand logging (non-empty only while a
     /// worker executes a chunk of a loop with reductions).
-    red_watch: Vec<RedWatch>,
+    pub(crate) red_watch: Vec<RedWatch>,
     /// Shadow-memory recorder (present iff `ExecConfig::shadow`).
-    shadow: Option<Box<ShadowRec>>,
+    pub(crate) shadow: Option<Box<ShadowRec>>,
 }
 
 impl<'a> ExecState<'a> {
@@ -262,7 +330,12 @@ impl<'a> ExecState<'a> {
         }
     }
 
-    fn tick(&mut self, ops: f64) -> Result<(), RtError> {
+    /// Index of the reduction watch bound to exactly this cell, if any.
+    pub(crate) fn watched(&self, cell: &Arc<Cell>) -> Option<usize> {
+        self.red_watch.iter().position(|w| Arc::ptr_eq(&w.cell, cell))
+    }
+
+    pub(crate) fn tick(&mut self, ops: f64) -> Result<(), RtError> {
         self.vtime += ops;
         if self.granted == 0 {
             // Refill in blocks so the shared counter is touched rarely.
@@ -277,7 +350,7 @@ impl<'a> ExecState<'a> {
     }
 
     /// Hand unspent steps back to the shared budget.
-    fn release_grant(&mut self) {
+    pub(crate) fn release_grant(&mut self) {
         self.budget.release(self.granted);
         self.granted = 0;
     }
@@ -286,13 +359,20 @@ impl<'a> ExecState<'a> {
     /// race detector keeps its historical exclusion of loop indexes, but
     /// the shadow log needs the write so an enclosing parallel scope can
     /// observe an index the parallelization failed to privatize.
-    fn record_var_store(&mut self, cell: &Arc<Cell>, unit_idx: usize, sym: SymId) {
+    pub(crate) fn record_var_store(&mut self, cell: &Arc<Cell>, unit_idx: usize, sym: SymId) {
         if let Some(sh) = self.shadow.as_deref_mut() {
             sh.record(cell, 0, true, unit_idx, sym);
         }
     }
 
-    fn record(&mut self, cell: &Arc<Cell>, element: usize, write: bool, unit_idx: usize, sym: SymId) {
+    pub(crate) fn record(
+        &mut self,
+        cell: &Arc<Cell>,
+        element: usize,
+        write: bool,
+        unit_idx: usize,
+        sym: SymId,
+    ) {
         if let Some(sh) = self.shadow.as_deref_mut() {
             sh.record(cell, element, write, unit_idx, sym);
         }
@@ -324,13 +404,17 @@ impl<'a> ExecState<'a> {
 
 /// The interpreter for one program.
 pub struct Interp<'p> {
-    program: &'p Program,
-    config: ExecConfig,
+    pub(crate) program: &'p Program,
+    pub(crate) config: ExecConfig,
     commons: HashMap<String, Vec<Arc<Cell>>>,
+    /// Lowered form of every unit, built once when the effective engine is
+    /// [`Engine::Bytecode`] (see [`crate::bytecode`]).
+    pub(crate) compiled: Option<crate::bytecode::CompiledProgram<'p>>,
 }
 
 impl<'p> Interp<'p> {
-    /// Build an interpreter; allocates COMMON storage.
+    /// Build an interpreter; allocates COMMON storage and, for the
+    /// bytecode engine, lowers every unit to register code.
     pub fn new(program: &'p Program, config: ExecConfig) -> Result<Interp<'p>, RtError> {
         let mut commons: HashMap<String, Vec<Arc<Cell>>> = HashMap::new();
         for unit in &program.units {
@@ -341,7 +425,7 @@ impl<'p> Interp<'p> {
                         let sym = unit.symbols.sym(m);
                         let cell = if sym.is_array() {
                             let dims = static_dims(unit, m)?;
-                            Cell::array(sym.ty, dims)
+                            alloc_array(sym.ty, dims, &sym.name, &unit.name)?
                         } else {
                             Cell::scalar(sym.ty)
                         };
@@ -350,7 +434,9 @@ impl<'p> Interp<'p> {
                 }
             }
         }
-        Ok(Interp { program, config, commons })
+        let compiled = (config.effective_engine() == Engine::Bytecode)
+            .then(|| crate::bytecode::compile_program(program, config.shadow));
+        Ok(Interp { program, config, commons, compiled })
     }
 
     /// Run the main program.
@@ -411,9 +497,14 @@ impl<'p> Interp<'p> {
         if self.config.shadow {
             state.shadow = Some(Box::new(ShadowRec::serial()));
         }
-        let res = self
-            .make_frame(main_idx, &[], &mut state)
-            .and_then(|frame| self.exec_unit(main_idx, &frame, &mut state).map(|_| frame));
+        let res = self.make_frame(main_idx, &[], &mut state).and_then(|frame| {
+            let flow = if self.compiled.is_some() {
+                self.bexec_unit(main_idx, &frame, &mut state)
+            } else {
+                self.exec_unit(main_idx, &frame, &mut state)
+            };
+            flow.map(|_| frame)
+        });
         match res {
             Ok(frame) => {
                 let mem = want_memory.then(|| self.snapshot_memory(main_idx, &frame));
@@ -545,9 +636,68 @@ impl<'p> Interp<'p> {
             .collect();
         let mut red_contribs: Vec<Vec<RedContrib>> =
             red_cells.iter().map(|_| Vec::with_capacity(chunk.len)).collect();
+        // Bytecode jobs carry the compiled body: workers execute register
+        // code, not an AST walk. The register file is reused across the
+        // chunk's iterations.
+        let cbody = job.cdo.and_then(|ci| {
+            let cu = &self.compiled.as_ref()?.units[job.unit_idx];
+            Some((cu.loop_body(ci), cu.nregs(), cu.loop_fast(ci)))
+        });
+        // Straight-line bodies with no shadow tap and no reduction watch
+        // run in fast form (see `bexec_do`): cells resolved once per
+        // chunk, iterations charged in bulk, the iteration variable kept
+        // in flight with the cell updated at chunk end.
+        let unit_ref = &self.program.units[job.unit_idx];
+        let fast = match cbody {
+            Some((_, _, Some(fb))) if st.shadow.is_none() && st.red_watch.is_empty() => {
+                self.fast_resolve(fb, &fr, var_cell).map(|ctx| (fb, ctx))
+            }
+            _ => None,
+        };
+        let nregs = fast
+            .as_ref()
+            .map_or(cbody.map_or(0, |(_, n, _)| n), |(fb, _)| fb.nregs.max(cbody.unwrap().1));
+        let mut regs = vec![Value::Int(0); nregs];
+        let typed = match &fast {
+            Some((fb, ctx)) if ctx.typed_ok => fb.typed.as_ref(),
+            _ => None,
+        };
+        let (mut fregs, mut iregs) = match (&fast, typed) {
+            (Some((fb, _)), Some(_)) => (vec![0f64; fb.nregs], vec![0i64; fb.nslots()]),
+            _ => (Vec::new(), Vec::new()),
+        };
+        let mut promoted = false;
         let mut err = None;
         let mut iters = 0u64;
-        for k in 0..chunk.len {
+        let mut k = 0usize;
+        while k < chunk.len {
+            // Typed burst: no reduction watches or shadow taps exist when
+            // the typed tier is eligible, so the per-iteration setup below
+            // is all dead — run every iteration the grant covers in one
+            // call.
+            if let (Some(tb), Some((fb, ctx))) = (typed, &fast) {
+                if st.granted >= fb.steps {
+                    if !promoted {
+                        tb.prologue(fb, ctx, &mut fregs, &mut iregs);
+                        promoted = true;
+                    }
+                    let vals =
+                        job.vals[chunk.start + k..chunk.start + chunk.len].iter().copied();
+                    let mut done = 0u64;
+                    let r = self.typed_run(
+                        unit_ref, fb, tb, ctx, &mut st, &mut fregs, &iregs, vals, &mut done,
+                    );
+                    k += done as usize;
+                    iters += done;
+                    if let Err((cf, e)) = r {
+                        tb.flush(fb, ctx, &fregs);
+                        var_cell.store_scalar(Value::Int(cf));
+                        err = Some(e);
+                        break;
+                    }
+                    continue;
+                }
+            }
             // Each iteration accumulates into a fresh identity while the
             // store sites log the actual operands (see `red_assign`). The
             // merge replays operands — or, when a store defeated the
@@ -565,21 +715,60 @@ impl<'p> Interp<'p> {
             if let Some(sh) = st.shadow.as_deref_mut() {
                 sh.set_tap_iter((chunk.start + k) as u64);
             }
-            if let Err(e) = st.tick(2.0) {
-                err = Some(e);
-                break;
-            }
-            st.record_var_store(var_cell, job.unit_idx, job.d.var);
-            var_cell.store_scalar(Value::Int(job.vals[chunk.start + k]));
-            match self.exec_block(job.unit_idx, &job.d.body, fr, &mut st) {
-                Ok(Flow::Normal) => {}
-                Ok(_) => {
-                    err = Some(RtError::new("RETURN/STOP inside a PARALLEL DO is not supported"));
-                    break;
+            let cur = job.vals[chunk.start + k];
+            let ran_fast = match &fast {
+                // (typed bodies never reach here: the burst above covers
+                // every grant-covered iteration, and a short grant routes
+                // through the slow path for its refill/abort.)
+                Some((fb, ctx)) if typed.is_none() && st.granted >= fb.steps => {
+                    if !promoted {
+                        fb.prologue(ctx, &mut regs);
+                        promoted = true;
+                    }
+                    if let Err(e) = self.fast_iter(unit_ref, fb, ctx, &mut st, &mut regs, cur) {
+                        fb.flush(ctx, &regs);
+                        var_cell.store_scalar(Value::Int(cur));
+                        err = Some(e);
+                        break;
+                    }
+                    true
                 }
-                Err(e) => {
+                _ => false,
+            };
+            if !ran_fast {
+                if promoted {
+                    if let Some((fb, ctx)) = &fast {
+                        match typed {
+                            Some(tb) => tb.flush(fb, ctx, &fregs),
+                            None => fb.flush(ctx, &regs),
+                        }
+                    }
+                    promoted = false;
+                }
+                if let Err(e) = st.tick(2.0) {
                     err = Some(e);
                     break;
+                }
+                st.record_var_store(var_cell, job.unit_idx, job.d.var);
+                var_cell.store_scalar(Value::Int(cur));
+                let flow = match cbody {
+                    Some((block, _, _)) => {
+                        self.bexec_block(job.unit_idx, block, fr, &mut st, &mut regs)
+                    }
+                    None => self.exec_block(job.unit_idx, &job.d.body, fr, &mut st),
+                };
+                match flow {
+                    Ok(Flow::Normal) => {}
+                    Ok(_) => {
+                        err = Some(RtError::new(
+                            "RETURN/STOP inside a PARALLEL DO is not supported",
+                        ));
+                        break;
+                    }
+                    Err(e) => {
+                        err = Some(e);
+                        break;
+                    }
                 }
             }
             for (i, (_, _, c)) in red_cells.iter().enumerate() {
@@ -591,6 +780,23 @@ impl<'p> Interp<'p> {
                 });
             }
             iters += 1;
+            k += 1;
+        }
+        if promoted {
+            // Reconcile promoted scalars before anything can look at the
+            // worker's cells (the lastprivate capture below reads them).
+            if let Some((fb, ctx)) = &fast {
+                match typed {
+                    Some(tb) => tb.flush(fb, ctx, &fregs),
+                    None => fb.flush(ctx, &regs),
+                }
+            }
+        }
+        if fast.is_some() && iters > 0 && err.is_none() {
+            // Fast iterations keep the loop variable in flight; land the
+            // last executed value in the worker's cell (what a slow chunk
+            // would have left there). Fault paths already stored theirs.
+            var_cell.store_scalar(Value::Int(job.vals[chunk.start + iters as usize - 1]));
         }
         st.release_grant();
         // Capture lastprivate values now — the cells are reused by this
@@ -613,7 +819,7 @@ impl<'p> Interp<'p> {
 
     /// Allocate a frame for a unit invocation; `bound` pairs formal symbols
     /// with pre-bound cells (actual arguments).
-    fn make_frame(
+    pub(crate) fn make_frame(
         &self,
         unit_idx: usize,
         bound: &[(SymId, Arc<Cell>)],
@@ -651,7 +857,7 @@ impl<'p> Interp<'p> {
                     };
                     dims.push((lo, hi));
                 }
-                Cell::array(sym.ty, dims)
+                alloc_array(sym.ty, dims, &sym.name, &unit.name)?
             } else {
                 Cell::scalar(sym.ty)
             };
@@ -850,7 +1056,9 @@ impl<'p> Interp<'p> {
                 ParallelMode::Simulate(machine) => {
                     self.run_simulated(unit_idx, sid, &d, &vals, frame, state, machine)?
                 }
-                ParallelMode::Threads(_) => self.run_threads(unit_idx, &d, &vals, frame, state)?,
+                ParallelMode::Threads(_) => {
+                    self.run_threads(unit_idx, &d, &vals, frame, state, None)?
+                }
             }
         } else {
             self.run_serial(unit_idx, &d, &vals, frame, state)?
@@ -997,13 +1205,14 @@ impl<'p> Interp<'p> {
     /// order, reductions recombined in serial fold order (per-iteration
     /// deltas), lastprivate from the chunk holding the final iteration.
     /// Threaded output is therefore bit-identical to serial execution.
-    fn run_threads(
+    pub(crate) fn run_threads(
         &self,
         unit_idx: usize,
         d: &ped_fortran::DoLoop,
         vals: &[i64],
         frame: &Frame,
         state: &mut ExecState<'_>,
+        cdo: Option<u32>,
     ) -> Result<Flow, RtError> {
         let unit = &self.program.units[unit_idx];
         let Some(pool) = state.pool else {
@@ -1025,6 +1234,7 @@ impl<'p> Interp<'p> {
             queues: ChunkQueues::seed(&chunks, n),
             chunks_stolen: AtomicU64::new(0),
             outs: Mutex::new(Vec::with_capacity(chunks.len())),
+            cdo,
         });
         pool.run_job(job.clone());
 
@@ -1211,7 +1421,7 @@ impl<'p> Interp<'p> {
     /// Any other store voids the iteration's log; it falls back to the
     /// per-iteration delta.
     #[allow(clippy::too_many_arguments)]
-    fn red_assign(
+    pub(crate) fn red_assign(
         &self,
         unit_idx: usize,
         wi: usize,
@@ -1327,7 +1537,7 @@ impl<'p> Interp<'p> {
         }
     }
 
-    fn cell<'f>(
+    pub(crate) fn cell<'f>(
         &self,
         unit: &ProgramUnit,
         frame: &'f Frame,
@@ -1379,11 +1589,7 @@ impl<'p> Interp<'p> {
             }
             Expr::Un { op: UnOp::Neg, e } => {
                 let v = self.eval(unit_idx, e, frame, state)?;
-                Ok(match v {
-                    Value::Int(i) => Value::Int(-i),
-                    Value::Real(r) => Value::Real(-r),
-                    Value::Logical(_) => return Err(RtError::new("negating a LOGICAL")),
-                })
+                eval_neg(v)
             }
             Expr::Un { op: UnOp::Not, e } => {
                 let v = self.eval(unit_idx, e, frame, state)?;
@@ -1417,7 +1623,18 @@ impl<'p> Interp<'p> {
     }
 }
 
-fn const_value(c: Const) -> Value {
+/// Unary negation, shared by both engines. Integer negation wraps
+/// (`-i64::MIN` stays `i64::MIN`, Fortran's usual two's-complement story)
+/// rather than tripping Rust's debug overflow panic.
+pub(crate) fn eval_neg(v: Value) -> Result<Value, RtError> {
+    match v {
+        Value::Int(i) => Ok(Value::Int(i.wrapping_neg())),
+        Value::Real(r) => Ok(Value::Real(-r)),
+        Value::Logical(_) => Err(RtError::new("negating a LOGICAL")),
+    }
+}
+
+pub(crate) fn const_value(c: Const) -> Value {
     match c {
         Const::Int(v) => Value::Int(v),
         Const::Real(v) => Value::Real(v),
@@ -1447,14 +1664,21 @@ fn combine(op: RedOp, a: Value, b: Value) -> Value {
     }
 }
 
-fn num2(a: Value, b: Value, fi: impl Fn(i64, i64) -> i64, fr: impl Fn(f64, f64) -> f64) -> Value {
+#[inline]
+pub(crate) fn num2(
+    a: Value,
+    b: Value,
+    fi: impl Fn(i64, i64) -> i64,
+    fr: impl Fn(f64, f64) -> f64,
+) -> Value {
     match (a, b) {
         (Value::Int(x), Value::Int(y)) => Value::Int(fi(x, y)),
         _ => Value::Real(fr(a.as_real(), b.as_real())),
     }
 }
 
-fn eval_bin(op: BinOp, l: Value, r: Value) -> Result<Value, RtError> {
+#[inline]
+pub(crate) fn eval_bin(op: BinOp, l: Value, r: Value) -> Result<Value, RtError> {
     use BinOp::*;
     match op {
         Add => Ok(num2(l, r, |a, b| a.wrapping_add(b), |a, b| a + b)),
@@ -1462,6 +1686,9 @@ fn eval_bin(op: BinOp, l: Value, r: Value) -> Result<Value, RtError> {
         Mul => Ok(num2(l, r, |a, b| a.wrapping_mul(b), |a, b| a * b)),
         Div => match (l, r) {
             (Value::Int(_), Value::Int(0)) => Err(RtError::new("integer division by zero")),
+            (Value::Int(i64::MIN), Value::Int(-1)) => {
+                Err(RtError::new("integer division overflow"))
+            }
             (Value::Int(a), Value::Int(b)) => Ok(Value::Int(a / b)),
             _ => Ok(Value::Real(l.as_real() / r.as_real())),
         },
@@ -1497,7 +1724,7 @@ fn cmp(op: BinOp, ord: Option<std::cmp::Ordering>) -> bool {
     )
 }
 
-fn eval_intrinsic(op: Intrinsic, vals: &[Value]) -> Result<Value, RtError> {
+pub(crate) fn eval_intrinsic(op: Intrinsic, vals: &[Value]) -> Result<Value, RtError> {
     use Intrinsic::*;
     let need = |n: usize| -> Result<(), RtError> {
         if vals.len() == n {
@@ -1524,14 +1751,16 @@ fn eval_intrinsic(op: Intrinsic, vals: &[Value]) -> Result<Value, RtError> {
             need(2)?;
             match (vals[0], vals[1]) {
                 (Value::Int(_), Value::Int(0)) => Err(RtError::new("MOD by zero")),
-                (Value::Int(a), Value::Int(b)) => Ok(Value::Int(a % b)),
+                // wrapping_rem: MOD(i64::MIN, -1) is 0, not a panic.
+                (Value::Int(a), Value::Int(b)) => Ok(Value::Int(a.wrapping_rem(b))),
                 (a, b) => Ok(Value::Real(a.as_real() % b.as_real())),
             }
         }
         Abs => {
             need(1)?;
             Ok(match vals[0] {
-                Value::Int(v) => Value::Int(v.abs()),
+                // wrapping_abs: ABS(i64::MIN) wraps to itself, never panics.
+                Value::Int(v) => Value::Int(v.wrapping_abs()),
                 v => Value::Real(v.as_real().abs()),
             })
         }
@@ -1569,12 +1798,30 @@ fn eval_intrinsic(op: Intrinsic, vals: &[Value]) -> Result<Value, RtError> {
             let s = if vals[1].as_real() < 0.0 { -mag } else { mag };
             Ok(match (vals[0], vals[1]) {
                 (Value::Int(a), Value::Int(b)) => {
-                    Value::Int(if b < 0 { -a.abs() } else { a.abs() })
+                    let m = a.wrapping_abs();
+                    Value::Int(if b < 0 { m.wrapping_neg() } else { m })
                 }
                 _ => Value::Real(s),
             })
         }
     }
+}
+
+/// Allocate an array cell with validated dimensions: a bound list whose
+/// element count overflows or exceeds the allocation cap becomes a named
+/// `RtError` instead of a panic/abort inside `ArrayCell::new`.
+pub(crate) fn alloc_array(
+    ty: Ty,
+    dims: Vec<(i64, i64)>,
+    name: &str,
+    unit: &str,
+) -> Result<Arc<Cell>, RtError> {
+    if crate::memory::ArrayCell::checked_len(&dims).is_none() {
+        return Err(RtError::new(format!(
+            "array {name} in {unit} has dimensions too large to allocate"
+        )));
+    }
+    Ok(Cell::array(ty, dims))
 }
 
 /// Evaluate constant array dims for COMMON allocation (literals/PARAMETERs).

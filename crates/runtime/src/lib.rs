@@ -27,6 +27,7 @@
 //!   "run-time dependence testing" the paper's related work points to, and
 //!   the safety net for user-deleted dependences.
 
+pub mod bytecode;
 pub mod interp;
 pub mod machine;
 pub mod memory;
@@ -34,7 +35,7 @@ pub mod pool;
 pub mod shadow;
 pub mod value;
 
-pub use interp::{ExecConfig, Interp, MemorySnapshot, ParallelMode, RtError, RunResult};
+pub use interp::{Engine, ExecConfig, Interp, MemorySnapshot, ParallelMode, RtError, RunResult};
 pub use machine::Machine;
 pub use memory::{ArrayCell, Cell, Frame};
 pub use pool::{SchedStats, Schedule};

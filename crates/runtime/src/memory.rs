@@ -24,12 +24,33 @@ pub struct ArrayCell {
 }
 
 impl ArrayCell {
-    /// Allocate with zeroed elements.
+    /// Allocate with zeroed elements. Panics on dimensions [`Self::checked_len`]
+    /// rejects; runtime allocation sites validate first and surface a named
+    /// `RtError` instead.
     pub fn new(ty: Ty, dims: Vec<(i64, i64)>) -> ArrayCell {
-        let len: i64 = dims.iter().map(|&(lo, hi)| (hi - lo + 1).max(0)).product();
+        let len = Self::checked_len(&dims).expect("array dimensions overflow the size limit");
         let zero = Value::zero(ty).to_bits();
         let data = (0..len).map(|_| AtomicU64::new(zero)).collect();
         ArrayCell { ty, dims, data }
+    }
+
+    /// Validated element count of a dimension list: every extent and the
+    /// running product are computed with checked arithmetic and capped (so
+    /// a bound expression that overflows or asks for an absurd allocation
+    /// is an error, never a silent wrap or an OOM abort). Negative extents
+    /// clamp to zero exactly like Fortran zero-trip bounds.
+    pub fn checked_len(dims: &[(i64, i64)]) -> Option<usize> {
+        /// More than any kernel needs, far below address-space trouble.
+        const CAP: i64 = 1 << 31;
+        let mut len: i64 = 1;
+        for &(lo, hi) in dims {
+            let extent = hi.checked_sub(lo)?.checked_add(1)?.max(0);
+            len = len.checked_mul(extent)?;
+            if len > CAP {
+                return None;
+            }
+        }
+        Some(len as usize)
     }
 
     /// Total element count.
@@ -43,7 +64,10 @@ impl ArrayCell {
     }
 
     /// Column-major linearization (Fortran order). `None` when any
-    /// subscript is out of bounds.
+    /// subscript is out of bounds. All arithmetic is checked: a subscript
+    /// near `i64::MIN`/`MAX` becomes an out-of-bounds report, never a
+    /// wrapped index (the per-dimension bounds check runs first, so the
+    /// checked ops only fire on dimension lists no allocation produced).
     pub fn linearize(&self, subs: &[i64]) -> Option<usize> {
         if subs.len() != self.dims.len() {
             return None;
@@ -54,18 +78,34 @@ impl ArrayCell {
             if s < lo || s > hi {
                 return None;
             }
-            off += (s - lo) * stride;
-            stride *= hi - lo + 1;
+            off = off.checked_add(s.checked_sub(lo)?.checked_mul(stride)?)?;
+            stride = stride.checked_mul(hi.checked_sub(lo)?.checked_add(1)?)?;
         }
         usize::try_from(off).ok().filter(|&o| o < self.data.len())
     }
 
+    /// Raw f64 element read — the typed fast path's [`Self::load_flat`]
+    /// for `REAL`/`DOUBLE` arrays (identical bits, no `Value` round-trip).
+    #[inline]
+    pub fn load_f64(&self, flat: usize) -> f64 {
+        f64::from_bits(self.data[flat].load(Ordering::Relaxed))
+    }
+
+    /// Raw f64 element write — [`Self::store_flat`] for a `Value::Real`
+    /// into a `REAL`/`DOUBLE` array stores exactly these bits.
+    #[inline]
+    pub fn store_f64(&self, flat: usize, v: f64) {
+        self.data[flat].store(v.to_bits(), Ordering::Relaxed);
+    }
+
     /// Load an element by flat index.
+    #[inline]
     pub fn load_flat(&self, idx: usize) -> Value {
         Value::from_bits(self.data[idx].load(Ordering::Relaxed), self.ty)
     }
 
     /// Store an element by flat index (coerced to the element type).
+    #[inline]
     pub fn store_flat(&self, idx: usize, v: Value) {
         self.data[idx].store(v.coerce(self.ty).to_bits(), Ordering::Relaxed);
     }
@@ -97,6 +137,7 @@ impl Cell {
     }
 
     /// Read a scalar cell.
+    #[inline]
     pub fn load_scalar(&self) -> Value {
         match self {
             Cell::Scalar { ty, bits } => Value::from_bits(bits.load(Ordering::Relaxed), *ty),
@@ -105,6 +146,7 @@ impl Cell {
     }
 
     /// Write a scalar cell (coerced).
+    #[inline]
     pub fn store_scalar(&self, v: Value) {
         match self {
             Cell::Scalar { ty, bits } => {

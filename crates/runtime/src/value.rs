@@ -20,6 +20,7 @@ pub enum Value {
 
 impl Value {
     /// Encode into the 64-bit cell representation.
+    #[inline]
     pub fn to_bits(self) -> u64 {
         match self {
             Value::Int(v) => v as u64,
@@ -29,6 +30,7 @@ impl Value {
     }
 
     /// Decode from the cell representation under a type.
+    #[inline]
     pub fn from_bits(bits: u64, ty: Ty) -> Value {
         match ty {
             Ty::Integer => Value::Int(bits as i64),
@@ -38,6 +40,7 @@ impl Value {
     }
 
     /// Integer view with Fortran conversion (truncation from real).
+    #[inline]
     pub fn as_int(self) -> i64 {
         match self {
             Value::Int(v) => v,
@@ -47,6 +50,7 @@ impl Value {
     }
 
     /// Real view with Fortran conversion.
+    #[inline]
     pub fn as_real(self) -> f64 {
         match self {
             Value::Int(v) => v as f64,
@@ -56,6 +60,7 @@ impl Value {
     }
 
     /// Logical view.
+    #[inline]
     pub fn as_logical(self) -> bool {
         match self {
             Value::Logical(b) => b,
@@ -65,6 +70,7 @@ impl Value {
     }
 
     /// Coerce to a storage type (assignment conversion).
+    #[inline]
     pub fn coerce(self, ty: Ty) -> Value {
         match ty {
             Ty::Integer => Value::Int(self.as_int()),

@@ -24,6 +24,7 @@ fn profile_report_round_trips_through_json() {
     let report = ped.profile_report();
     assert!(report.enabled);
     assert_eq!(report.schema_version, PROFILE_SCHEMA_VERSION);
+    assert_eq!(report.engine, "bytecode", "default engine is the register machine");
 
     // Emit → parse must reproduce the report exactly, pretty or compact.
     for text in [
@@ -75,6 +76,21 @@ fn profile_report_contents_match_session() {
     let h = ped.loops(0)[0].0;
     ped.graph(0, h).unwrap();
     assert_eq!(ped.profile_report().cache.graphs_reused, before + 1);
+}
+
+/// The v5 `engine` field tracks the most recent run's effective engine.
+#[test]
+fn report_stamps_the_run_engine() {
+    let src = suite_source();
+    let ped = Ped::open_profiled(&src).unwrap();
+    let tree = ped_runtime::ExecConfig {
+        engine: ped_runtime::Engine::Tree,
+        ..ped_runtime::ExecConfig::default()
+    };
+    ped.run(tree).unwrap();
+    assert_eq!(ped.profile_report().engine, "tree");
+    ped.run(ped_runtime::ExecConfig::default()).unwrap();
+    assert_eq!(ped.profile_report().engine, "bytecode");
 }
 
 #[test]
