@@ -12,8 +12,11 @@
 //! final memory compares element bits, reductions included. Per loop, the
 //! measured speedup (serial wall / threaded wall from the loop profile)
 //! is compared against the static estimator's prediction and the
-//! calibration error `|measured − predicted| / predicted` is flagged when
-//! it exceeds 2×. The speedup acceptance (Threads(4) > 1.5× on the
+//! calibration ratio `max(predicted/measured, measured/predicted)` is
+//! flagged when it exceeds 2×. (An earlier revision used
+//! `|measured − predicted| / predicted`, which is bounded below 1.0
+//! whenever measured < predicted — a 49× overprediction could never
+//! fire the flag.) The speedup acceptance (Threads(4) > 1.5× on the
 //! kernels) only asserts when the host actually has ≥ 4 cores; output
 //! equality and the global step-budget check assert everywhere.
 //!
@@ -216,12 +219,16 @@ fn main() {
 
         let wall4 = walls.iter().find(|(t, _)| *t == 4).expect("4 is in THREADS").1;
         let measured = serial_wall as f64 / wall4 as f64;
-        let calib = (measured - predicted).abs() / predicted.max(1e-9);
+        // Symmetric over/under-prediction ratio: 1.0 is perfect, and a
+        // 49x overprediction scores 49 — not 0.98 as the old
+        // |m − p| / p error did.
+        let calib =
+            (predicted / measured.max(1e-9)).max(measured / predicted.max(1e-9));
         if calib > 2.0 {
             flagged += 1;
             println!(
                 "  CALIBRATION {name}: measured {measured:.2}x vs predicted {predicted:.2}x \
-                 (error {calib:.1}x > 2x){}",
+                 (ratio {calib:.1}x > 2x){}",
                 if cores < 4 { " — expected on an undersized host" } else { "" }
             );
         }
@@ -268,7 +275,7 @@ fn main() {
             ),
             ("measured_speedup_4", Json::Num(measured)),
             ("predicted_speedup_4", Json::Num(predicted)),
-            ("calibration_error", Json::Num(calib)),
+            ("calibration_ratio", Json::Num(calib)),
             ("calibration_flagged", Json::Bool(calib > 2.0)),
         ]));
     }

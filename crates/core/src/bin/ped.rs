@@ -40,6 +40,7 @@ use std::io::{BufRead, Write};
 
 const USAGE: &str = "usage: ped [--batch] [--profile] [--autopar] [--check] [--threads <N>] [--schedule <spec>] [--engine <bytecode|tree>] <file.f>\n\
        ped [--batch] [--profile] [--autopar] [--check] [--threads <N>] [--schedule <spec>] [--engine <bytecode|tree>] --workload <name>\n\
+       ped serve [--listen <addr>] [--store <dir>]\n\
        ped --validate-profile <report.json>";
 
 /// Session-level execution defaults, set by `--threads`/`--schedule` and
@@ -56,6 +57,10 @@ struct RunDefaults {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("serve") {
+        serve_main(&args[1..]);
+        return;
+    }
     let mut batch = false;
     let mut profile = false;
     let mut check = false;
@@ -171,8 +176,15 @@ fn main() {
         print!("ped> ");
         std::io::stdout().flush().ok();
         let mut line = String::new();
-        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
-            break;
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // clean EOF
+            Ok(_) => {}
+            Err(e) => {
+                // An I/O failure is not EOF: say so and exit nonzero so
+                // scripts driving the REPL can tell the two apart.
+                eprintln!("ped: stdin read error: {e}");
+                std::process::exit(1);
+            }
         }
         let words: Vec<&str> = line.split_whitespace().collect();
         match run_command(&mut ped, &mut cur_unit, &mut defaults, &words) {
@@ -185,6 +197,59 @@ fn main() {
 
 fn ped_workloads_source(name: &str) -> Option<String> {
     ped_workloads::program_by_name(name).map(|w| w.source.to_string())
+}
+
+/// `ped serve [--listen <addr>] [--store <dir>]`: run the multi-session
+/// analysis daemon. With `--listen` it serves the line-delimited JSON
+/// protocol over TCP (printing the bound address, so `--listen
+/// 127.0.0.1:0` works for scripts); without, over stdin/stdout. With
+/// `--store` analyzed dependence graphs persist across restarts.
+fn serve_main(args: &[String]) {
+    let mut listen: Option<String> = None;
+    let mut store_dir: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--listen" => match it.next() {
+                Some(addr) => listen = Some(addr.clone()),
+                None => exit_usage("--listen needs an address (e.g. 127.0.0.1:7777)"),
+            },
+            "--store" => match it.next() {
+                Some(dir) => store_dir = Some(dir.clone()),
+                None => exit_usage("--store needs a directory"),
+            },
+            other => exit_usage(&format!("unknown serve argument {other}")),
+        }
+    }
+    let store = store_dir.map(|dir| match ped_core::GraphStore::open(&dir) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot open graph store {dir}: {e}");
+            std::process::exit(1);
+        }
+    });
+    let daemon = ped_core::Daemon::new(store);
+    let result = match listen {
+        Some(addr) => match std::net::TcpListener::bind(&addr) {
+            Ok(listener) => {
+                match listener.local_addr() {
+                    Ok(a) => println!("listening on {a}"),
+                    Err(_) => println!("listening on {addr}"),
+                }
+                std::io::stdout().flush().ok();
+                daemon.serve_listener(listener)
+            }
+            Err(e) => {
+                eprintln!("cannot listen on {addr}: {e}");
+                std::process::exit(1);
+            }
+        },
+        None => daemon.serve_stdio(),
+    };
+    if let Err(e) = result {
+        eprintln!("ped serve: {e}");
+        std::process::exit(1);
+    }
 }
 
 fn exit_usage(msg: &str) {

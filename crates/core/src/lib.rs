@@ -17,11 +17,15 @@ pub mod check;
 pub mod equiv;
 pub mod filters;
 pub mod render;
+pub mod serve;
 pub mod session;
+pub mod store;
 
 pub use check::{LoopValidation, RaceFinding, RaceVerdict, ValidationReport};
 pub use filters::{DepFilter, SourceFilter};
 pub use ped_obs::{IncrementalReport, ProfileReport, PROFILE_SCHEMA_VERSION};
+pub use serve::{Daemon, ServeStats};
 pub use session::{
     build_unit_graph, Assertion, BatchReport, DepKey, DepStatus, Mark, Ped, PedError,
 };
+pub use store::{GraphStore, StoredGraph};

@@ -162,8 +162,10 @@ pub struct Ped {
     /// Memoized subscript-pair outcomes, shared by interactive queries and
     /// `analyze_all` workers. Never invalidated: its key canonicalizes the
     /// *resolved* subscripts and bounds, so edits and new assertions simply
-    /// produce different keys.
-    pair_cache: PairCache,
+    /// produce different keys. Behind an `Arc` so a daemon can hand many
+    /// sessions the same cache ([`Ped::set_pair_cache`]) — the keys are
+    /// content-addressed, so cross-program sharing is sound.
+    pair_cache: Arc<PairCache>,
     /// Session-owned instrumentation registry (one per session, so parallel
     /// sessions/tests never cross-contaminate). Disabled by default; every
     /// record site is one relaxed load when off.
@@ -176,6 +178,9 @@ pub struct Ped {
     graphs_retained_total: u64,
     /// Graphs brought back from the retired store by fingerprint match.
     graphs_resurrected_total: u64,
+    /// Graphs preloaded from a persistent [`crate::store::GraphStore`]
+    /// (warm opens across daemon restarts).
+    graphs_warm_total: u64,
     /// Whole-program interprocedural recomputations performed.
     ip_recomputes_total: u64,
     /// Edits absorbed by the summary-preserving fast path (no recompute).
@@ -250,12 +255,13 @@ impl Ped {
             assertions: Vec::new(),
             undo: Vec::new(),
             redo: Vec::new(),
-            pair_cache: PairCache::new(),
+            pair_cache: Arc::new(PairCache::new()),
             obs: Arc::new(Obs::new()),
             graphs_built_total: 0,
             graphs_reused_total: 0,
             graphs_retained_total: 0,
             graphs_resurrected_total: 0,
+            graphs_warm_total: 0,
             ip_recomputes_total: 0,
             ip_recomputes_skipped_total: 0,
             reanalysis_count: 0,
@@ -534,7 +540,7 @@ impl Ped {
             self.flags,
             self.include_input_deps,
             &self.assertions,
-            Some(&self.pair_cache),
+            Some(self.pair_cache.as_ref()),
             self.obs_ref(),
         );
         if let Some(t0) = t0 {
@@ -625,7 +631,7 @@ impl Ped {
             let flags = self.flags;
             let include_input = self.include_input_deps;
             let assertions = &self.assertions[..];
-            let cache = &self.pair_cache;
+            let cache = self.pair_cache.as_ref();
             let obs = &*self.obs;
             let next = AtomicUsize::new(0);
             let next = &next;
@@ -698,6 +704,89 @@ impl Ped {
     /// Pair-cache counters (for benchmarks and the `analyze` command).
     pub fn pair_cache_stats(&self) -> ped_dep::CacheStats {
         self.pair_cache.stats()
+    }
+
+    /// Replace the session's pair cache with a shared one. A daemon calls
+    /// this right after `open` so every session memoizes into (and hits
+    /// from) one global cache; the cache's keys canonicalize the resolved
+    /// subscripts and bounds, so entries from unrelated programs can only
+    /// collide when the answer is identical anyway.
+    pub fn set_pair_cache(&mut self, cache: Arc<PairCache>) {
+        self.pair_cache = cache;
+    }
+
+    /// A handle to the session's pair cache (to share with other sessions).
+    pub fn pair_cache(&self) -> Arc<PairCache> {
+        Arc::clone(&self.pair_cache)
+    }
+
+    /// Write every live cached graph — with its three-part validity
+    /// certificate — to a persistent store. Returns the number persisted.
+    /// Called by the daemon on `close` and shutdown so the next process
+    /// can start warm.
+    pub fn persist_graphs(&self, store: &crate::store::GraphStore) -> usize {
+        let mut written = 0;
+        for (&(unit_idx, header), e) in &self.graphs {
+            let entry = crate::store::StoredGraph {
+                unit: self.program.units[unit_idx].name.clone(),
+                header: header.0,
+                loop_fp: e.loop_fp,
+                ctx_fp: e.ctx_fp,
+                vis_fp: e.vis_fp,
+                graph: e.graph.clone(),
+            };
+            if store.save(&entry).is_ok() {
+                written += 1;
+            }
+        }
+        written
+    }
+
+    /// Seed the live graph cache from a persistent store: for every loop
+    /// whose freshly computed `(loop_fp, ctx_fp, vis_fp)` certificate
+    /// matches a persisted entry, adopt the stored graph instead of
+    /// rebuilding it later. Returns the number adopted. The certificate is
+    /// recomputed from the *current* program, so a stale store entry (any
+    /// source, flag, or assertion drift) simply never matches — the same
+    /// soundness argument as in-memory retention. Subsequent
+    /// [`Self::graph`]/[`Self::analyze_all`] calls count these as reuses.
+    pub fn preload_graphs(&mut self, store: &crate::store::GraphStore) -> usize {
+        self.ip();
+        let mut adopted = 0;
+        for u in 0..self.program.units.len() {
+            let fps = {
+                let ip = self.ip.as_ref().expect("built above");
+                unit_loop_fingerprints(
+                    &self.program,
+                    ip,
+                    u,
+                    self.flags,
+                    self.include_input_deps,
+                    &self.assertions,
+                )
+            };
+            let vis_fp = self.vis_fps[u];
+            let name = self.program.units[u].name.clone();
+            for (header, (loop_fp, ctx_fp)) in fps {
+                if self.graphs.contains_key(&(u, header)) {
+                    continue;
+                }
+                if let Some(graph) = store.load(&name, header.0, loop_fp, ctx_fp, vis_fp) {
+                    self.graphs.insert(
+                        (u, header),
+                        GraphEntry { graph, loop_fp, ctx_fp, vis_fp },
+                    );
+                    adopted += 1;
+                }
+            }
+        }
+        self.graphs_warm_total += adopted as u64;
+        adopted
+    }
+
+    /// Graphs adopted from a persistent store by [`Self::preload_graphs`].
+    pub fn graphs_warm_total(&self) -> u64 {
+        self.graphs_warm_total
     }
 
     /// Status of a dependence (system marking overlaid with user marks).

@@ -22,7 +22,7 @@ pub mod report;
 
 pub use report::{
     CacheReport, DepTestStat, IncrementalReport, LoopProfileStat, PhaseStat, ProfileReport,
-    SchedulerReport, UnitStat, ValidationSummary, PROFILE_SCHEMA_MIN_VERSION,
+    SchedulerReport, ServeReport, UnitStat, ValidationSummary, PROFILE_SCHEMA_MIN_VERSION,
     PROFILE_SCHEMA_VERSION,
 };
 

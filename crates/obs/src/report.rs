@@ -27,11 +27,11 @@ pub struct ValidationSummary {
 /// Version stamped into every emitted report. Parsing accepts this version
 /// and every earlier one it knows how to upgrade (v1 reports lack the
 /// `incremental` section, v1/v2 reports lack the `scheduler` section,
-/// v1–v3 reports lack the `validation` section; all default to all-zero.
-/// v1–v4 reports lack the `engine` field, which defaults to `"tree"` —
-/// the only engine that existed before v5); later or unknown versions are
-/// rejected.
-pub const PROFILE_SCHEMA_VERSION: u64 = 5;
+/// v1–v3 reports lack the `validation` section, v1–v5 reports lack the
+/// `serve` section; all default to all-zero. v1–v4 reports lack the
+/// `engine` field, which defaults to `"tree"` — the only engine that
+/// existed before v5); later or unknown versions are rejected.
+pub const PROFILE_SCHEMA_VERSION: u64 = 6;
 
 /// Oldest schema version [`ProfileReport::from_json`] still accepts.
 pub const PROFILE_SCHEMA_MIN_VERSION: u64 = 1;
@@ -153,6 +153,30 @@ impl SchedulerReport {
     }
 }
 
+/// Daemon-mode request counters (schema v6). All zero in reports parsed
+/// from pre-v6 JSON or from sessions never served by a `ped serve` daemon.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ServeReport {
+    /// Requests handled (well-formed or not).
+    pub requests: u64,
+    /// Requests answered with a structured error.
+    pub errors: u64,
+    /// Sessions opened over the daemon's lifetime.
+    pub sessions_opened: u64,
+    /// Sessions closed (explicitly or by client disconnect).
+    pub sessions_closed: u64,
+    /// Opens that adopted at least one graph from the persistent store.
+    pub warm_opens: u64,
+    /// Graphs adopted from the persistent store across all opens.
+    pub graphs_loaded: u64,
+    /// Graphs written to the persistent store across all closes.
+    pub graphs_persisted: u64,
+    /// Wall-clock nanoseconds spent handling requests, summed.
+    pub total_request_ns: u64,
+    /// Slowest single request, nanoseconds.
+    pub max_request_ns: u64,
+}
+
 /// Per-unit analysis timing.
 #[derive(Debug, Clone, PartialEq)]
 pub struct UnitStat {
@@ -204,6 +228,9 @@ pub struct ProfileReport {
     /// Shadow-runtime validation counters (all zero when parsed from
     /// pre-v4 JSON).
     pub validation: ValidationSummary,
+    /// Daemon-mode request counters (all zero when parsed from pre-v6
+    /// JSON; filled by `ped serve`, zero for single-process sessions).
+    pub serve: ServeReport,
     /// Per-unit graph-build timings.
     pub units: Vec<UnitStat>,
     /// Loop profiles from runs, if any.
@@ -223,6 +250,7 @@ impl ProfileReport {
             incremental: IncrementalReport::default(),
             scheduler: SchedulerReport::default(),
             validation: ValidationSummary::default(),
+            serve: ServeReport::default(),
             units: Vec::new(),
             loop_profiles: Vec::new(),
         }
@@ -278,6 +306,9 @@ impl ProfileReport {
                 static_unobserved: snap.validation.static_unobserved,
                 validated_deletions: snap.validation.validated_deletions,
             },
+            // The registry knows nothing about daemons; `ped serve` fills
+            // this in from its own counters before emitting.
+            serve: ServeReport::default(),
             units: snap
                 .units
                 .iter()
@@ -399,6 +430,20 @@ impl ProfileReport {
                     ("observed_deps", Json::int(self.validation.observed_deps)),
                     ("static_unobserved", Json::int(self.validation.static_unobserved)),
                     ("validated_deletions", Json::int(self.validation.validated_deletions)),
+                ]),
+            ),
+            (
+                "serve",
+                Json::obj(vec![
+                    ("requests", Json::int(self.serve.requests)),
+                    ("errors", Json::int(self.serve.errors)),
+                    ("sessions_opened", Json::int(self.serve.sessions_opened)),
+                    ("sessions_closed", Json::int(self.serve.sessions_closed)),
+                    ("warm_opens", Json::int(self.serve.warm_opens)),
+                    ("graphs_loaded", Json::int(self.serve.graphs_loaded)),
+                    ("graphs_persisted", Json::int(self.serve.graphs_persisted)),
+                    ("total_request_ns", Json::int(self.serve.total_request_ns)),
+                    ("max_request_ns", Json::int(self.serve.max_request_ns)),
                 ]),
             ),
             (
@@ -573,6 +618,24 @@ impl ProfileReport {
             },
         };
 
+        // v1–v5 reports predate the analysis daemon; the section defaults
+        // to all-zero. From v6 on it is required.
+        let serve = match v.get("serve") {
+            None if schema_version < 6 => ServeReport::default(),
+            None => return Err("missing field 'serve'".to_string()),
+            Some(s) => ServeReport {
+                requests: need_u64(s, "requests")?,
+                errors: need_u64(s, "errors")?,
+                sessions_opened: need_u64(s, "sessions_opened")?,
+                sessions_closed: need_u64(s, "sessions_closed")?,
+                warm_opens: need_u64(s, "warm_opens")?,
+                graphs_loaded: need_u64(s, "graphs_loaded")?,
+                graphs_persisted: need_u64(s, "graphs_persisted")?,
+                total_request_ns: need_u64(s, "total_request_ns")?,
+                max_request_ns: need_u64(s, "max_request_ns")?,
+            },
+        };
+
         let mut units = Vec::new();
         for u in need_arr(v, "units")? {
             units.push(UnitStat {
@@ -606,6 +669,7 @@ impl ProfileReport {
             incremental,
             scheduler,
             validation,
+            serve,
             units,
             loop_profiles,
         })
@@ -691,6 +755,23 @@ impl ProfileReport {
                 val.validated_deletions
             ));
         }
+        let srv = &self.serve;
+        if *srv != ServeReport::default() {
+            out.push_str(&format!(
+                "serve: {} requests ({} errors), {} sessions opened / {} closed; \
+                 {} warm opens loaded {} graphs, {} persisted; \
+                 request time {} total, {} max\n",
+                srv.requests,
+                srv.errors,
+                srv.sessions_opened,
+                srv.sessions_closed,
+                srv.warm_opens,
+                srv.graphs_loaded,
+                srv.graphs_persisted,
+                fmt_ns(srv.total_request_ns),
+                fmt_ns(srv.max_request_ns)
+            ));
+        }
         if !self.units.is_empty() {
             out.push_str("per-unit analysis:\n");
             for u in &self.units {
@@ -771,7 +852,7 @@ mod tests {
             static_unobserved: 2,
             validated_deletions: 3,
         });
-        ProfileReport::from_snapshot(
+        let mut r = ProfileReport::from_snapshot(
             &obs.snapshot(),
             CacheReport { pair_hits: 5, pair_misses: 3, graphs_built: 2, graphs_reused: 1 },
             IncrementalReport {
@@ -784,7 +865,19 @@ mod tests {
                 journal_bytes: 640,
                 snapshot_bytes: 9_000,
             },
-        )
+        );
+        r.serve = ServeReport {
+            requests: 12,
+            errors: 1,
+            sessions_opened: 3,
+            sessions_closed: 2,
+            warm_opens: 1,
+            graphs_loaded: 4,
+            graphs_persisted: 5,
+            total_request_ns: 87_000,
+            max_request_ns: 30_000,
+        };
+        r
     }
 
     #[test]
@@ -907,6 +1000,31 @@ mod tests {
         assert_eq!(back.schema_version, 4);
         assert_eq!(back.engine, "tree");
         assert_eq!(back.validation, r.validation);
+    }
+
+    #[test]
+    fn v5_report_accepts_missing_serve_section() {
+        let r = sample_report();
+        let mut v = r.to_json().to_string_compact();
+        v = v.replacen(
+            &format!("\"schema_version\":{PROFILE_SCHEMA_VERSION}"),
+            "\"schema_version\":5",
+            1,
+        );
+        strip_section(&mut v, "serve");
+        let back = ProfileReport::from_json_str(&v).unwrap();
+        assert_eq!(back.schema_version, 5);
+        assert_eq!(back.serve, ServeReport::default());
+        assert_eq!(back.validation, r.validation);
+    }
+
+    #[test]
+    fn v6_report_requires_serve_section() {
+        let r = sample_report();
+        let mut v = r.to_json().to_string_compact();
+        strip_section(&mut v, "serve");
+        let err = ProfileReport::from_json_str(&v).unwrap_err();
+        assert!(err.contains("serve"), "{err}");
     }
 
     #[test]

@@ -43,7 +43,7 @@ use crate::value::Value;
 use ped_fortran::ast::Intrinsic;
 use ped_fortran::symbols::Const;
 use ped_fortran::{
-    BinOp, DoLoop, Expr, LValue, Program, ProgramUnit, StmtId, StmtKind, SymId, Ty, UnOp,
+    BinOp, DoLoop, Expr, LValue, Program, ProgramUnit, RedOp, StmtId, StmtKind, SymId, Ty, UnOp,
 };
 use std::collections::HashSet;
 use std::sync::Arc;
@@ -114,8 +114,12 @@ pub(crate) enum Op {
     /// Reduction gate on a scalar assignment: when the target cell is
     /// under reduction-operand watching (worker chunks of a
     /// `reduction(...)` loop), route the store through the tree walker's
-    /// `red_assign` recognizer and skip the compiled store. Cold path by
-    /// construction; keeps operand logs bit-identical to serial.
+    /// `red_assign` recognizer and skip the compiled store. This is the
+    /// slow-path route only: fast bodies whose accumulator stores are all
+    /// recognized at compile time (`FastBody::red_ok`) log operands
+    /// directly through [`FastOp::RedLog`] instead — E14 measured the
+    /// per-store gate escape at ~14x *slower* than serial. Either route
+    /// keeps operand logs bit-identical to serial.
     RedGate { plan: u32, skip: u32 },
     /// RETURN.
     Return,
@@ -205,6 +209,14 @@ enum FastOp {
     Not { dst: u16, src: Opnd },
     Bin { op: BinOp, dst: u16, l: Opnd, r: Opnd },
     Intr { op: Intrinsic, dst: u16, base: u16, n: u16 },
+    /// Log an accumulation operand for reduction `red` (index into the
+    /// loop's `reduction(...)` clause). Spliced by `red_recognize`
+    /// immediately before the spine operator that consumes the operand,
+    /// so the logged value is exactly what the fold consumes; a no-op
+    /// when the caller supplies no operand buffers (serial execution).
+    /// Charges nothing — `red_assign` charges what the plain evaluation
+    /// would have, and the plain evaluation is exactly what runs here.
+    RedLog { red: u16, src: Opnd },
 }
 
 /// A straight-line loop body in fast form: no jumps, calls, prints, nested
@@ -257,6 +269,12 @@ pub(crate) struct FastBody {
     pub(crate) steps: u64,
     /// Per-iteration vtime (iteration 2.0 + every instruction's cost).
     cost: f64,
+    /// Every store to a `reduction(...)` accumulator was recognized as
+    /// the same fold spine `red_assign` matches at runtime, the operands
+    /// are captured by spliced [`FastOp::RedLog`] ops, and nothing else
+    /// in the body reads an accumulator — so worker chunks may run this
+    /// body fast even while the reduction cells are watched.
+    pub(crate) red_ok: bool,
     /// All-f64 specialization, when static types allow one.
     pub(crate) typed: Option<TypedBody>,
 }
@@ -290,6 +308,11 @@ enum TOp {
     Div { dst: u16, l: FOpnd, r: FOpnd },
     Pow { dst: u16, l: FOpnd, r: FOpnd },
     Neg { dst: u16, src: FOpnd },
+    /// Typed form of [`FastOp::RedLog`]: the operand is statically Real
+    /// (or an Int the fold would promote with the identical `as f64`
+    /// conversion `num2` applies), so logging the converted value merges
+    /// bit-identically.
+    RedLog { red: u16, src: FOpnd },
 }
 
 /// The all-f64 specialization of a fast body: raw `f64` registers, no
@@ -407,6 +430,10 @@ fn typed_compile(fb: &FastBody, unit: &ProgramUnit) -> Option<TypedBody> {
                 ty[*dst as usize] = Some(T::R);
                 TOp::Neg { dst: *dst, src: s }
             }
+            FastOp::RedLog { red, src } => {
+                let (s, _) = conv(*src, &ty)?;
+                TOp::RedLog { red: *red, src: s }
+            }
             // Materialized producers (range-op feeds, revived copies) and
             // everything else keep the generic tier.
             _ => return None,
@@ -488,6 +515,7 @@ fn fast_compile(
     var: SymId,
     base: u16,
     unit: &ProgramUnit,
+    reds: &[(RedOp, SymId)],
 ) -> Option<FastBody> {
     let mut scalars: Vec<SymId> = Vec::new();
     let mut accs: Vec<FastAcc> = Vec::new();
@@ -513,8 +541,10 @@ fn fast_compile(
     // ---- pass 0: translate, promoting scalars as we go ----
     for inst in body {
         let op = match &inst.op {
-            // The reduction gate is dead on the fast path (entry requires
-            // an empty watch set); CONTINUE only charges.
+            // The reduction gate never executes on the fast path: entry
+            // requires either an empty watch set or a `red_ok` body,
+            // whose accumulator stores log through `RedLog` instead.
+            // CONTINUE only charges.
             Op::Nop | Op::RedGate { .. } => None,
             Op::Const { dst, v } => Some(FastOp::Const { dst: *dst, v: *v }),
             Op::LoadVar { dst, sym } if *sym == var => Some(FastOp::LoadIter { dst: *dst }),
@@ -714,6 +744,8 @@ fn fast_compile(
             | FastOp::Bin { dst, .. }
             | FastOp::Intr { dst, .. } => write(&mut ents, dst),
             FastOp::StoreA { .. } | FastOp::StoreN { .. } => {}
+            // RedLogs are spliced by pass 3, after folding.
+            FastOp::RedLog { .. } => unreachable!("RedLog before recognition"),
         }
     }
 
@@ -730,6 +762,9 @@ fn fast_compile(
         }
     }
 
+    // ---- pass 3: reduction-store recognition (splices RedLog ops) ----
+    let red_ok = red_recognize(&mut final_ops, &mut origs, &accs, &scalars, base, reds);
+
     let mut fb = FastBody {
         ops: final_ops,
         origs,
@@ -741,10 +776,260 @@ fn fast_compile(
         base,
         steps,
         cost,
+        red_ok,
         typed: None,
     };
     fb.typed = typed_compile(&fb, unit);
     Some(fb)
+}
+
+/// Register a fast op writes, if any (`StoreP` writes its promoted
+/// register; array stores write no register).
+fn fast_dst(op: &FastOp) -> Option<u16> {
+    match op {
+        FastOp::Const { dst, .. }
+        | FastOp::LoadIter { dst }
+        | FastOp::Copy { dst, .. }
+        | FastOp::LoadA { dst, .. }
+        | FastOp::LoadN { dst, .. }
+        | FastOp::Neg { dst, .. }
+        | FastOp::Not { dst, .. }
+        | FastOp::Bin { dst, .. }
+        | FastOp::Intr { dst, .. } => Some(*dst),
+        FastOp::StoreP { p, .. } => Some(*p),
+        FastOp::StoreA { .. } | FastOp::StoreN { .. } | FastOp::RedLog { .. } => None,
+    }
+}
+
+/// Registers a fast op reads: operands, affine index sources, and
+/// register ranges. `accs` resolves the index plans of affine accesses.
+fn fast_reads(op: &FastOp, accs: &[FastAcc], mut f: impl FnMut(u16)) {
+    fn opnd(o: &Opnd, f: &mut impl FnMut(u16)) {
+        if let Opnd::Reg(r) = o {
+            f(*r);
+        }
+    }
+    match op {
+        FastOp::Const { .. } | FastOp::LoadIter { .. } => {}
+        FastOp::Copy { src, .. } => f(*src),
+        FastOp::StoreP { src, .. }
+        | FastOp::Neg { src, .. }
+        | FastOp::Not { src, .. }
+        | FastOp::RedLog { src, .. } => opnd(src, &mut f),
+        FastOp::Bin { l, r, .. } => {
+            opnd(l, &mut f);
+            opnd(r, &mut f);
+        }
+        FastOp::LoadA { a, .. } => {
+            for &(src, _) in &accs[*a as usize].dims {
+                if let IdxSrc::Reg(r) = src {
+                    f(r);
+                }
+            }
+        }
+        FastOp::StoreA { a, src } => {
+            for &(s, _) in &accs[*a as usize].dims {
+                if let IdxSrc::Reg(r) = s {
+                    f(r);
+                }
+            }
+            opnd(src, &mut f);
+        }
+        FastOp::LoadN { base, n, .. } | FastOp::Intr { base, n, .. } => {
+            for r in *base..base.saturating_add(*n) {
+                f(r);
+            }
+        }
+        FastOp::StoreN { base, n, src, .. } => {
+            for r in *base..base.saturating_add(*n) {
+                f(r);
+            }
+            opnd(src, &mut f);
+        }
+    }
+}
+
+/// The position of the last def of `r` strictly before `pos` — the def a
+/// consumer at `pos` actually reads (registers are reused, so the last
+/// def overall can be the consumer's own destination).
+fn def_before(
+    defs: &std::collections::HashMap<u16, Vec<usize>>,
+    r: u16,
+    pos: usize,
+) -> Option<usize> {
+    let v = defs.get(&r)?;
+    match v.partition_point(|&p| p < pos) {
+        0 => None,
+        i => Some(v[i - 1]),
+    }
+}
+
+/// Recognize the value that reaches an accumulator store as the fold
+/// spine `match_accum` matches at runtime — `acc`, `spine ⊕ x`, or
+/// `x ⊕ acc` — mirroring its committed left-first semantics exactly.
+/// Operand inserts are recorded (in serial fold order: positions increase
+/// along the spine) against the consuming operator, where the operand's
+/// register is still live; the spine operator that reads the accumulator
+/// directly is sanctioned for that read.
+#[allow(clippy::too_many_arguments)]
+fn trace_spine(
+    ops: &[FastOp],
+    defs: &std::collections::HashMap<u16, Vec<usize>>,
+    spine: BinOp,
+    reg: u16,
+    o: Opnd,
+    pos: usize,
+    ri: u16,
+    sanction: &mut std::collections::HashMap<usize, u16>,
+    inserts: &mut Vec<(usize, u16, Opnd)>,
+) -> bool {
+    let Opnd::Reg(r) = o else { return false };
+    if r == reg {
+        return true; // the bare accumulator: the spine's base
+    }
+    let Some(dj) = def_before(defs, r, pos) else { return false };
+    let (op, l, rr) = match &ops[dj] {
+        FastOp::Bin { op, l, r, .. } => (*op, *l, *r),
+        _ => return false,
+    };
+    if op != spine {
+        return false;
+    }
+    let is_acc = |o: Opnd| matches!(o, Opnd::Reg(x) if x == reg);
+    let mark = inserts.len();
+    if trace_spine(ops, defs, spine, reg, l, dj, ri, sanction, inserts) {
+        // Committed left-first, like `match_accum`: a matched left spine
+        // whose right operand reads the accumulator fails outright.
+        if is_acc(rr) || sanction.insert(dj, reg).is_some() {
+            inserts.truncate(mark);
+            return false;
+        }
+        inserts.push((dj, ri, rr));
+        return true;
+    }
+    inserts.truncate(mark);
+    // `x ⊕ acc`: the right arm is the accumulator *directly* (the folded
+    // form of `Var(s)`, exactly the syntactic check `match_accum` makes).
+    if is_acc(rr) && !is_acc(l) {
+        if sanction.insert(dj, reg).is_some() {
+            return false;
+        }
+        inserts.push((dj, ri, l));
+        return true;
+    }
+    false
+}
+
+/// Pass 3 of [`fast_compile`]: prove every store to a `reduction(...)`
+/// accumulator is the fold spine the tree walker's `red_assign`
+/// recognizes at runtime, splice [`FastOp::RedLog`] ops capturing the
+/// accumulation operands in serial fold order, and verify nothing else
+/// in the body reads an accumulator register (a stray read would observe
+/// the fast path's continuously-accumulated value where the walker's
+/// per-iteration identity re-seed holds something else).
+///
+/// Soundness: in a worker chunk frame every reduction symbol is bound to
+/// a fresh cell bound to *only* that symbol, so this static structural
+/// recognition and `match_accum`'s dynamic cell-identity recognition
+/// accept exactly the same spines — static success implies the walker
+/// would have logged the same operand values in the same order. Any
+/// failure leaves the ops untouched and returns `false`: the body simply
+/// keeps the status-quo slow path under a reduction watch.
+fn red_recognize(
+    ops: &mut Vec<FastOp>,
+    origs: &mut Vec<u16>,
+    accs: &[FastAcc],
+    scalars: &[SymId],
+    base: u16,
+    reds: &[(RedOp, SymId)],
+) -> bool {
+    if reds.is_empty() {
+        return false;
+    }
+    // Accumulator registers by reduction index; a clause symbol the body
+    // never references has no register (and nothing to log).
+    let accum: Vec<Option<u16>> = reds
+        .iter()
+        .map(|&(_, s)| scalars.iter().position(|&t| t == s).map(|i| base + i as u16))
+        .collect();
+    let accum_regs: HashSet<u16> = accum.iter().flatten().copied().collect();
+    let mut defs: std::collections::HashMap<u16, Vec<usize>> = Default::default();
+    for (j, op) in ops.iter().enumerate() {
+        if let Some(d) = fast_dst(op) {
+            defs.entry(d).or_default().push(j);
+        }
+    }
+    // Position -> the accumulator register it is sanctioned to read.
+    let mut sanction: std::collections::HashMap<usize, u16> = Default::default();
+    let mut inserts: Vec<(usize, u16, Opnd)> = Vec::new();
+    for (ri, &(rop, _)) in reds.iter().enumerate() {
+        let Some(reg) = accum[ri] else { continue };
+        let spine = match rop {
+            RedOp::Sum => BinOp::Add,
+            RedOp::Product => BinOp::Mul,
+            // MIN/MAX fold back to per-iteration deltas in the walker,
+            // which the fast path cannot capture — stay slow.
+            _ => return false,
+        };
+        for j in 0..ops.len() {
+            let (p, src) = match &ops[j] {
+                FastOp::StoreP { p, src, .. } => (*p, *src),
+                _ => continue,
+            };
+            if p != reg {
+                continue;
+            }
+            if matches!(src, Opnd::Reg(r) if r == reg) {
+                // `s = s`: a spine with no operands (nothing to log).
+                if sanction.insert(j, reg).is_some() {
+                    return false;
+                }
+                continue;
+            }
+            if !trace_spine(ops, &defs, spine, reg, src, j, ri as u16, &mut sanction, &mut inserts)
+            {
+                return false;
+            }
+        }
+    }
+    // No other op may read any accumulator register — not as an operand,
+    // an index source, a range element, or a cross-reduction operand
+    // (`t = t + s` logs the *cell* value of `s` in the walker, which the
+    // fast path does not maintain).
+    for (j, op) in ops.iter().enumerate() {
+        let mut ok = true;
+        fast_reads(op, accs, |r| {
+            if accum_regs.contains(&r) && sanction.get(&j) != Some(&r) {
+                ok = false;
+            }
+        });
+        if !ok {
+            return false;
+        }
+    }
+    if inserts.is_empty() {
+        return true;
+    }
+    // Splice each RedLog immediately before its consuming spine op. The
+    // sort is stable, so same-position inserts keep fold order; a
+    // RedLog's rollback origin is its consumer's (it cannot fault and
+    // charges nothing, so the mapping only needs to stay monotone).
+    inserts.sort_by_key(|&(pos, _, _)| pos);
+    let mut new_ops = Vec::with_capacity(ops.len() + inserts.len());
+    let mut new_origs = Vec::with_capacity(ops.len() + inserts.len());
+    let mut it = inserts.into_iter().peekable();
+    for (j, op) in ops.drain(..).enumerate() {
+        while it.peek().is_some_and(|&(pos, _, _)| pos == j) {
+            let (_, ri, src) = it.next().unwrap();
+            new_ops.push(FastOp::RedLog { red: ri, src });
+            new_origs.push(origs[j]);
+        }
+        new_ops.push(op);
+        new_origs.push(origs[j]);
+    }
+    *ops = new_ops;
+    *origs = new_origs;
+    true
 }
 
 /// A fast body's cells, resolved against a frame once per loop entry.
@@ -929,7 +1214,12 @@ pub(crate) fn compile_program(program: &Program, shadow: bool) -> CompiledProgra
                 // mark, so fast bodies compile only once it's final.
                 let Lower { dos, affs, unit, .. } = &mut lw;
                 for cl in dos.iter_mut() {
-                    cl.fast = fast_compile(&cl.body, affs, cl.d.var, nregs, unit);
+                    let reds = cl
+                        .d
+                        .parallel
+                        .as_ref()
+                        .map_or(&[][..], |info| info.reductions.as_slice());
+                    cl.fast = fast_compile(&cl.body, affs, cl.d.var, nregs, unit, reds);
                 }
             }
             let code = std::mem::take(&mut lw.code);
@@ -1611,6 +1901,14 @@ impl<'p> Interp<'p> {
     /// The caller must have checked `state.granted >= fb.steps` and run
     /// `fb.prologue` since the last slow iteration; on `Err` the caller
     /// flushes the promoted scalars before touching any cell.
+    ///
+    /// `red_bufs` receives reduction operands from `RedLog` ops, one
+    /// buffer per `reduction(...)` clause entry — `Some` only in worker
+    /// chunks of a `red_ok` body (serial runs pass `None`; the logs
+    /// would be discarded). A faulting iteration may leave its partial
+    /// operands in the buffers: an erroring parallel loop returns before
+    /// the merge ever replays them.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn fast_iter(
         &self,
         unit: &ProgramUnit,
@@ -1619,6 +1917,7 @@ impl<'p> Interp<'p> {
         state: &mut ExecState<'_>,
         regs: &mut [Value],
         cur: i64,
+        mut red_bufs: Option<&mut [Vec<Value>]>,
     ) -> Result<(), RtError> {
         debug_assert!(state.granted >= fb.steps);
         state.granted -= fb.steps;
@@ -1731,6 +2030,11 @@ impl<'p> Interp<'p> {
                         }
                     }
                 }
+                FastOp::RedLog { red, src } => {
+                    if let Some(bufs) = red_bufs.as_mut() {
+                        bufs[*red as usize].push(fetch(*src, regs, cur));
+                    }
+                }
             }
         }
         if let Some((j, e)) = fail {
@@ -1773,6 +2077,7 @@ impl<'p> Interp<'p> {
         iregs: &[i64],
         vals: impl Iterator<Item = i64>,
         done: &mut u64,
+        mut red_bufs: Option<&mut [Vec<Value>]>,
     ) -> Result<(), (i64, RtError)> {
         #[inline(always)]
         fn ff(o: FOpnd, f: &[f64], cur: i64) -> f64 {
@@ -1858,6 +2163,11 @@ impl<'p> Interp<'p> {
                         fregs[*dst as usize] = ff(*l, fregs, cur).powf(ff(*r, fregs, cur))
                     }
                     TOp::Neg { dst, src } => fregs[*dst as usize] = -ff(*src, fregs, cur),
+                    TOp::RedLog { red, src } => {
+                        if let Some(bufs) = red_bufs.as_mut() {
+                            bufs[*red as usize].push(Value::Real(ff(*src, fregs, cur)));
+                        }
+                    }
                 }
             }
             if let Some((j, e)) = fail {
@@ -1949,6 +2259,11 @@ impl<'p> Interp<'p> {
             // unobservable without a shadow tap). Iterations the budget
             // grant can't cover outright fall through to the slow path,
             // whose per-tick refill/abort is the walker's.
+            // `red_watch` here belongs to an ENCLOSING parallel loop
+            // watching its own accumulators — this serial loop's `red_ok`
+            // says nothing about those cells, so the body must route
+            // through the gated walker path regardless (serial runs never
+            // consume RedLog buffers; `None` is passed below).
             let fast = match (&cl.fast, &state.shadow) {
                 (Some(fb), None) if state.red_watch.is_empty() => {
                     self.fast_resolve(fb, frame, &var_cell).map(|ctx| (fb, ctx))
@@ -1998,6 +2313,7 @@ impl<'p> Interp<'p> {
                             let mut done = 0u64;
                             let r = self.typed_run(
                                 unit, fb, tb, ctx, state, &mut fregs, &iregs, vals, &mut done,
+                                None,
                             );
                             if done > 0 {
                                 k += done;
@@ -2016,7 +2332,7 @@ impl<'p> Interp<'p> {
                             fb.prologue(ctx, regs);
                             promoted = true;
                         }
-                        if let Err(e) = self.fast_iter(unit, fb, ctx, state, regs, cur) {
+                        if let Err(e) = self.fast_iter(unit, fb, ctx, state, regs, cur, None) {
                             fb.flush(ctx, regs);
                             var_cell.store_scalar(Value::Int(cur));
                             return Err(e);

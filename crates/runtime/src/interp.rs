@@ -643,17 +643,30 @@ impl<'p> Interp<'p> {
             let cu = &self.compiled.as_ref()?.units[job.unit_idx];
             Some((cu.loop_body(ci), cu.nregs(), cu.loop_fast(ci)))
         });
-        // Straight-line bodies with no shadow tap and no reduction watch
-        // run in fast form (see `bexec_do`): cells resolved once per
-        // chunk, iterations charged in bulk, the iteration variable kept
-        // in flight with the cell updated at chunk end.
+        // Straight-line bodies with no shadow tap run in fast form (see
+        // `bexec_do`): cells resolved once per chunk, iterations charged
+        // in bulk, the iteration variable kept in flight with the cell
+        // updated at chunk end. Reduction loops qualify only when every
+        // accumulator store was recognized at compile time (`red_ok`):
+        // spliced `RedLog` ops then record the accumulation operands
+        // into per-worker buffers — the same operand stream `red_assign`
+        // would have logged — so the merge's serial-fold replay stays
+        // bit-identical without a per-store slow-path escape.
         let unit_ref = &self.program.units[job.unit_idx];
         let fast = match cbody {
-            Some((_, _, Some(fb))) if st.shadow.is_none() && st.red_watch.is_empty() => {
-                self.fast_resolve(fb, &fr, var_cell).map(|ctx| (fb, ctx))
+            Some((_, _, Some(fb)))
+                if st.shadow.is_none() && (st.red_watch.is_empty() || fb.red_ok) =>
+            {
+                self.fast_resolve(fb, fr, var_cell).map(|ctx| (fb, ctx))
             }
             _ => None,
         };
+        // Operand buffers RedLog ops append to during fast iterations;
+        // flushed into `red_contribs` as one `Ops` run whenever the slow
+        // path takes over (and once at chunk end), preserving global
+        // iteration order across fast/slow transitions.
+        let log_red = fast.is_some() && !red_cells.is_empty();
+        let mut red_bufs: Vec<Vec<Value>> = red_cells.iter().map(|_| Vec::new()).collect();
         let nregs = fast
             .as_ref()
             .map_or(cbody.map_or(0, |(_, n, _)| n), |(fb, _)| fb.nregs.max(cbody.unwrap().1));
@@ -671,9 +684,10 @@ impl<'p> Interp<'p> {
         let mut iters = 0u64;
         let mut k = 0usize;
         while k < chunk.len {
-            // Typed burst: no reduction watches or shadow taps exist when
-            // the typed tier is eligible, so the per-iteration setup below
-            // is all dead — run every iteration the grant covers in one
+            // Typed burst: shadow taps never coexist with the typed tier,
+            // and reductions reach it only in `red_ok` form (operands
+            // logged by `RedLog`) — so the per-iteration setup below is
+            // all dead and every iteration the grant covers runs in one
             // call.
             if let (Some(tb), Some((fb, ctx))) = (typed, &fast) {
                 if st.granted >= fb.steps {
@@ -686,6 +700,7 @@ impl<'p> Interp<'p> {
                     let mut done = 0u64;
                     let r = self.typed_run(
                         unit_ref, fb, tb, ctx, &mut st, &mut fregs, &iregs, vals, &mut done,
+                        if log_red { Some(&mut red_bufs[..]) } else { None },
                     );
                     k += done as usize;
                     iters += done;
@@ -698,23 +713,6 @@ impl<'p> Interp<'p> {
                     continue;
                 }
             }
-            // Each iteration accumulates into a fresh identity while the
-            // store sites log the actual operands (see `red_assign`). The
-            // merge replays operands — or, when a store defeated the
-            // recognizer, the iteration's delta — in global iteration
-            // order: the same fold the serial loop performs, which is what
-            // makes float reductions bit-identical to serial no matter the
-            // chunking, schedule, or thread count.
-            for (op, ty, c) in red_cells {
-                c.store_scalar(red_identity(*op, *ty));
-            }
-            for w in &mut st.red_watch {
-                w.log.clear();
-                w.clean = true;
-            }
-            if let Some(sh) = st.shadow.as_deref_mut() {
-                sh.set_tap_iter((chunk.start + k) as u64);
-            }
             let cur = job.vals[chunk.start + k];
             let ran_fast = match &fast {
                 // (typed bodies never reach here: the burst above covers
@@ -725,7 +723,10 @@ impl<'p> Interp<'p> {
                         fb.prologue(ctx, &mut regs);
                         promoted = true;
                     }
-                    if let Err(e) = self.fast_iter(unit_ref, fb, ctx, &mut st, &mut regs, cur) {
+                    let bufs = if log_red { Some(&mut red_bufs[..]) } else { None };
+                    if let Err(e) =
+                        self.fast_iter(unit_ref, fb, ctx, &mut st, &mut regs, cur, bufs)
+                    {
                         fb.flush(ctx, &regs);
                         var_cell.store_scalar(Value::Int(cur));
                         err = Some(e);
@@ -744,6 +745,31 @@ impl<'p> Interp<'p> {
                         }
                     }
                     promoted = false;
+                }
+                // Operands logged by preceding fast iterations land as one
+                // `Ops` run before this slow iteration's contribution —
+                // the merge's flattened fold preserves iteration order.
+                flush_red(&mut red_bufs, &mut red_contribs);
+                // Each slow iteration accumulates into a fresh identity
+                // while the store sites log the actual operands (see
+                // `red_assign`). The merge replays operands — or, when a
+                // store defeated the recognizer, the iteration's delta —
+                // in global iteration order: the same fold the serial loop
+                // performs, which is what makes float reductions
+                // bit-identical to serial no matter the chunking,
+                // schedule, or thread count. (Fast iterations skip this:
+                // the promoted flush above may have parked a meaningless
+                // accumulated register value in the cell, and the re-seed
+                // restores the slow path's invariant.)
+                for (op, ty, c) in red_cells {
+                    c.store_scalar(red_identity(*op, *ty));
+                }
+                for w in &mut st.red_watch {
+                    w.log.clear();
+                    w.clean = true;
+                }
+                if let Some(sh) = st.shadow.as_deref_mut() {
+                    sh.set_tap_iter((chunk.start + k) as u64);
                 }
                 if let Err(e) = st.tick(2.0) {
                     err = Some(e);
@@ -770,18 +796,23 @@ impl<'p> Interp<'p> {
                         break;
                     }
                 }
-            }
-            for (i, (_, _, c)) in red_cells.iter().enumerate() {
-                let w = &mut st.red_watch[i];
-                red_contribs[i].push(if w.clean {
-                    RedContrib::Ops(std::mem::take(&mut w.log))
-                } else {
-                    RedContrib::Delta(c.load_scalar())
-                });
+                for (i, (_, _, c)) in red_cells.iter().enumerate() {
+                    let w = &mut st.red_watch[i];
+                    red_contribs[i].push(if w.clean {
+                        RedContrib::Ops(std::mem::take(&mut w.log))
+                    } else {
+                        RedContrib::Delta(c.load_scalar())
+                    });
+                }
             }
             iters += 1;
             k += 1;
         }
+        // Trailing fast iterations' operands (no slow iteration followed
+        // to flush them). Faulted chunks may flush partial logs too —
+        // harmless, since an erroring run returns before the merge ever
+        // replays contributions.
+        flush_red(&mut red_bufs, &mut red_contribs);
         if promoted {
             // Reconcile promoted scalars before anything can look at the
             // worker's cells (the lastprivate capture below reads them).
@@ -1661,6 +1692,17 @@ fn combine(op: RedOp, a: Value, b: Value) -> Value {
         RedOp::Product => num2(a, b, |x, y| x * y, |x, y| x * y),
         RedOp::Min => num2(a, b, i64::min, f64::min),
         RedOp::Max => num2(a, b, i64::max, f64::max),
+    }
+}
+
+/// Drain fast-path reduction operand buffers into the chunk's ordered
+/// contribution lists: each non-empty buffer becomes one `Ops` run,
+/// exactly as if `red_assign` had logged the same operands.
+fn flush_red(bufs: &mut [Vec<Value>], contribs: &mut [Vec<RedContrib>]) {
+    for (b, c) in bufs.iter_mut().zip(contribs.iter_mut()) {
+        if !b.is_empty() {
+            c.push(RedContrib::Ops(std::mem::take(b)));
+        }
     }
 }
 

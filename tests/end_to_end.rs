@@ -278,3 +278,68 @@ fn pneoss_classification_in_clauses() {
     assert!(src.contains("reduction(+:esum)"), "{src}");
     assert!(src.contains("reduction(max:pmax)"), "{src}");
 }
+
+/// Regression for the threaded-reduction throughput bug E14 exposed:
+/// `dotred` ran at 0.067–0.075x serial at every thread count because each
+/// accumulator store escaped through `RedGate` to the tree walker's
+/// per-store slow path. With compile-time spine recognition the fast
+/// path logs operands directly (`RedLog` into per-worker buffers), so
+/// threaded wall time must stay within 1.2x serial on multi-core hosts —
+/// while remaining bit-identical to the serial fold.
+#[test]
+fn threaded_reduction_keeps_fast_path_throughput() {
+    let n = 200_000;
+    let src = format!(
+        "program dotred\n\
+         integer n\n\
+         parameter (n = {n})\n\
+         real a(n), b(n)\n\
+         real s\n\
+         do i = 1, n\n\
+           a(i) = 0.001 * i\n\
+           b(i) = 1.0 / i\n\
+         enddo\n\
+         s = 0.0\n\
+         parallel do i = 1, n reduction(+:s)\n\
+           s = s + a(i) * b(i)\n\
+         enddo\n\
+         print *, s\n\
+         end\n"
+    );
+    let program = ped_fortran::parse_program(&src).unwrap();
+    let unit = &program.units[0];
+    let header = unit
+        .stmts
+        .iter()
+        .find_map(|s| match &s.kind {
+            ped_fortran::StmtKind::Do(d) if d.is_parallel() => Some(s.id),
+            _ => None,
+        })
+        .expect("reduction loop header");
+    let key = (unit.name.clone(), header);
+    let wall = |config: ExecConfig| {
+        let mut best = u64::MAX;
+        let mut printed = Vec::new();
+        for _ in 0..3 {
+            let r = ped_runtime::interp::run_source(&src, config).unwrap();
+            best = best.min(r.profile[&key].wall_ns.max(1));
+            printed = r.printed;
+        }
+        (best, printed)
+    };
+    let (serial_wall, serial_out) = wall(ExecConfig::default());
+    for t in [2usize, 4] {
+        let (thr_wall, thr_out) =
+            wall(ExecConfig { mode: ParallelMode::Threads(t), ..Default::default() });
+        assert_eq!(serial_out, thr_out, "threads({t}): reduction diverged from serial");
+        let cores = std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1);
+        if cores >= 4 {
+            let ratio = thr_wall as f64 / serial_wall as f64;
+            assert!(
+                ratio <= 1.2,
+                "threads({t}): reduction loop wall {thr_wall}ns is {ratio:.2}x serial \
+                 {serial_wall}ns — the fast-path reduction logging has regressed"
+            );
+        }
+    }
+}

@@ -1,0 +1,305 @@
+//! The concurrent-daemon equivalence oracle (E16 acceptance).
+//!
+//! Property: a `ped serve` daemon multiplexing N concurrent sessions is
+//! *invisible* — each session's dependence graphs, driven entirely
+//! through the wire protocol (open / analyze / transform / undo / redo),
+//! are bit-identical (in the id-free canonical form of
+//! [`ped_core::equiv`]) to a fresh single-process [`Ped`] replaying the
+//! same script. Shared state (the global pair cache, the session
+//! registry) must never leak between sessions.
+//!
+//! Plus the two daemon-lifecycle properties: a restart with a persistent
+//! graph store re-opens warm (`graphs_reused > 0`, zero rebuilds), and a
+//! dropped client connection closes that client's sessions while every
+//! other session keeps serving.
+
+use ped_core::equiv::canonical_graphs;
+use ped_core::{Daemon, GraphStore, Ped};
+use ped_fortran::StmtId;
+use ped_obs::json::{self, Json};
+use ped_transform::Xform;
+use ped_workloads::generator::{gen_source, GenConfig};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+/// Clients driven against one daemon concurrently.
+const CLIENTS: usize = 8;
+
+fn send(daemon: &Daemon, owner: u64, fields: Vec<(&str, Json)>) -> Json {
+    let mut all = vec![("id", Json::int(owner))];
+    all.extend(fields);
+    let line = Json::obj(all).to_string_compact();
+    let resp = daemon.handle_line(owner, &line);
+    let v = json::parse(&resp.text).expect("daemon responses are valid JSON");
+    assert_eq!(
+        v.get("ok").and_then(Json::as_bool),
+        Some(true),
+        "request {line} failed: {}",
+        resp.text
+    );
+    v
+}
+
+fn u64_of(v: &Json, key: &str) -> u64 {
+    v.get(key).and_then(Json::as_u64).unwrap_or_else(|| panic!("missing {key} in {v:?}"))
+}
+
+/// The transformation catalog the scripts draw from, as wire specs with
+/// their in-process equivalents.
+fn catalog() -> Vec<(&'static str, Xform)> {
+    vec![
+        ("reverse", Xform::Reverse),
+        ("unroll:2", Xform::Unroll { factor: 2 }),
+        ("stripmine:8", Xform::StripMine { size: 8 }),
+        ("distribute", Xform::Distribute),
+        ("parallelize", Xform::Parallelize),
+    ]
+}
+
+/// Find, on a scratch session, the first (unit, loop, transform) from the
+/// catalog that actually applies to this program.
+fn pick_transform(src: &str) -> Option<(usize, StmtId, &'static str, Xform)> {
+    let mut scratch = Ped::open(src).unwrap();
+    scratch.analyze_all();
+    for ui in 0..scratch.program().units.len() {
+        let headers: Vec<StmtId> = scratch.loops(ui).into_iter().map(|(h, _)| h).collect();
+        for h in headers {
+            for (spec, xf) in catalog() {
+                if scratch.apply(ui, h, &xf).is_ok() {
+                    scratch.undo();
+                    return Some((ui, h, spec, xf));
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Canonical graphs of the daemon-held session, via the embedding hatch.
+fn daemon_canonical(
+    daemon: &Daemon,
+    session: u64,
+) -> std::collections::BTreeMap<(String, usize), Vec<String>> {
+    daemon.with_ped(session, canonical_graphs).expect("session exists")
+}
+
+/// Drive one client's whole script through the wire protocol while a
+/// fresh in-process session mirrors it; canonical graph forms must match
+/// at every checkpoint. Returns true when the script included a
+/// transform (so the suite can assert it wasn't vacuous).
+fn oracle_client(daemon: &Daemon, client: usize) -> bool {
+    let owner = client as u64 + 1;
+    let seed = client as u64 + 1;
+    let src = gen_source(GenConfig {
+        units: 2,
+        loops_per_unit: 2,
+        stmts_per_loop: 3,
+        extent: 48,
+        seed,
+    });
+    let v = send(daemon, owner, vec![("verb", Json::str("open")), ("source", Json::str(&src))]);
+    let session = u64_of(&v, "session");
+    let mut mirror = Ped::open(&src).unwrap();
+
+    send(daemon, owner, vec![("verb", Json::str("analyze")), ("session", Json::int(session))]);
+    mirror.analyze_all();
+    assert_eq!(
+        daemon_canonical(daemon, session),
+        canonical_graphs(&mut mirror),
+        "client {client}: daemon diverged after analyze"
+    );
+
+    let Some((ui, h, spec, xf)) = pick_transform(&src) else {
+        return false;
+    };
+    let unit_name = mirror.program().units[ui].name.clone();
+    send(
+        daemon,
+        owner,
+        vec![
+            ("verb", Json::str("transform")),
+            ("session", Json::int(session)),
+            ("unit", Json::str(&unit_name)),
+            ("target", Json::int(h.0 as u64)),
+            ("xform", Json::str(spec)),
+        ],
+    );
+    mirror.apply(ui, h, &xf).expect("transform applies in the mirror too");
+    send(daemon, owner, vec![("verb", Json::str("analyze")), ("session", Json::int(session))]);
+    mirror.analyze_all();
+    assert_eq!(
+        daemon_canonical(daemon, session),
+        canonical_graphs(&mut mirror),
+        "client {client}: daemon diverged after transform {spec}"
+    );
+
+    let v = send(daemon, owner, vec![("verb", Json::str("undo")), ("session", Json::int(session))]);
+    assert_eq!(v.get("applied").and_then(Json::as_bool), Some(true));
+    assert!(mirror.undo());
+    assert_eq!(
+        daemon_canonical(daemon, session),
+        canonical_graphs(&mut mirror),
+        "client {client}: daemon diverged after undo"
+    );
+
+    let v = send(daemon, owner, vec![("verb", Json::str("redo")), ("session", Json::int(session))]);
+    assert_eq!(v.get("applied").and_then(Json::as_bool), Some(true));
+    assert!(mirror.redo());
+    assert_eq!(
+        daemon_canonical(daemon, session),
+        canonical_graphs(&mut mirror),
+        "client {client}: daemon diverged after redo"
+    );
+    true
+}
+
+/// N concurrent daemon sessions are each bit-identical to a fresh
+/// single-process session replaying the same edit script.
+#[test]
+fn concurrent_daemon_sessions_match_fresh_sessions() {
+    let daemon = Daemon::new(None);
+    let transformed: usize = std::thread::scope(|scope| {
+        let daemon = &daemon;
+        let handles: Vec<_> =
+            (0..CLIENTS).map(|c| scope.spawn(move || oracle_client(daemon, c))).collect();
+        handles
+            .into_iter()
+            .map(|h| usize::from(h.join().expect("oracle client panicked")))
+            .sum()
+    });
+    assert_eq!(daemon.session_count(), CLIENTS);
+    assert!(
+        transformed >= CLIENTS / 2,
+        "oracle is vacuous: only {transformed}/{CLIENTS} scripts included a transform"
+    );
+    assert_eq!(daemon.stats().errors, 0, "scripted requests must not error");
+}
+
+/// A daemon restart with a persistent store re-opens warm: the persisted
+/// graphs come back under their fingerprint certificates and the
+/// follow-up analyze rebuilds nothing.
+#[test]
+fn restart_with_store_reuses_persisted_graphs() {
+    let dir = std::env::temp_dir().join(format!("ped_serve_restart_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let src = gen_source(GenConfig {
+        units: 2,
+        loops_per_unit: 2,
+        stmts_per_loop: 3,
+        extent: 48,
+        seed: 3,
+    });
+
+    let daemon = Daemon::new(Some(GraphStore::open(&dir).unwrap()));
+    let v = send(&daemon, 1, vec![("verb", Json::str("open")), ("source", Json::str(&src))]);
+    let session = u64_of(&v, "session");
+    assert_eq!(u64_of(&v, "warm_graphs"), 0, "first open must be cold");
+    let v = send(&daemon, 1, vec![("verb", Json::str("analyze")), ("session", Json::int(session))]);
+    let loops = u64_of(&v, "loops");
+    assert!(loops > 0);
+    assert_eq!(u64_of(&v, "built"), loops);
+    let v = send(&daemon, 1, vec![("verb", Json::str("close")), ("session", Json::int(session))]);
+    assert_eq!(u64_of(&v, "persisted"), loops);
+    drop(daemon);
+
+    // A brand-new daemon process-equivalent: nothing in memory, only the
+    // store directory survives.
+    let daemon = Daemon::new(Some(GraphStore::open(&dir).unwrap()));
+    let v = send(&daemon, 1, vec![("verb", Json::str("open")), ("source", Json::str(&src))]);
+    let session = u64_of(&v, "session");
+    assert_eq!(u64_of(&v, "warm_graphs"), loops, "warm reopen must preload every graph");
+    let v = send(&daemon, 1, vec![("verb", Json::str("analyze")), ("session", Json::int(session))]);
+    assert_eq!(u64_of(&v, "built"), 0, "warm analyze must rebuild nothing");
+    assert!(u64_of(&v, "reused") > 0, "graphs_reused must be positive on warm reopen");
+    assert_eq!(u64_of(&v, "warm"), loops);
+    // The warm graphs must also be *correct*, not merely present.
+    let mut mirror = Ped::open(&src).unwrap();
+    mirror.analyze_all();
+    assert_eq!(daemon_canonical(&daemon, session), canonical_graphs(&mut mirror));
+    assert_eq!(daemon.stats().warm_opens, 1);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+fn tcp_request(
+    reader: &mut BufReader<TcpStream>,
+    writer: &mut TcpStream,
+    req: &str,
+) -> Json {
+    writer.write_all(req.as_bytes()).unwrap();
+    writer.write_all(b"\n").unwrap();
+    writer.flush().unwrap();
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("daemon answered");
+    json::parse(line.trim_end()).expect("valid JSON response")
+}
+
+fn tcp_client(addr: std::net::SocketAddr) -> (BufReader<TcpStream>, TcpStream) {
+    let stream = TcpStream::connect(addr).unwrap();
+    stream.set_read_timeout(Some(std::time::Duration::from_secs(30))).ok();
+    let reader = BufReader::new(stream.try_clone().unwrap());
+    (reader, stream)
+}
+
+/// A dropped client connection closes that client's sessions — and only
+/// those; the surviving client keeps getting answers from the same
+/// daemon (the satellite-3 fault-isolation property, over real sockets).
+#[test]
+fn dropped_connection_closes_only_its_sessions() {
+    const SRC: &str = "\
+      program tiny\n\
+      integer i\n\
+      real a(64)\n\
+      do 10 i = 1, 64\n\
+      a(i) = a(i) + 1.0\n\
+   10 continue\n\
+      end\n";
+    let daemon = Daemon::new(None);
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    std::thread::scope(|scope| {
+        let daemon = &daemon;
+        let server = scope.spawn(move || daemon.serve_listener(listener));
+
+        let (mut r1, mut w1) = tcp_client(addr);
+        let open = format!(
+            "{{\"id\":1,\"verb\":\"open\",\"source\":{}}}",
+            Json::str(SRC).to_string_compact()
+        );
+        let v = tcp_request(&mut r1, &mut w1, &open);
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true), "{v:?}");
+
+        let (mut r2, mut w2) = tcp_client(addr);
+        let v = tcp_request(&mut r2, &mut w2, &open);
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
+        let s2 = u64_of(&v, "session");
+        assert_eq!(daemon.session_count(), 2);
+
+        // Client 1 vanishes without a `close` — a broken pipe, not a
+        // clean shutdown.
+        drop(r1);
+        drop(w1);
+        let t0 = std::time::Instant::now();
+        while daemon.session_count() != 1 {
+            assert!(
+                t0.elapsed() < std::time::Duration::from_secs(20),
+                "daemon never reaped the dropped client's session"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+
+        // The surviving session still serves.
+        let v = tcp_request(
+            &mut r2,
+            &mut w2,
+            &format!("{{\"id\":2,\"verb\":\"analyze\",\"session\":{s2}}}"),
+        );
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true), "{v:?}");
+        assert!(u64_of(&v, "loops") > 0);
+
+        let v = tcp_request(&mut r2, &mut w2, "{\"id\":3,\"verb\":\"shutdown\"}");
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
+        server.join().expect("server thread panicked").expect("clean shutdown");
+    });
+    assert_eq!(daemon.session_count(), 0);
+    assert_eq!(daemon.stats().sessions_closed, 2);
+}
