@@ -26,6 +26,7 @@ pub mod dataflow;
 pub mod defuse;
 pub mod liveness;
 pub mod scalars;
+pub mod sections;
 pub mod symbolic;
 
 pub use cfg::{Cfg, NodeId};

@@ -77,6 +77,42 @@ pub trait CallInfo {
     /// uses — Callahan's flow-sensitive side effects, not flat REF; a
     /// scalar the callee always assigns before reading is *not* here).
     fn refs(&self, unit: &ProgramUnit, stmt: StmtId) -> HashSet<SymId>;
+    /// Sectioned effect of the call on one array (bounded regular sections).
+    /// The conservative default: any array passed as an argument or living
+    /// in COMMON may be read and written anywhere, kills nothing, exposes
+    /// everything (`exposed: None` ≡ ⊤). `ped-interproc` overrides this
+    /// with callee-summary sections translated into the caller's frame.
+    fn array_effect(&self, unit: &ProgramUnit, stmt: StmtId, sym: SymId) -> ArrayCallEffect {
+        conservative_array_effect(unit, stmt, sym)
+    }
+}
+
+/// Sectioned interprocedural effect of one call statement on one array.
+#[derive(Debug, Clone, Default)]
+pub struct ArrayCallEffect {
+    /// The call may read the array.
+    pub may_read: bool,
+    /// The call may write the array.
+    pub may_write: bool,
+    /// Section definitely overwritten before any use on every path through
+    /// the callee (`None` = kills nothing).
+    pub kill: Option<crate::sections::ArraySection>,
+    /// Section of upward-exposed reads (`None` = unknown, treat as ⊤).
+    pub exposed: Option<crate::sections::ArraySection>,
+}
+
+/// Worst-case array effect: argument and COMMON arrays are read and written
+/// in full, nothing is killed.
+pub fn conservative_array_effect(
+    unit: &ProgramUnit,
+    stmt: StmtId,
+    sym: SymId,
+) -> ArrayCallEffect {
+    let touched = unit.symbols.sym(sym).common.is_some()
+        || stmt_accesses(unit, stmt)
+            .iter()
+            .any(|a| a.kind == AccessKind::CallArg && a.sym == sym);
+    ArrayCallEffect { may_read: touched, may_write: touched, kill: None, exposed: None }
 }
 
 /// Worst-case call effects: arguments and COMMON scalars are both read and

@@ -11,9 +11,11 @@
 //! cost of observation: shadow-off must add no measurable overhead (an A/A
 //! comparison of two interleaved shadow-off medians bounds measurement
 //! noise; shadow-off vs baseline must sit inside that bound), while
-//! shadow-on pays a reported slowdown. Results land in
-//! `target/BENCH_E15.json` (profile schema v4, with the validation
-//! section).
+//! shadow-on pays a reported slowdown. The bounded regular-section
+//! analysis must close slab2d's workspace gap: its loop-carried edge on
+//! `w` is killed statically (and the loop privatizes), so slab2d reports
+//! zero unobserved static edges. Results land in `target/BENCH_E15.json`
+//! (profile schema v7, with the validation and sections blocks).
 
 use ped_bench::harness::{bench, fmt_ns};
 use ped_bench::{apply_suite_assertions, parallelize_everything};
@@ -101,6 +103,13 @@ fn main() {
         );
         conservatism.push((w.name, r));
     }
+    // The section analysis closes the slab2d gap: the workspace array's
+    // carried edge is statically killed, so nothing is left unobserved.
+    let slab = conservatism.iter().find(|(n, _)| *n == "slab2d").unwrap();
+    assert_eq!(
+        slab.1.static_unobserved, 0,
+        "slab2d's workspace edge must be dropped by the section kill analysis"
+    );
 
     // ---- overhead: shadow-off must be free, shadow-on is reported ------
     // A/A protocol: interleave two shadow-off measurements; their ratio
@@ -136,12 +145,22 @@ fn main() {
         fmt_ns(off_a.min(off_b))
     );
 
-    // ---- one profiled session feeding the v4 validation section --------
+    // ---- one profiled session feeding the validation + sections blocks -
     let mut profiled = Ped::open_profiled(&src).unwrap();
     profiled.analyze_all();
     profiled.check(ExecConfig::default()).unwrap();
     let profile = profiled.profile_report();
     assert_eq!(profile.validation.checks, 1);
+    assert!(
+        profile.sections.arrays_classified > 0,
+        "graph builds must feed the v7 sections block"
+    );
+    println!(
+        "sections: {} arrays classified, {} fully killed, {} privatizable",
+        profile.sections.arrays_classified,
+        profile.sections.exposed_bottom,
+        profile.sections.privatizable
+    );
 
     let doc = Json::obj(vec![
         ("bench", Json::str("E15")),

@@ -329,7 +329,9 @@ fn batch_run_threads(ped: &Ped, defaults: RunDefaults, quiet: bool) {
 
 /// Convert every provably-parallelizable loop into a `PARALLEL DO`,
 /// outermost-first, skipping loops nested inside an already-parallel one
-/// (the same policy the benchmark suite uses).
+/// (the same policy the benchmark suite uses). Loops blocked only by
+/// dependences on section-privatizable workspace arrays are parallelized
+/// through [`Xform::ArrayPrivatize`] instead.
 fn autoparallelize(ped: &mut Ped) -> usize {
     let mut converted = 0;
     for ui in 0..ped.program().units.len() {
@@ -339,9 +341,10 @@ fn autoparallelize(ped: &mut Ped) -> usize {
             if covered.contains(&h) {
                 continue;
             }
-            if ped.parallelizable(ui, h).unwrap_or(false)
-                && ped.apply(ui, h, &Xform::Parallelize).is_ok()
-            {
+            let done = (ped.parallelizable(ui, h).unwrap_or(false)
+                && ped.apply(ui, h, &Xform::Parallelize).is_ok())
+                || try_array_privatize(ped, ui, h);
+            if done {
                 converted += 1;
                 let unit = &ped.program().units[ui];
                 ped_fortran::visit::for_each_stmt(unit, &unit.loop_of(h).body, &mut |s| {
@@ -353,6 +356,34 @@ fn autoparallelize(ped: &mut Ped) -> usize {
         }
     }
     converted
+}
+
+/// Parallelize-via-privatization fallback: when every blocking dependence
+/// of the loop sits on arrays the section analysis proved privatizable,
+/// apply [`Xform::ArrayPrivatize`] to each (the first promotes the loop to
+/// `PARALLEL DO` with full clauses). Returns whether the loop converted.
+fn try_array_privatize(ped: &mut Ped, ui: usize, h: ped_fortran::StmtId) -> bool {
+    let Ok(g) = ped.graph(ui, h) else { return false };
+    let mut needed: Vec<ped_fortran::SymId> = Vec::new();
+    for d in g.deps.iter().filter(|d| d.blocks_parallel()) {
+        let Some(v) = d.var else { return false };
+        if !g.array_classes.get(&v).is_some_and(|c| c.privatizable) {
+            return false;
+        }
+        if !needed.contains(&v) {
+            needed.push(v);
+        }
+    }
+    if needed.is_empty() {
+        return false; // nothing blocked: plain Parallelize covers it
+    }
+    needed.sort();
+    for v in needed {
+        if ped.apply(ui, h, &Xform::ArrayPrivatize { var: v }).is_err() {
+            return false;
+        }
+    }
+    true
 }
 
 /// Build the execution config the batch-mode defaults describe.
@@ -438,6 +469,7 @@ assert <var> = <int>          value assertion in the current unit
 assert perm <array>           permutation assertion (deletes its pending deps)
 diagnose <stmt> <xform>       advice for: parallelize interchange distribute
                               reverse stripmine:<n> unroll:<n> skew:<n>
+                              expand:<scalar> ivsub:<scalar> privatize:<array>
 apply <stmt> <xform>          apply a transformation
 undo / redo
 source                        print the regenerated source
@@ -710,6 +742,12 @@ fn parse_xform(ped: &Ped, unit: usize, word: &str) -> Result<Xform, String> {
                 .and_then(|a| ped.program().units[unit].symbols.lookup(a))
                 .ok_or("ivsub:<scalar>")?;
             Xform::IvSub { var }
+        }
+        "privatize" => {
+            let var = arg
+                .and_then(|a| ped.program().units[unit].symbols.lookup(a))
+                .ok_or("privatize:<array>")?;
+            Xform::ArrayPrivatize { var }
         }
         other => return Err(format!("unknown transformation {other}")),
     })

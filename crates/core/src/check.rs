@@ -48,6 +48,12 @@ pub enum RaceVerdict {
     /// but the executed loop carries no such clause (e.g. it was stripped
     /// by a later edit).
     MissingClause,
+    /// Carried flow observed through an array in the loop's private
+    /// clause: the privatization (section-proven or user-forced) was
+    /// invalid — some iteration read a value a different iteration wrote.
+    /// Private-array cells are watched in "true-only" mode precisely so
+    /// this witness survives the clause masking.
+    InvalidArrayPrivatization,
     /// No static edge, no deletion, no clause: the analysis missed a real
     /// dependence. A soundness bug in the dependence tests.
     MissedByAnalysis,
@@ -63,6 +69,9 @@ impl std::fmt::Display for RaceVerdict {
                 write!(f, "loop was force-parallelized over {} dependence {}->{}", k.kind, k.src, k.dst)
             }
             RaceVerdict::MissingClause => write!(f, "missing private/reduction clause"),
+            RaceVerdict::InvalidArrayPrivatization => {
+                write!(f, "invalid array privatization: carried flow through a private array")
+            }
             RaceVerdict::MissedByAnalysis => write!(f, "missed by static analysis"),
         }
     }
@@ -90,6 +99,22 @@ pub struct RaceFinding {
     pub verdict: RaceVerdict,
 }
 
+/// One static carried edge the run never exhibited, with the section
+/// analysis' self-diagnosis of why the edge survived static analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UnobservedEdge {
+    /// Variable name carrying the static edge.
+    pub var: String,
+    /// Static dependence kind.
+    pub kind: DepKind,
+    /// For arrays the section pass analyzed: why the kill analysis could
+    /// not prove the edge spurious — "kill-gap" (partial overwrite, with
+    /// the exposed/kill sections) or "symbolic-bound ⊤" (a subscript or
+    /// bound it could not bound). `None` when sections are not to blame
+    /// (scalars, or arrays the pass never saw).
+    pub reason: Option<String>,
+}
+
 /// Validation outcome for one executed loop.
 #[derive(Debug, Clone)]
 pub struct LoopValidation {
@@ -109,8 +134,9 @@ pub struct LoopValidation {
     pub observed: usize,
     /// Races (non-empty only on parallel-marked loops).
     pub races: Vec<RaceFinding>,
-    /// Static carried edges that never materialized: `(var name, kind)`.
-    pub unobserved: Vec<(String, DepKind)>,
+    /// Static carried edges that never materialized, each naming the
+    /// responsible variable and (for arrays) the section analysis' reason.
+    pub unobserved: Vec<UnobservedEdge>,
     /// User-rejected edges the run never contradicted.
     pub validated: Vec<DepKey>,
 }
@@ -167,6 +193,20 @@ impl ValidationReport {
             "  conservatism: {} static carried edges never observed\n",
             self.static_unobserved
         ));
+        for l in &self.loops {
+            for e in &l.unobserved {
+                match &e.reason {
+                    Some(r) => out.push_str(&format!(
+                        "    {}:{} {} {} -- {}\n",
+                        l.unit, l.header, e.kind, e.var, r
+                    )),
+                    None => out.push_str(&format!(
+                        "    {}:{} {} {}\n",
+                        l.unit, l.header, e.kind, e.var
+                    )),
+                }
+            }
+        }
         out.push_str(&format!(
             "  validated deletions: {}\n",
             self.validated_deletions
@@ -292,10 +332,35 @@ impl Ped {
                     });
                     let rejected =
                         matching.iter().find(|&&i| statuses[i] == DepStatus::Rejected);
+                    // A private *array* cell is watched in true-only mode:
+                    // an observed carried flow through it means the
+                    // privatization itself was wrong (its static edges
+                    // were dropped on the clause's authority, so no
+                    // matching edge exists to pin it on).
+                    let private_array = dl.parallel.as_ref().is_some_and(|info| {
+                        unit.symbols.lookup(var).is_some_and(|s| {
+                            unit.symbols.sym(s).is_array() && info.private.contains(&s)
+                        })
+                    });
+                    // A blocking edge on an array the section analysis
+                    // itself proved privatizable means the private clause
+                    // was dropped, not that the user overrode the
+                    // analysis — the fix is restoring the clause.
+                    let privatizable_array = unit
+                        .symbols
+                        .lookup(var)
+                        .and_then(|s| graph.array_classes.get(&s))
+                        .is_some_and(|c| c.privatizable);
                     let verdict = if let Some(&i) = active_blocking {
-                        RaceVerdict::ForcedParallel(key_of(carried[i]))
+                        if privatizable_array && !private_array {
+                            RaceVerdict::MissingClause
+                        } else {
+                            RaceVerdict::ForcedParallel(key_of(carried[i]))
+                        }
                     } else if let Some(&i) = rejected {
                         RaceVerdict::ContradictsDeletion(key_of(carried[i]))
+                    } else if private_array {
+                        RaceVerdict::InvalidArrayPrivatization
                     } else {
                         let clause_class = unit
                             .symbols
@@ -353,7 +418,21 @@ impl Ped {
                         continue;
                     }
                     if !observed {
-                        lv.unobserved.push((name, d.kind));
+                        // Self-diagnosis: when the section pass analyzed
+                        // this array but could not kill the edge, say why
+                        // (kill-gap vs symbolic ⊤) with the sections.
+                        let reason = d
+                            .var
+                            .and_then(|s| graph.array_classes.get(&s))
+                            .and_then(|c| {
+                                c.reason.map(|r| {
+                                    format!(
+                                        "{r}: exposed {}, kill {}",
+                                        c.exposed_desc, c.kill_desc
+                                    )
+                                })
+                            });
+                        lv.unobserved.push(UnobservedEdge { var: name, kind: d.kind, reason });
                     }
                 }
 
@@ -502,7 +581,73 @@ mod tests {
         assert!(r.static_unobserved > 0, "{r:?}");
         let scatter = ped.loops(0)[1].0;
         let lv = r.loops.iter().find(|l| l.header == scatter).unwrap();
-        assert!(lv.unobserved.iter().any(|(n, _)| n == "a"), "{:?}", lv.unobserved);
+        assert!(lv.unobserved.iter().any(|e| e.var == "a"), "{:?}", lv.unobserved);
+    }
+
+    #[test]
+    fn partial_kill_conservatism_names_array_and_reason() {
+        // The w(32) element survives the per-iteration overwrite [1:31]:
+        // the static carried flow stays, the run (where w(32) is only the
+        // stale zero) never exhibits it… and the report must say which
+        // array and why the section analysis kept the edge.
+        let src = "program t\nreal w(32), a(16,32)\ndo is = 1, 16\ndo ip = 1, 31\n\
+             w(ip) = real(is + ip)\nenddo\ndo ip = 1, 32\na(is,ip) = w(ip)\nenddo\n\
+             enddo\nprint *, a(1,1)\nend\n";
+        let mut ped = Ped::open(src).unwrap();
+        let r = check_default(&mut ped);
+        assert!(r.clean(), "{}", r.render_text());
+        let edge = r
+            .loops
+            .iter()
+            .flat_map(|l| l.unobserved.iter())
+            .find(|e| e.var == "w")
+            .unwrap_or_else(|| panic!("{}", r.render_text()));
+        let reason = edge.reason.as_deref().unwrap();
+        assert!(reason.contains("kill-gap"), "{reason}");
+        assert!(r.render_text().contains("kill-gap"), "{}", r.render_text());
+    }
+
+    #[test]
+    fn array_privatization_validates_clean() {
+        // The slab2d shape: w fully overwritten per is-iteration. The
+        // section analysis privatizes it, the loop parallelizes, and the
+        // shadow check observes nothing on w in any mode.
+        let src = "program t\nreal w(32), a(16,32)\ndo is = 1, 16\ndo ip = 1, 32\n\
+             w(ip) = real(is + ip)\nenddo\ndo ip = 1, 32\na(is,ip) = w(ip)\nenddo\n\
+             enddo\nprint *, a(7,7)\nend\n";
+        let mut ped = Ped::open(src).unwrap();
+        let h = ped.loops(0)[0].0;
+        let w = ped.program().units[0].symbols.lookup("w").unwrap();
+        let d = ped.diagnose(0, h, &Xform::ArrayPrivatize { var: w }).unwrap();
+        assert!(d.ok(), "{d:?}");
+        ped.apply(0, h, &Xform::ArrayPrivatize { var: w }).unwrap();
+        let r = check_default(&mut ped);
+        assert!(r.clean(), "{}", r.render_text());
+        let lv = r.loops.iter().find(|l| l.header == h).unwrap();
+        assert!(lv.parallel);
+        assert!(lv.unobserved.iter().all(|e| e.var != "w"), "{:?}", lv.unobserved);
+    }
+
+    #[test]
+    fn forced_partial_kill_privatization_is_caught() {
+        // Mutation test: the kill analysis rejects privatizing w (the
+        // w(32) element carries real flow), the user forces the clause
+        // anyway — the true-only shadow watch must surface the carried
+        // flow as an InvalidArrayPrivatization race.
+        let src = "program t\nreal w(32), a(16,32)\ndo is = 1, 16\ndo ip = 1, 31\n\
+             w(ip) = real(is + ip)\nenddo\ndo ip = 1, 32\na(is,ip) = w(ip)\nenddo\n\
+             w(32) = w(1)\nenddo\nprint *, a(1,1)\nend\n";
+        let mut ped = Ped::open(src).unwrap();
+        let h = ped.loops(0)[0].0;
+        let w = ped.program().units[0].symbols.lookup("w").unwrap();
+        let d = ped.diagnose(0, h, &Xform::ArrayPrivatize { var: w }).unwrap();
+        assert!(!d.ok(), "diagnose must reject the partial kill: {d:?}");
+        ped.apply(0, h, &Xform::ArrayPrivatize { var: w }).unwrap();
+        let r = check_default(&mut ped);
+        assert!(!r.clean(), "{}", r.render_text());
+        let race = r.races().find(|f| f.var == "w").unwrap();
+        assert_eq!(race.kind, ObsKind::True);
+        assert_eq!(race.verdict, RaceVerdict::InvalidArrayPrivatization);
     }
 
     #[test]

@@ -558,6 +558,7 @@ fn parse_xform(ped: &Ped, unit: usize, word: &str) -> Result<Xform, ReqError> {
         "skew" => Xform::Skew { factor: int_arg()? },
         "expand" => Xform::ScalarExpand { var: sym_arg()? },
         "ivsub" => Xform::IvSub { var: sym_arg()? },
+        "privatize" => Xform::ArrayPrivatize { var: sym_arg()? },
         other => return Err(bad(format!("unknown transformation {other}"))),
     })
 }

@@ -1083,6 +1083,7 @@ impl Ped {
                 header,
                 deps: Vec::new(),
                 scalar_classes: std::collections::HashMap::new(),
+                array_classes: std::collections::HashMap::new(),
             })
         }
     }

@@ -24,6 +24,7 @@
 //! format drift) are treated as misses; `load` never fails a session.
 
 use ped_analysis::scalars::ScalarClass;
+use ped_analysis::sections::{ArrayClass, TopReason};
 use ped_dep::vectors::{DirSet, DirVector};
 use ped_dep::TestName;
 use ped_dep::{DepCause, DepGraph, DepKind, Dependence};
@@ -62,7 +63,7 @@ pub struct GraphStore {
 
 /// Format version stamped into every entry; bumped when the encoding
 /// changes so old files read as misses instead of garbage.
-const STORE_VERSION: u64 = 1;
+const STORE_VERSION: u64 = 2;
 
 impl GraphStore {
     /// Open (creating if needed) a store rooted at `dir`.
@@ -553,11 +554,55 @@ fn dep_from_json(v: &Json) -> Option<Dependence> {
     })
 }
 
+fn array_class_to_json(c: &ArrayClass) -> Json {
+    Json::obj(vec![
+        ("written", Json::Bool(c.written)),
+        ("read", Json::Bool(c.read)),
+        ("exposed_bottom", Json::Bool(c.exposed_bottom)),
+        ("privatizable", Json::Bool(c.privatizable)),
+        ("no_carried_flow", Json::Bool(c.no_carried_flow)),
+        ("live_after", Json::Bool(c.live_after)),
+        (
+            "reason",
+            match c.reason {
+                None => Json::Null,
+                Some(TopReason::KillGap) => Json::str("kill_gap"),
+                Some(TopReason::SymbolicTop) => Json::str("symbolic_top"),
+            },
+        ),
+        ("kill_desc", Json::str(&c.kill_desc)),
+        ("exposed_desc", Json::str(&c.exposed_desc)),
+    ])
+}
+
+fn array_class_from_json(v: &Json) -> Option<ArrayClass> {
+    Some(ArrayClass {
+        written: v.get("written")?.as_bool()?,
+        read: v.get("read")?.as_bool()?,
+        exposed_bottom: v.get("exposed_bottom")?.as_bool()?,
+        privatizable: v.get("privatizable")?.as_bool()?,
+        no_carried_flow: v.get("no_carried_flow")?.as_bool()?,
+        live_after: v.get("live_after")?.as_bool()?,
+        reason: match v.get("reason")? {
+            Json::Null => None,
+            other => Some(match other.as_str()? {
+                "kill_gap" => TopReason::KillGap,
+                "symbolic_top" => TopReason::SymbolicTop,
+                _ => return None,
+            }),
+        },
+        kill_desc: v.get("kill_desc")?.as_str()?.to_string(),
+        exposed_desc: v.get("exposed_desc")?.as_str()?.to_string(),
+    })
+}
+
 fn stored_to_json(e: &StoredGraph) -> Json {
     // scalar_classes is a HashMap: sort by symbol so the emitted bytes are
     // deterministic (nice for diffing store directories).
     let mut classes: Vec<(&SymId, &ScalarClass)> = e.graph.scalar_classes.iter().collect();
     classes.sort_by_key(|(s, _)| s.0);
+    let mut aclasses: Vec<(&SymId, &ArrayClass)> = e.graph.array_classes.iter().collect();
+    aclasses.sort_by_key(|(s, _)| s.0);
     Json::obj(vec![
         ("store_version", small(STORE_VERSION)),
         ("unit", Json::str(&e.unit)),
@@ -574,6 +619,20 @@ fn stored_to_json(e: &StoredGraph) -> Json {
                     .into_iter()
                     .map(|(s, c)| {
                         Json::obj(vec![("sym", small(s.0 as u64)), ("class", class_to_json(c))])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "array_classes",
+            Json::Arr(
+                aclasses
+                    .into_iter()
+                    .map(|(s, c)| {
+                        Json::obj(vec![
+                            ("sym", small(s.0 as u64)),
+                            ("class", array_class_to_json(c)),
+                        ])
                     })
                     .collect(),
             ),
@@ -596,6 +655,13 @@ fn stored_from_json(v: &Json) -> Option<StoredGraph> {
         scalar_classes
             .insert(SymId(c.get("sym")?.as_u64()? as u32), class_from_json(c.get("class")?)?);
     }
+    let mut array_classes = std::collections::HashMap::new();
+    for c in v.get("array_classes")?.as_arr()? {
+        array_classes.insert(
+            SymId(c.get("sym")?.as_u64()? as u32),
+            array_class_from_json(c.get("class")?)?,
+        );
+    }
     Some(StoredGraph {
         unit: v.get("unit")?.as_str()?.to_string(),
         header: v.get("header")?.as_u64()? as u32,
@@ -606,6 +672,7 @@ fn stored_from_json(v: &Json) -> Option<StoredGraph> {
             header: StmtId(v.get("graph_header")?.as_u64()? as u32),
             deps,
             scalar_classes,
+            array_classes,
         },
     })
 }
@@ -629,6 +696,35 @@ mod tests {
                     // encoding must bring it back exactly.
                     r: Box::new(Expr::Real(0.1f64.next_up())),
                 },
+            },
+        );
+        let mut array_classes = std::collections::HashMap::new();
+        array_classes.insert(
+            SymId(6),
+            ArrayClass {
+                written: true,
+                read: true,
+                exposed_bottom: true,
+                privatizable: true,
+                no_carried_flow: true,
+                live_after: false,
+                reason: None,
+                kill_desc: "[1:32]".to_string(),
+                exposed_desc: "⊥".to_string(),
+            },
+        );
+        array_classes.insert(
+            SymId(7),
+            ArrayClass {
+                written: true,
+                read: true,
+                exposed_bottom: false,
+                privatizable: false,
+                no_carried_flow: false,
+                live_after: true,
+                reason: Some(TopReason::KillGap),
+                kill_desc: "[1:31]".to_string(),
+                exposed_desc: "[32:32]".to_string(),
             },
         );
         DepGraph {
@@ -662,6 +758,7 @@ mod tests {
                 },
             ],
             scalar_classes,
+            array_classes,
         }
     }
 

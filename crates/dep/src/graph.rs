@@ -239,6 +239,8 @@ pub struct DepGraph {
     pub deps: Vec<Dependence>,
     /// Scalar classification (the variable pane's contents).
     pub scalar_classes: HashMap<SymId, ScalarClass>,
+    /// Array classification from bounded regular sections (kill/exposed).
+    pub array_classes: HashMap<SymId, ped_analysis::sections::ArrayClass>,
 }
 
 impl DepGraph {
@@ -492,6 +494,47 @@ pub fn build_graph(
             });
         }
     }
+    // Array classification from bounded regular sections. An array with no
+    // upward-exposed reads carries no cross-iteration flow — every read is
+    // covered by a same-iteration kill — so carried level-1 true
+    // dependences on it are provably spurious and dropped. An array already
+    // in the loop's PRIVATE clause loses *all* its level-1 edges: each
+    // worker owns a copy, so nothing on it crosses iterations.
+    let array_classes = ped_analysis::sections::classify_arrays(
+        unit,
+        header,
+        &|s| live.live_after_loop(unit, &cfg, header, s),
+        &|s| (config.resolve)(s),
+        config.call_info,
+    );
+    let clause_arrays: std::collections::HashSet<SymId> = unit
+        .loop_of(header)
+        .parallel
+        .as_ref()
+        .map(|info| {
+            info.private
+                .iter()
+                .copied()
+                .filter(|s| unit.symbols.sym(*s).is_array())
+                .collect()
+        })
+        .unwrap_or_default();
+    deps.retain(|d| {
+        let Some(v) = d.var else { return true };
+        if d.level != Some(1) || !matches!(d.cause, DepCause::Array | DepCause::Call) {
+            return true;
+        }
+        if clause_arrays.contains(&v) {
+            return false;
+        }
+        !(d.kind == DepKind::True
+            && array_classes.get(&v).is_some_and(|c| c.no_carried_flow))
+    });
+    if let Some(o) = obs {
+        for c in array_classes.values() {
+            o.record_array_class(c.exposed_bottom, c.privatizable);
+        }
+    }
     drop(scalar_timer);
 
     deps.sort_by(|x, y| {
@@ -516,7 +559,7 @@ pub fn build_graph(
             o.record_edge(edge_obs_kind(d));
         }
     }
-    DepGraph { header, deps, scalar_classes }
+    DepGraph { header, deps, scalar_classes, array_classes }
 }
 
 fn push_scalar_dep(
@@ -657,6 +700,51 @@ mod tests {
             "program t\nreal a(100), b(100)\ndo i = 1, 100\na(i) = b(i) + 1.0\nenddo\nend\n",
         );
         assert!(g.parallelizable(), "blocking: {:?}", g.blocking());
+    }
+
+    #[test]
+    fn fully_killed_workspace_drops_carried_flow() {
+        // w is fully overwritten by the first inner loop before the second
+        // reads it: the carried true edges on w are spurious and dropped;
+        // carried anti/output stay (the clause, not the kill, removes them).
+        let (u, g) = graph(
+            "program t\nreal w(32), a(16,32)\ndo is = 1, 16\ndo ip = 1, 32\n\
+             w(ip) = real(is + ip)\nenddo\ndo ip = 1, 32\na(is,ip) = w(ip)\nenddo\n\
+             enddo\nend\n",
+        );
+        let w = u.symbols.lookup("w").unwrap();
+        let cls = &g.array_classes[&w];
+        assert!(cls.no_carried_flow && cls.privatizable);
+        assert!(
+            !g.deps.iter().any(|d| d.var == Some(w)
+                && d.kind == DepKind::True
+                && d.level == Some(1)),
+            "carried true edges on w must be dropped"
+        );
+        assert!(
+            g.deps.iter().any(|d| d.var == Some(w)
+                && d.level == Some(1)
+                && matches!(d.kind, DepKind::Anti | DepKind::Output)),
+            "anti/output edges on w stay until privatized"
+        );
+    }
+
+    #[test]
+    fn partial_kill_keeps_carried_flow() {
+        let (u, g) = graph(
+            "program t\nreal w(32), a(16,32)\ndo is = 1, 16\ndo ip = 1, 31\n\
+             w(ip) = real(is + ip)\nenddo\ndo ip = 1, 32\na(is,ip) = w(ip)\nenddo\n\
+             enddo\nend\n",
+        );
+        let w = u.symbols.lookup("w").unwrap();
+        let cls = &g.array_classes[&w];
+        assert!(!cls.no_carried_flow && !cls.privatizable);
+        assert!(
+            g.deps.iter().any(|d| d.var == Some(w)
+                && d.kind == DepKind::True
+                && d.level == Some(1)),
+            "the w(32) carried flow must survive"
+        );
     }
 
     #[test]

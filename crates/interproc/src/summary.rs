@@ -18,6 +18,9 @@
 //! locations bind through actual arguments.
 
 use crate::callgraph::{CallGraph, CallSite};
+use ped_analysis::scalars::{conservative_array_effect, ArrayCallEffect, CallInfo};
+use ped_analysis::sections::{ArraySection, SecRange};
+use ped_analysis::symbolic::{to_affine, Affine};
 use ped_fortran::visit::{stmt_accesses, AccessKind};
 use ped_fortran::{Expr, LValue, Program, ProgramUnit, StmtId, StmtKind, SymId};
 use std::collections::{HashMap, HashSet};
@@ -118,6 +121,14 @@ pub struct UnitSummary {
     pub mod_secs: HashMap<Loc, Section>,
     /// Array read sections per location.
     pub ref_secs: HashMap<Loc, Section>,
+    /// Bounded regular sections definitely overwritten before any use on
+    /// every path (flow-sensitive array KILL), in unit-local affine terms.
+    /// Absence means "kills nothing" — always a sound under-approximation.
+    pub kill_secs: HashMap<Loc, ArraySection>,
+    /// Upward-exposed array read sections. A present `⊥` means every read
+    /// of the array is covered by a prior same-path write; *absence* for an
+    /// array in `refs` means unknown (⊤).
+    pub use_secs: HashMap<Loc, ArraySection>,
     /// Transitively reaches an unresolved (external) call.
     pub calls_external: bool,
 }
@@ -141,6 +152,13 @@ impl UnitSummary {
         for map in [&self.mod_secs, &self.ref_secs] {
             // Section contains Exprs (no Ord/Hash): hash the Debug form,
             // which is deterministic for a given AST.
+            let mut entries: Vec<(&Loc, String)> =
+                map.iter().map(|(l, s)| (l, format!("{s:?}"))).collect();
+            entries.sort();
+            entries.hash(&mut h);
+            0xa5u8.hash(&mut h);
+        }
+        for map in [&self.kill_secs, &self.use_secs] {
             let mut entries: Vec<(&Loc, String)> =
                 map.iter().map(|(l, s)| (l, format!("{s:?}"))).collect();
             entries.sort();
@@ -354,7 +372,241 @@ pub(crate) fn summarize_unit(
     // KILL implies MOD; USE implies REF.
     out.mods.extend(out.kills.iter().cloned());
     out.refs.extend(out.uses.iter().cloned());
+
+    // ---- flow-sensitive array KILL / exposed sections -------------------
+    let acalls = SummaryCalls { program, cg, ui, sums };
+    let resolve = |s: SymId| match unit.symbols.sym(s).param {
+        Some(ped_fortran::symbols::Const::Int(v)) => Some(v),
+        _ => None,
+    };
+    let aflow = ped_analysis::sections::unit_array_flow(unit, &resolve, &acalls);
+    // An exit anywhere but the end of the body breaks "overwritten on every
+    // path to return" for the straight-line walk: publish no array KILL.
+    let straight = exits_only_at_end(unit);
+    for (sym, f) in aflow {
+        if !unit.symbols.sym(sym).is_array() {
+            continue;
+        }
+        let Some(loc) = loc_of(unit, sym) else { continue };
+        if f.read {
+            out.use_secs.insert(loc.clone(), f.exposed.clone());
+        }
+        if straight && !f.kill.is_bottom() && !f.kill.has_top() {
+            out.kill_secs.insert(loc, f.kill);
+        }
+    }
     out
+}
+
+/// True when every `RETURN`/`STOP` of the unit is the final top-level
+/// statement — the precondition for the array walk's kills to hold on every
+/// path to exit.
+fn exits_only_at_end(unit: &ProgramUnit) -> bool {
+    let is_exit = |sid: StmtId| {
+        matches!(unit.stmt(sid).kind, StmtKind::Return | StmtKind::Stop)
+    };
+    let mut total = 0usize;
+    ped_fortran::visit::for_each_stmt(unit, &unit.body, &mut |sid| {
+        if is_exit(sid) {
+            total += 1;
+        }
+    });
+    let mut top_at_end = 0usize;
+    for (i, &sid) in unit.body.iter().enumerate() {
+        if is_exit(sid) {
+            if i + 1 != unit.body.len() {
+                return false;
+            }
+            top_at_end += 1;
+        }
+    }
+    total == top_at_end
+}
+
+/// Call effects for the summary-time array walk: scalars stay conservative
+/// (precision there comes from `flow_scalars`), arrays go through the
+/// current summaries so sectioned KILL/USE propagates up the call graph.
+struct SummaryCalls<'a> {
+    program: &'a Program,
+    cg: &'a CallGraph,
+    ui: usize,
+    sums: &'a [UnitSummary],
+}
+
+impl CallInfo for SummaryCalls<'_> {
+    fn kills(&self, _unit: &ProgramUnit, _stmt: StmtId) -> HashSet<SymId> {
+        HashSet::new()
+    }
+    fn mods(&self, unit: &ProgramUnit, stmt: StmtId) -> HashSet<SymId> {
+        ped_analysis::scalars::conservative_call_scalars(unit, stmt)
+    }
+    fn refs(&self, unit: &ProgramUnit, stmt: StmtId) -> HashSet<SymId> {
+        ped_analysis::scalars::conservative_call_scalars(unit, stmt)
+    }
+    fn array_effect(&self, unit: &ProgramUnit, stmt: StmtId, sym: SymId) -> ArrayCallEffect {
+        array_effect_from_summaries(
+            self.program,
+            self.cg,
+            self.ui,
+            self.sums,
+            unit,
+            stmt,
+            sym,
+        )
+    }
+}
+
+/// Sectioned effect of the calls at `stmt` on the caller's array `sym`,
+/// translated from callee summaries into caller affine terms. Shared by the
+/// summary fixpoint (bottom-up propagation) and the [`crate::oracle`].
+pub fn array_effect_from_summaries(
+    program: &Program,
+    cg: &CallGraph,
+    ui: usize,
+    sums: &[UnitSummary],
+    unit: &ProgramUnit,
+    stmt: StmtId,
+    sym: SymId,
+) -> ArrayCallEffect {
+    let conservative = conservative_array_effect(unit, stmt, sym);
+    let rank = unit.symbols.sym(sym).rank();
+    let mut eff = ArrayCallEffect {
+        may_read: false,
+        may_write: false,
+        kill: None,
+        exposed: Some(ArraySection::Bottom),
+    };
+    let mut bindings = 0usize;
+    for site in cg.sites_at(ui, stmt) {
+        let Some(ci) = site.callee else { return conservative };
+        let callee = &program.units[ci];
+        let sum = &sums[ci];
+        let mut locs: Vec<Loc> = site
+            .args
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| base_sym(a) == Some(sym))
+            .map(|(i, _)| Loc::Arg(i))
+            .collect();
+        if let Some(l @ Loc::Common(..)) = loc_of(unit, sym) {
+            locs.push(l);
+        }
+        if locs.is_empty() {
+            continue;
+        }
+        if sum.calls_external {
+            return conservative;
+        }
+        bindings += locs.len();
+        for loc in locs {
+            let reads = sum.refs.contains(&loc);
+            let writes = sum.mods.contains(&loc);
+            eff.may_read |= reads;
+            eff.may_write |= writes;
+            // Precise sections only through an alias-free, rank-preserving
+            // binding: a bare-variable actual (or the COMMON block itself).
+            let precise = match &loc {
+                Loc::Arg(i) => {
+                    matches!(site.args.get(*i), Some(Expr::Var(_)))
+                        && sym_of(callee, &loc)
+                            .is_some_and(|f| callee.symbols.sym(f).rank() == rank)
+                }
+                Loc::Common(..) => {
+                    sym_of(callee, &loc)
+                        .is_some_and(|f| callee.symbols.sym(f).rank() == rank)
+                }
+            };
+            if reads {
+                let exp = if precise {
+                    sum.use_secs
+                        .get(&loc)
+                        .and_then(|s| translate_section(s, unit, site, callee))
+                } else {
+                    None
+                };
+                eff.exposed = match (eff.exposed.take(), exp) {
+                    (Some(acc), Some(e)) => Some(acc.union_may(&e)),
+                    _ => None,
+                };
+            }
+            if writes && precise {
+                if let Some(k) = sum
+                    .kill_secs
+                    .get(&loc)
+                    .and_then(|s| translate_section(s, unit, site, callee))
+                {
+                    if !k.has_top() {
+                        eff.kill = Some(match eff.kill.take() {
+                            Some(acc) => acc.union_must(&k),
+                            None => k,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    // Aliased bindings (the same array bound twice, or an argument that is
+    // also COMMON-visible) defeat sectioned reasoning.
+    if bindings > 1 {
+        eff.kill = None;
+        if eff.may_read {
+            eff.exposed = None;
+        }
+    }
+    eff
+}
+
+/// Rewrite a callee-local affine section into caller terms at a call site:
+/// formals substitute their actual-argument affine forms, COMMON members map
+/// to the caller's aliasing symbol, PARAMETERs fold to constants.
+fn translate_section(
+    sec: &ArraySection,
+    caller: &ProgramUnit,
+    site: &CallSite,
+    callee: &ProgramUnit,
+) -> Option<ArraySection> {
+    use ped_analysis::sections::SecDim as SD;
+    let dims = match sec {
+        ArraySection::Bottom => return Some(ArraySection::Bottom),
+        ArraySection::Dims(ds) => ds,
+    };
+    let out = dims
+        .iter()
+        .map(|d| match d {
+            SD::Top => Some(SD::Top),
+            SD::Range(r) => Some(SD::Range(SecRange {
+                lo: translate_affine(&r.lo, caller, site, callee)?,
+                hi: translate_affine(&r.hi, caller, site, callee)?,
+                stride: r.stride,
+            })),
+        })
+        .collect::<Option<Vec<_>>>()?;
+    Some(ArraySection::Dims(out))
+}
+
+fn translate_affine(
+    a: &Affine,
+    caller: &ProgramUnit,
+    site: &CallSite,
+    callee: &ProgramUnit,
+) -> Option<Affine> {
+    let caller_resolve = |s: SymId| match caller.symbols.sym(s).param {
+        Some(ped_fortran::symbols::Const::Int(v)) => Some(v),
+        _ => None,
+    };
+    let mut out = Affine::constant(a.konst);
+    for (v, c) in &a.terms {
+        if let Some(ped_fortran::symbols::Const::Int(k)) = callee.symbols.sym(*v).param {
+            out = out.add(&Affine::constant(k * c));
+            continue;
+        }
+        let rep = match loc_of(callee, *v)? {
+            Loc::Arg(i) => to_affine(site.args.get(i)?, &caller_resolve)?,
+            common => Affine::var(sym_of(caller, &common)?),
+        };
+        out = out.add(&rep.scale(*c));
+    }
+    Some(out)
 }
 
 fn merge_sec(map: &mut HashMap<Loc, Section>, loc: Loc, sec: Section) {
@@ -781,6 +1033,51 @@ mod tests {
         let sec = &sums[fi].mod_secs[&Loc::Arg(0)];
         assert!(matches!(sec.dims[1], SecDim::Any), "j and k disagree");
         assert!(matches!(sec.dims[0], SecDim::Any), "1 and 2 disagree");
+    }
+
+    #[test]
+    fn array_kill_section_through_call() {
+        // The callee unconditionally overwrites v(1:n) before reading it:
+        // kill [1:n] in formal terms, exposed ⊥.
+        let (p, _, sums) = setup(
+            "program t\nreal w(64), x(64)\ndo k = 1, 8\ncall sweep(w, x, 64)\nenddo\nend\n\
+             subroutine sweep(v, u, n)\ninteger n\nreal v(n), u(n)\ndo j = 1, n\n\
+             v(j) = u(j) * 2.0\nenddo\ndo j = 1, n\nu(j) = v(j) + 1.0\nenddo\nreturn\nend\n",
+        );
+        let si = p.unit_index("sweep").unwrap();
+        let kill = sums[si].kill_secs.get(&Loc::Arg(0)).expect("v has a kill section");
+        assert!(!kill.is_bottom() && !kill.has_top());
+        let exposed = sums[si].use_secs.get(&Loc::Arg(0)).expect("v is read");
+        assert!(exposed.is_bottom(), "reads of v are covered: {exposed:?}");
+        // u is exposed (read before its overwrite).
+        let eu = sums[si].use_secs.get(&Loc::Arg(1)).expect("u is read");
+        assert!(!eu.is_bottom());
+        // And the caller-side effect translates: w gets a kill, exposed ⊥.
+        let (cg2, main) = (CallGraph::build(&p), 0usize);
+        let mut call = None;
+        ped_fortran::visit::for_each_stmt(&p.units[main], &p.units[main].body, &mut |s| {
+            if matches!(p.units[main].stmt(s).kind, StmtKind::Call { .. }) {
+                call = Some(s);
+            }
+        });
+        let call = call.unwrap();
+        let w = p.units[main].symbols.lookup("w").unwrap();
+        let eff = array_effect_from_summaries(&p, &cg2, main, &sums, &p.units[main], call, w);
+        assert!(eff.may_write && eff.may_read);
+        assert!(eff.kill.is_some(), "kill survives translation");
+        assert_eq!(eff.exposed, Some(ArraySection::Bottom));
+    }
+
+    #[test]
+    fn partial_array_kill_not_summarized() {
+        let (p, _, sums) = setup(
+            "subroutine halfset(v, n)\ninteger n\nreal v(n)\ndo j = 2, n\nv(j) = 0.0\nenddo\n\
+             s = v(1)\nreturn\nend\n",
+        );
+        let si = p.unit_index("halfset").unwrap();
+        // Kill [2:n] exists, but v(1) is exposed.
+        let exposed = sums[si].use_secs.get(&Loc::Arg(0)).expect("v is read");
+        assert!(!exposed.is_bottom());
     }
 
     #[test]

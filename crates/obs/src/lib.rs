@@ -216,6 +216,18 @@ pub struct SchedSample {
     pub worker_iterations: Vec<u64>,
 }
 
+/// Bounded regular-section counters from graph builds (feeds the schema v7
+/// `sections` block of the profile report).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SectionsSample {
+    /// Arrays classified by the section walk across all graph builds.
+    pub arrays_classified: u64,
+    /// Arrays whose exposed-read section was ⊥ (fully killed before use).
+    pub exposed_bottom: u64,
+    /// Arrays proven privatizable (killed, not live after the loop).
+    pub privatizable: u64,
+}
+
 /// Shadow-runtime validation counters from checked runs (feeds the schema
 /// v4 `validation` section of the profile report).
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -257,6 +269,8 @@ pub struct ObsSnapshot {
     pub sched: SchedSample,
     /// Shadow-runtime validation counters accumulated over checked runs.
     pub validation: ValidationSample,
+    /// Regular-section counters accumulated over graph builds.
+    pub sections: SectionsSample,
 }
 
 /// The instrumentation registry: atomic counters behind an enable flag.
@@ -272,6 +286,7 @@ pub struct Obs {
     loops: Mutex<Vec<LoopSample>>,
     sched: Mutex<SchedSample>,
     validation: Mutex<ValidationSample>,
+    sections: Mutex<SectionsSample>,
 }
 
 impl Default for Obs {
@@ -293,6 +308,7 @@ impl Obs {
             loops: Mutex::new(Vec::new()),
             sched: Mutex::new(SchedSample::default()),
             validation: Mutex::new(ValidationSample::default()),
+            sections: Mutex::new(SectionsSample::default()),
         }
     }
 
@@ -385,6 +401,18 @@ impl Obs {
         s.validated_deletions += sample.validated_deletions;
     }
 
+    /// Record one array's section classification from a graph build.
+    #[inline]
+    pub fn record_array_class(&self, exposed_bottom: bool, privatizable: bool) {
+        if !self.enabled() {
+            return;
+        }
+        let mut s = self.sections.lock().unwrap();
+        s.arrays_classified += 1;
+        s.exposed_bottom += exposed_bottom as u64;
+        s.privatizable += privatizable as u64;
+    }
+
     /// Copy out everything recorded so far. Per-unit samples are aggregated
     /// and both unit and loop lists are sorted for deterministic reports.
     pub fn snapshot(&self) -> ObsSnapshot {
@@ -426,6 +454,7 @@ impl Obs {
             loops,
             sched: self.sched.lock().unwrap().clone(),
             validation: self.validation.lock().unwrap().clone(),
+            sections: self.sections.lock().unwrap().clone(),
         }
     }
 

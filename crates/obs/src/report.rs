@@ -24,14 +24,28 @@ pub struct ValidationSummary {
     pub validated_deletions: u64,
 }
 
+/// Bounded regular-section analysis counters (schema v7). All zero in
+/// reports parsed from pre-v7 JSON or from sessions that never built a
+/// dependence graph.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SectionsReport {
+    /// Arrays classified by the section walk across all graph builds.
+    pub arrays_classified: u64,
+    /// Arrays whose exposed-read section was ⊥ (fully killed before use).
+    pub exposed_bottom: u64,
+    /// Arrays proven privatizable (killed, not live after the loop).
+    pub privatizable: u64,
+}
+
 /// Version stamped into every emitted report. Parsing accepts this version
 /// and every earlier one it knows how to upgrade (v1 reports lack the
 /// `incremental` section, v1/v2 reports lack the `scheduler` section,
 /// v1–v3 reports lack the `validation` section, v1–v5 reports lack the
-/// `serve` section; all default to all-zero. v1–v4 reports lack the
-/// `engine` field, which defaults to `"tree"` — the only engine that
-/// existed before v5); later or unknown versions are rejected.
-pub const PROFILE_SCHEMA_VERSION: u64 = 6;
+/// `serve` section, v1–v6 reports lack the `sections` section; all default
+/// to all-zero. v1–v4 reports lack the `engine` field, which defaults to
+/// `"tree"` — the only engine that existed before v5); later or unknown
+/// versions are rejected.
+pub const PROFILE_SCHEMA_VERSION: u64 = 7;
 
 /// Oldest schema version [`ProfileReport::from_json`] still accepts.
 pub const PROFILE_SCHEMA_MIN_VERSION: u64 = 1;
@@ -231,6 +245,9 @@ pub struct ProfileReport {
     /// Daemon-mode request counters (all zero when parsed from pre-v6
     /// JSON; filled by `ped serve`, zero for single-process sessions).
     pub serve: ServeReport,
+    /// Regular-section analysis counters (all zero when parsed from
+    /// pre-v7 JSON).
+    pub sections: SectionsReport,
     /// Per-unit graph-build timings.
     pub units: Vec<UnitStat>,
     /// Loop profiles from runs, if any.
@@ -251,6 +268,7 @@ impl ProfileReport {
             scheduler: SchedulerReport::default(),
             validation: ValidationSummary::default(),
             serve: ServeReport::default(),
+            sections: SectionsReport::default(),
             units: Vec::new(),
             loop_profiles: Vec::new(),
         }
@@ -309,6 +327,11 @@ impl ProfileReport {
             // The registry knows nothing about daemons; `ped serve` fills
             // this in from its own counters before emitting.
             serve: ServeReport::default(),
+            sections: SectionsReport {
+                arrays_classified: snap.sections.arrays_classified,
+                exposed_bottom: snap.sections.exposed_bottom,
+                privatizable: snap.sections.privatizable,
+            },
             units: snap
                 .units
                 .iter()
@@ -444,6 +467,14 @@ impl ProfileReport {
                     ("graphs_persisted", Json::int(self.serve.graphs_persisted)),
                     ("total_request_ns", Json::int(self.serve.total_request_ns)),
                     ("max_request_ns", Json::int(self.serve.max_request_ns)),
+                ]),
+            ),
+            (
+                "sections",
+                Json::obj(vec![
+                    ("arrays_classified", Json::int(self.sections.arrays_classified)),
+                    ("exposed_bottom", Json::int(self.sections.exposed_bottom)),
+                    ("privatizable", Json::int(self.sections.privatizable)),
                 ]),
             ),
             (
@@ -636,6 +667,18 @@ impl ProfileReport {
             },
         };
 
+        // v1–v6 reports predate the regular-section analysis; the section
+        // defaults to all-zero. From v7 on it is required.
+        let sections = match v.get("sections") {
+            None if schema_version < 7 => SectionsReport::default(),
+            None => return Err("missing field 'sections'".to_string()),
+            Some(s) => SectionsReport {
+                arrays_classified: need_u64(s, "arrays_classified")?,
+                exposed_bottom: need_u64(s, "exposed_bottom")?,
+                privatizable: need_u64(s, "privatizable")?,
+            },
+        };
+
         let mut units = Vec::new();
         for u in need_arr(v, "units")? {
             units.push(UnitStat {
@@ -670,6 +713,7 @@ impl ProfileReport {
             scheduler,
             validation,
             serve,
+            sections,
             units,
             loop_profiles,
         })
@@ -753,6 +797,13 @@ impl ProfileReport {
                 val.observed_deps,
                 val.static_unobserved,
                 val.validated_deletions
+            ));
+        }
+        let sec = &self.sections;
+        if *sec != SectionsReport::default() {
+            out.push_str(&format!(
+                "sections: {} arrays classified, {} fully killed, {} privatizable\n",
+                sec.arrays_classified, sec.exposed_bottom, sec.privatizable
             ));
         }
         let srv = &self.serve;
@@ -852,6 +903,8 @@ mod tests {
             static_unobserved: 2,
             validated_deletions: 3,
         });
+        obs.record_array_class(true, true);
+        obs.record_array_class(false, false);
         let mut r = ProfileReport::from_snapshot(
             &obs.snapshot(),
             CacheReport { pair_hits: 5, pair_misses: 3, graphs_built: 2, graphs_reused: 1 },
@@ -1025,6 +1078,43 @@ mod tests {
         strip_section(&mut v, "serve");
         let err = ProfileReport::from_json_str(&v).unwrap_err();
         assert!(err.contains("serve"), "{err}");
+    }
+
+    #[test]
+    fn v6_report_accepts_missing_sections_section() {
+        let r = sample_report();
+        let mut v = r.to_json().to_string_compact();
+        v = v.replacen(
+            &format!("\"schema_version\":{PROFILE_SCHEMA_VERSION}"),
+            "\"schema_version\":6",
+            1,
+        );
+        strip_section(&mut v, "sections");
+        let back = ProfileReport::from_json_str(&v).unwrap();
+        assert_eq!(back.schema_version, 6);
+        assert_eq!(back.sections, SectionsReport::default());
+        assert_eq!(back.serve, r.serve);
+    }
+
+    #[test]
+    fn v7_report_requires_sections_section() {
+        let r = sample_report();
+        let mut v = r.to_json().to_string_compact();
+        strip_section(&mut v, "sections");
+        let err = ProfileReport::from_json_str(&v).unwrap_err();
+        assert!(err.contains("sections"), "{err}");
+    }
+
+    #[test]
+    fn sections_counters_survive_round_trip() {
+        let r = sample_report();
+        assert_eq!(
+            r.sections,
+            SectionsReport { arrays_classified: 2, exposed_bottom: 1, privatizable: 1 }
+        );
+        let back = ProfileReport::from_json_str(&r.to_json().to_string_compact()).unwrap();
+        assert_eq!(back.sections, r.sections);
+        assert!(r.render_text().contains("sections: 2 arrays classified"), "{}", r.render_text());
     }
 
     #[test]

@@ -2220,24 +2220,16 @@ impl<'p> Interp<'p> {
         let wall0 = Instant::now();
         if state.shadow.is_some() {
             // Same masking as the walker: a parallel loop's scope hides
-            // exactly what Threads mode rebinds per worker; a serial DO
-            // hides nothing.
-            let mut excluded = HashSet::new();
-            if let Some(info) = &d.parallel {
-                excluded.insert(Arc::as_ptr(self.cell(unit, frame, d.var)?) as usize);
-                for &s in info
-                    .private
-                    .iter()
-                    .chain(info.lastprivate.iter())
-                    .chain(info.reductions.iter().map(|(_, s)| s))
-                {
-                    if let Some(c) = frame.get(s) {
-                        excluded.insert(Arc::as_ptr(c) as usize);
-                    }
+            // exactly what Threads mode rebinds per worker (private arrays
+            // stay watched in true-only mode); a serial DO hides nothing.
+            let (excluded, true_only) = match &d.parallel {
+                Some(info) => {
+                    crate::interp::shadow_masks(self.cell(unit, frame, d.var)?, info, frame)
                 }
-            }
+                None => Default::default(),
+            };
             if let Some(sh) = state.shadow.as_mut() {
-                sh.push_scope(cl.sid, excluded);
+                sh.push_scope(cl.sid, excluded, true_only);
             }
         }
 

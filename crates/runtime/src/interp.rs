@@ -576,7 +576,16 @@ impl<'p> Interp<'p> {
         let var_cell = Cell::scalar(Ty::Integer);
         fr.bind(job.d.var, var_cell.clone());
         for &s in job.info.private.iter().chain(job.info.lastprivate.iter()) {
-            fr.bind(s, Cell::scalar(unit.symbols.sym(s).ty));
+            // Private arrays (section-proven privatization) get a fresh
+            // zeroed copy shaped like the shared cell; scalars a fresh slot.
+            match fr.get(s).filter(|c| c.is_array()) {
+                Some(base) => {
+                    let a = base.as_array();
+                    let (ty, dims) = (a.ty, a.dims.clone());
+                    fr.bind(s, Cell::array(ty, dims));
+                }
+                None => fr.bind(s, Cell::scalar(unit.symbols.sym(s).ty)),
+            }
         }
         let mut red_cells = Vec::with_capacity(job.info.reductions.len());
         for &(op, s) in &job.info.reductions {
@@ -1062,22 +1071,14 @@ impl<'p> Interp<'p> {
             // shared cell whose per-iteration store must stay visible to
             // enclosing scopes (a missing private() on an inner loop's
             // index is a real race the checker has to observe).
-            let mut excluded = std::collections::HashSet::new();
-            if let Some(info) = &d.parallel {
-                excluded.insert(Arc::as_ptr(self.cell(unit, frame, d.var)?) as usize);
-                for &s in info
-                    .private
-                    .iter()
-                    .chain(info.lastprivate.iter())
-                    .chain(info.reductions.iter().map(|(_, s)| s))
-                {
-                    if let Some(c) = frame.get(s) {
-                        excluded.insert(Arc::as_ptr(c) as usize);
-                    }
+            let (excluded, true_only) = match &d.parallel {
+                Some(info) => {
+                    shadow_masks(self.cell(unit, frame, d.var)?, info, frame)
                 }
-            }
+                None => Default::default(),
+            };
             if let Some(sh) = state.shadow.as_mut() {
-                sh.push_scope(sid, excluded);
+                sh.push_scope(sid, excluded, true_only);
             }
         }
 
@@ -1878,6 +1879,39 @@ fn static_dims(unit: &ProgramUnit, sym: SymId) -> Result<Vec<(i64, i64)>, RtErro
         out.push((lo, hi));
     }
     Ok(out)
+}
+
+/// Split a parallel loop's clause cells into the shadow-scope mask pair:
+/// the loop variable and scalar clause cells are fully `excluded` (Threads
+/// mode rebinds them per worker, so no mode can observe them), while
+/// private *array* cells go in `true_only` — the scope keeps watching them
+/// for carried flow, the observed witness that a section-proven (or
+/// user-forced) array privatization was invalid. Shared by the tree walker
+/// and the bytecode engine so both observe identically.
+pub(crate) fn shadow_masks(
+    var_cell: &Arc<Cell>,
+    info: &ped_fortran::ParallelInfo,
+    frame: &Frame,
+) -> (std::collections::HashSet<usize>, std::collections::HashSet<usize>) {
+    let mut excluded = std::collections::HashSet::new();
+    let mut true_only = std::collections::HashSet::new();
+    excluded.insert(Arc::as_ptr(var_cell) as usize);
+    for &s in info
+        .private
+        .iter()
+        .chain(info.lastprivate.iter())
+        .chain(info.reductions.iter().map(|(_, s)| s))
+    {
+        if let Some(c) = frame.get(s) {
+            let ptr = Arc::as_ptr(c) as usize;
+            if c.is_array() {
+                true_only.insert(ptr);
+            } else {
+                excluded.insert(ptr);
+            }
+        }
+    }
+    (excluded, true_only)
 }
 
 fn static_int(unit: &ProgramUnit, e: &Expr) -> Result<i64, RtError> {

@@ -173,6 +173,13 @@ struct ShadowScope {
     iter: u64,
     /// Cell addresses this loop privatizes (invisible to it and outward).
     excluded: HashSet<usize>,
+    /// Cell addresses privatized as arrays via a section proof: this scope
+    /// still watches them, but records only carried *flow* — anti/output
+    /// are exactly what a valid privatization removes, while a carried
+    /// true dependence means the kill analysis was wrong (or the user
+    /// forced the clause) and must surface as an observed race. Like
+    /// `excluded`, the cell stays invisible to enclosing scopes.
+    true_only: HashSet<usize>,
     hist: HashMap<(usize, usize), ElemHist>,
     /// Carried dependences keyed by the sink access's (unit, symbol, kind);
     /// resolved to names when the scope pops.
@@ -181,6 +188,18 @@ struct ShadowScope {
 
 impl ShadowScope {
     fn touch(&mut self, ptr: usize, elem: usize, write: bool, unit: usize, sym: SymId) {
+        self.touch_filtered(ptr, elem, write, unit, sym, false)
+    }
+
+    fn touch_filtered(
+        &mut self,
+        ptr: usize,
+        elem: usize,
+        write: bool,
+        unit: usize,
+        sym: SymId,
+        true_only: bool,
+    ) {
         let i = self.iter;
         let h = self.hist.entry((ptr, elem)).or_default();
         let prior_read = if h.last_read == Some(i) { h.prev_read } else { h.last_read };
@@ -206,6 +225,9 @@ impl ShadowScope {
             }
         }
         for (kind, dist) in noted.into_iter().flatten() {
+            if true_only && kind != ObsKind::True {
+                continue;
+            }
             match self.obs.get_mut(&(unit, sym, kind)) {
                 Some(s) => s.merge(ObsStat::new(dist)),
                 None => {
@@ -257,13 +279,22 @@ impl ShadowRec {
     }
 
     /// Enter a loop. `excluded` holds the cell addresses the loop
-    /// privatizes: the variable + clause cells for a parallel loop,
-    /// nothing for a serial one.
-    pub fn push_scope(&mut self, stmt: StmtId, excluded: HashSet<usize>) {
+    /// privatizes: the variable + scalar clause cells for a parallel loop,
+    /// nothing for a serial one. `true_only` holds section-privatized
+    /// *array* cells: invisible outward like `excluded`, but this scope
+    /// still records carried flow through them — the observed witness that
+    /// an (asserted or forced) array privatization was invalid.
+    pub fn push_scope(
+        &mut self,
+        stmt: StmtId,
+        excluded: HashSet<usize>,
+        true_only: HashSet<usize>,
+    ) {
         self.scopes.push(ShadowScope {
             stmt,
             iter: 0,
             excluded,
+            true_only,
             hist: HashMap::new(),
             obs: HashMap::new(),
         });
@@ -330,6 +361,10 @@ impl ShadowRec {
             if scope.excluded.contains(&ptr) {
                 return false;
             }
+            if scope.true_only.contains(&ptr) {
+                scope.touch_filtered(ptr, elem, write, unit, sym, true);
+                return false;
+            }
             scope.touch(ptr, elem, write, unit, sym);
         }
         true
@@ -377,7 +412,7 @@ mod tests {
 
     fn scoped() -> ShadowRec {
         let mut rec = ShadowRec::serial();
-        rec.push_scope(StmtId(1), HashSet::new());
+        rec.push_scope(StmtId(1), HashSet::new(), HashSet::new());
         rec
     }
 
@@ -443,11 +478,11 @@ mod tests {
         let private = cell();
         let shared = cell();
         let mut rec = ShadowRec::serial();
-        rec.push_scope(StmtId(1), HashSet::new()); // outer
+        rec.push_scope(StmtId(1), HashSet::new(), HashSet::new()); // outer
         let mut excl = HashSet::new();
         excl.insert(Arc::as_ptr(&private) as usize);
-        rec.push_scope(StmtId(2), excl); // parallel loop privatizing
-        rec.push_scope(StmtId(3), HashSet::new()); // inner serial loop
+        rec.push_scope(StmtId(2), excl, HashSet::new()); // parallel loop privatizing
+        rec.push_scope(StmtId(3), HashSet::new(), HashSet::new()); // inner serial loop
         for i in 0..2u64 {
             // Inner scope sees the private cell (carried there is fine);
             // the privatizing scope and the outer one must not.
@@ -477,12 +512,57 @@ mod tests {
     }
 
     #[test]
+    fn true_only_cells_record_flow_but_not_anti_output() {
+        // A valid array privatization: every iteration writes then reads
+        // its cell. Only anti/output are carried — and the true_only set
+        // suppresses exactly those while hiding the cell from outer scopes.
+        let priv_arr = cell();
+        let mut valid = ShadowRec::serial();
+        valid.push_scope(StmtId(1), HashSet::new(), HashSet::new()); // outer
+        let mut tonly = HashSet::new();
+        tonly.insert(Arc::as_ptr(&priv_arr) as usize);
+        valid.push_scope(StmtId(2), HashSet::new(), tonly.clone());
+        for i in 0..3u64 {
+            valid.set_iter(i);
+            valid.record(&priv_arr, 0, true, 0, sym(5));
+            valid.record(&priv_arr, 0, false, 0, sym(5));
+        }
+        valid.pop_scope("main", 3, |_, s| format!("v{}", s.0));
+        valid.pop_scope("main", 1, |_, s| format!("v{}", s.0));
+        let log = valid.into_log();
+        let par = &log.loops[&("main".to_string(), StmtId(2))];
+        assert!(par.carried.is_empty(), "{:?}", par.carried);
+        let outer = &log.loops[&("main".to_string(), StmtId(1))];
+        assert!(outer.carried.is_empty(), "{:?}", outer.carried);
+
+        // An INVALID privatization: iteration i reads what i-1 wrote.
+        // The carried flow must survive the filter as the race witness.
+        let mut forced = ShadowRec::serial();
+        forced.push_scope(StmtId(2), HashSet::new(), tonly);
+        for i in 0..3u64 {
+            forced.set_iter(i);
+            forced.record(&priv_arr, 0, false, 0, sym(5)); // read first…
+            forced.record(&priv_arr, 0, true, 0, sym(5)); // …then write
+        }
+        forced.pop_scope("main", 3, |_, s| format!("v{}", s.0));
+        let log = forced.into_log();
+        let par = &log.loops[&("main".to_string(), StmtId(2))];
+        let flow = par.carried[&("v5".to_string(), ObsKind::True)];
+        assert_eq!((flow.count, flow.min_dist), (2, 1));
+        assert!(
+            !par.carried.contains_key(&("v5".to_string(), ObsKind::Anti)),
+            "{:?}",
+            par.carried
+        );
+    }
+
+    #[test]
     fn tap_replay_matches_direct_recording() {
         let shared = cell();
         let worker_private = cell();
         // Direct: one scope observing iterations 0..4 of a(0) writes.
         let mut direct = ShadowRec::serial();
-        direct.push_scope(StmtId(9), HashSet::new());
+        direct.push_scope(StmtId(9), HashSet::new(), HashSet::new());
         for i in 0..4u64 {
             direct.set_iter(i);
             direct.record(&shared, 0, true, 0, sym(2));
@@ -490,7 +570,7 @@ mod tests {
         direct.pop_scope("main", 4, |_, s| format!("v{}", s.0));
         // Tapped: two chunks recording the same accesses, replayed.
         let mut main = ShadowRec::serial();
-        main.push_scope(StmtId(9), HashSet::new());
+        main.push_scope(StmtId(9), HashSet::new(), HashSet::new());
         let mut excl = HashSet::new();
         excl.insert(Arc::as_ptr(&worker_private) as usize);
         let mut chunks = Vec::new();

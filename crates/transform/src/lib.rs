@@ -19,8 +19,8 @@
 //! for): parallelize (with private/reduction/lastprivate classification),
 //! loop interchange, loop distribution, loop fusion, loop reversal, loop
 //! skewing, strip mining, unrolling, unroll-and-jam, scalar expansion,
-//! induction-variable substitution, statement interchange, and procedure
-//! inlining (embedding).
+//! induction-variable substitution, statement interchange, procedure
+//! inlining (embedding), and array privatization (regular sections).
 
 pub mod edit;
 pub mod inline;
@@ -91,6 +91,12 @@ pub enum Xform {
         /// The CALL statement.
         call: StmtId,
     },
+    /// Give each iteration a private copy of an array whose every read is
+    /// covered by a same-iteration overwrite (regular-section analysis).
+    ArrayPrivatize {
+        /// The array to privatize.
+        var: SymId,
+    },
 }
 
 impl Xform {
@@ -110,6 +116,7 @@ impl Xform {
             Xform::IvSub { .. } => "induction variable substitution",
             Xform::StatementInterchange { .. } => "statement interchange",
             Xform::Inline { .. } => "inlining",
+            Xform::ArrayPrivatize { .. } => "array privatization",
         }
     }
 }
@@ -214,6 +221,9 @@ pub fn diagnose(
             restructure::diagnose_stmt_interchange(unit, target, *a, *b, graph, live_dep_ids)
         }
         Xform::Inline { call } => inline::diagnose(unit, *call),
+        Xform::ArrayPrivatize { var } => {
+            parallelize::diagnose_array_privatize(unit, target, *var, graph, live_dep_ids)
+        }
     }
 }
 
@@ -244,6 +254,9 @@ pub fn apply(
         Xform::Inline { .. } => Err(XformError(
             "inlining needs whole-program access: use apply_inline".into(),
         )),
+        Xform::ArrayPrivatize { var } => {
+            parallelize::apply_array_privatize(unit, target, *var, graph)
+        }
     }
 }
 

@@ -47,15 +47,10 @@ pub fn diagnose(
     Diagnosis { applicable: Ok(()), safe, profitable }
 }
 
-/// Convert the loop to `PARALLEL DO`, attaching variable classification.
-pub fn apply(
-    unit: &mut ProgramUnit,
-    target: StmtId,
-    graph: &DepGraph,
-) -> Result<Applied, XformError> {
-    if !unit.is_loop(target) {
-        return Err(XformError("target is not a DO loop".into()));
-    }
+/// Build the clause set for a `PARALLEL DO` at `target` from the graph's
+/// scalar classification plus inner loop indices. Shared by [`apply`] and
+/// array privatization (which seeds the same clauses, plus the array).
+pub(crate) fn build_info(unit: &ProgramUnit, target: StmtId, graph: &DepGraph) -> ParallelInfo {
     let mut info = ParallelInfo::default();
     for (&sym, class) in &graph.scalar_classes {
         match class {
@@ -85,12 +80,128 @@ pub fn apply(
     info.lastprivate.dedup();
     info.reductions.sort_by_key(|&(_, s)| s);
     info.reductions.dedup();
+    info
+}
+
+/// Convert the loop to `PARALLEL DO`, attaching variable classification.
+pub fn apply(
+    unit: &mut ProgramUnit,
+    target: StmtId,
+    graph: &DepGraph,
+) -> Result<Applied, XformError> {
+    if !unit.is_loop(target) {
+        return Err(XformError("target is not a DO loop".into()));
+    }
+    let info = build_info(unit, target, graph);
     let description = format!(
         "parallel do with {} private, {} reduction, {} lastprivate variables",
         info.private.len(),
         info.reductions.len(),
         info.lastprivate.len()
     );
+    unit.loop_of_mut(target).parallel = Some(info);
+    Ok(Applied { description, new_stmts: Vec::new() })
+}
+
+/// Diagnose array privatization: give each iteration a private copy of
+/// `var`, removing its carried dependences from the parallelization
+/// obstacle set. Safe when the section analysis proved the array is fully
+/// overwritten before any read in every iteration (no upward-exposed
+/// reads) and dead after the loop — and, when the loop is not already
+/// parallel, no *other* live dependence still blocks it.
+pub fn diagnose_array_privatize(
+    unit: &ProgramUnit,
+    target: StmtId,
+    var: ped_fortran::SymId,
+    graph: &DepGraph,
+    live: &dyn Fn(usize) -> bool,
+) -> Diagnosis {
+    if !unit.is_loop(target) {
+        return Diagnosis::not_applicable("target is not a DO loop");
+    }
+    if !unit.symbols.sym(var).is_array() {
+        return Diagnosis::not_applicable(format!(
+            "{} is not an array",
+            unit.symbols.name(var)
+        ));
+    }
+    let Some(class) = graph.array_classes.get(&var) else {
+        return Diagnosis::not_applicable(format!(
+            "{} is not referenced in the loop",
+            unit.symbols.name(var)
+        ));
+    };
+    let name = unit.symbols.name(var);
+    let safe = if !class.privatizable {
+        let why = if !class.written {
+            format!("{name} is never written in the loop")
+        } else if class.live_after {
+            format!("{name} is live after the loop (privatization would lose its final value)")
+        } else {
+            match class.reason {
+                Some(r) => format!(
+                    "{name} has upward-exposed reads ({r}): exposed {}, kill {}",
+                    class.exposed_desc, class.kill_desc
+                ),
+                None => format!("{name} has upward-exposed reads"),
+            }
+        };
+        Safety::Unsafe(why)
+    } else {
+        // Privatizing var removes its own edges; anything else still
+        // blocking makes the resulting parallel loop unsafe.
+        let other = graph
+            .deps
+            .iter()
+            .find(|d| live(d.id) && d.blocks_parallel() && d.var != Some(var));
+        match other {
+            Some(d) if !unit.loop_of(target).is_parallel() => Safety::Unsafe(format!(
+                "privatizing {name} still leaves a loop-carried {} dependence {} ↦ {}",
+                d.kind, d.src, d.dst
+            )),
+            _ => Safety::Safe,
+        }
+    };
+    let profitable = match safe {
+        Safety::Safe => Profit::Yes(format!(
+            "per-iteration private copy of {name} removes its carried dependences"
+        )),
+        Safety::Unsafe(_) => Profit::No("privatization alone does not unlock the loop".into()),
+    };
+    Diagnosis { applicable: Ok(()), safe, profitable }
+}
+
+/// Privatize the array: add `var` to the loop's `PRIVATE` clause,
+/// promoting the loop to `PARALLEL DO` (with full scalar classification)
+/// if it is not parallel yet.
+pub fn apply_array_privatize(
+    unit: &mut ProgramUnit,
+    target: StmtId,
+    var: ped_fortran::SymId,
+    graph: &DepGraph,
+) -> Result<Applied, XformError> {
+    if !unit.is_loop(target) {
+        return Err(XformError("target is not a DO loop".into()));
+    }
+    if !unit.symbols.sym(var).is_array() {
+        return Err(XformError(format!("{} is not an array", unit.symbols.name(var))));
+    }
+    let name = unit.symbols.name(var).to_string();
+    let lp = unit.loop_of(target);
+    let (mut info, promoted) = match &lp.parallel {
+        Some(existing) => (existing.clone(), false),
+        None => (build_info(unit, target, graph), true),
+    };
+    if !info.private.contains(&var) {
+        info.private.push(var);
+        info.private.sort();
+        info.private.dedup();
+    }
+    let description = if promoted {
+        format!("parallel do with private array {name} ({} private total)", info.private.len())
+    } else {
+        format!("added {name} to the private clause")
+    };
     unit.loop_of_mut(target).parallel = Some(info);
     Ok(Applied { description, new_stmts: Vec::new() })
 }
@@ -181,6 +292,67 @@ mod tests {
         );
         apply(&mut u, h, &g).unwrap();
         assert!(text(&u).contains("private(j)"), "{}", text(&u));
+    }
+
+    #[test]
+    fn workspace_array_privatizes_and_promotes() {
+        let (mut u, h, g) = setup(
+            "program t\nreal w(32), a(16,32)\ndo is = 1, 16\ndo ip = 1, 32\n\
+             w(ip) = real(is + ip)\nenddo\ndo ip = 1, 32\na(is,ip) = w(ip)\nenddo\n\
+             enddo\nend\n",
+        );
+        let w = u.symbols.lookup("w").unwrap();
+        let d = diagnose_array_privatize(&u, h, w, &g, &|_| true);
+        assert!(d.ok(), "{d:?}");
+        apply_array_privatize(&mut u, h, w, &g).unwrap();
+        let s = text(&u);
+        assert!(s.contains("parallel do is"), "{s}");
+        assert!(s.contains("w") && s.contains("private("), "{s}");
+        assert!(u.loop_of(h).parallel.as_ref().unwrap().private.contains(&w));
+    }
+
+    #[test]
+    fn partial_kill_rejects_privatization() {
+        // w(32) is read but never written: the exposed read names the gap.
+        let (u, h, g) = setup(
+            "program t\nreal w(32), a(16,32)\ndo is = 1, 16\ndo ip = 1, 31\n\
+             w(ip) = real(is + ip)\nenddo\ndo ip = 1, 32\na(is,ip) = w(ip)\nenddo\n\
+             enddo\nend\n",
+        );
+        let w = u.symbols.lookup("w").unwrap();
+        let d = diagnose_array_privatize(&u, h, w, &g, &|_| true);
+        assert!(
+            matches!(d.safe, Safety::Unsafe(ref m) if m.contains("upward-exposed")),
+            "{d:?}"
+        );
+    }
+
+    #[test]
+    fn live_after_array_rejects_privatization() {
+        let (u, h, g) = setup(
+            "program t\nreal w(32)\ndo is = 1, 16\ndo ip = 1, 32\n\
+             w(ip) = real(is + ip)\nenddo\nenddo\nprint *, w(1)\nend\n",
+        );
+        let w = u.symbols.lookup("w").unwrap();
+        let d = diagnose_array_privatize(&u, h, w, &g, &|_| true);
+        assert!(
+            matches!(d.safe, Safety::Unsafe(ref m) if m.contains("live after")),
+            "{d:?}"
+        );
+    }
+
+    #[test]
+    fn already_parallel_loop_gains_private_clause() {
+        let (mut u, h, g) = setup(
+            "program t\nreal w(32), a(16,32)\nparallel do is = 1, 16\ndo ip = 1, 32\n\
+             w(ip) = real(is + ip)\nenddo\ndo ip = 1, 32\na(is,ip) = w(ip)\nenddo\n\
+             enddo\nend\n",
+        );
+        let w = u.symbols.lookup("w").unwrap();
+        let before = u.loop_of(h).parallel.clone().unwrap_or_default();
+        assert!(!before.private.contains(&w));
+        apply_array_privatize(&mut u, h, w, &g).unwrap();
+        assert!(u.loop_of(h).parallel.as_ref().unwrap().private.contains(&w));
     }
 
     #[test]

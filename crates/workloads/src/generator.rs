@@ -1,9 +1,10 @@
 //! Parameterized program generator for scalability experiments.
 //!
 //! Builds syntactically valid programs of controlled size with a mix of
-//! loop shapes (copies, stencils/recurrences, reductions, 2-nests, calls)
-//! so E10/E11 can sweep analysis time against program size. Deterministic
-//! per seed.
+//! loop shapes (copies, stencils/recurrences, reductions, 2-nests, calls,
+//! workspace arrays needing the section kill analysis, and partial-kill
+//! traps that must NOT privatize) so E10/E11 can sweep analysis time
+//! against program size. Deterministic per seed.
 
 use crate::rng::Rng;
 use std::fmt::Write;
@@ -62,9 +63,9 @@ fn gen_unit(out: &mut String, u: usize, cfg: GenConfig, rng: &mut Rng) {
     writeln!(out, "subroutine work{u}(a, b, c, n)").unwrap();
     writeln!(out, "integer n").unwrap();
     writeln!(out, "real a(n), b(n), c(n, n)").unwrap();
-    writeln!(out, "real t, s").unwrap();
+    writeln!(out, "real t, s, w(n)").unwrap();
     for l in 0..cfg.loops_per_unit {
-        match rng.range(0, 5) {
+        match rng.range(0, 7) {
             // Parallel copy loop.
             0 => {
                 writeln!(out, "do i = 1, n").unwrap();
@@ -105,6 +106,34 @@ fn gen_unit(out: &mut String, u: usize, cfg: GenConfig, rng: &mut Rng) {
                 writeln!(out, "  enddo").unwrap();
                 writeln!(out, "enddo").unwrap();
             }
+            // Workspace array fully overwritten each outer iteration:
+            // whole-array MOD/REF sees a carried w dependence, only the
+            // section kill analysis proves w privatizable (ArrayKillNeeded).
+            5 => {
+                let c1 = rng.range(1, 9);
+                writeln!(out, "do j = 1, n").unwrap();
+                writeln!(out, "  do i = 1, n").unwrap();
+                writeln!(out, "    w(i) = a(i) * {c1}.0 + b(j)").unwrap();
+                writeln!(out, "  enddo").unwrap();
+                writeln!(out, "  do i = 1, n").unwrap();
+                writeln!(out, "    c(i, j) = c(i, j) + w(i)").unwrap();
+                writeln!(out, "  enddo").unwrap();
+                writeln!(out, "enddo").unwrap();
+            }
+            // Partial-kill trap: the overwrite stops one short of the
+            // read extent, so w(n) flows across outer iterations — the
+            // kill gap must block privatization.
+            6 => {
+                writeln!(out, "do j = 1, n").unwrap();
+                writeln!(out, "  do i = 1, n - 1").unwrap();
+                writeln!(out, "    w(i) = a(i) + b(j)").unwrap();
+                writeln!(out, "  enddo").unwrap();
+                writeln!(out, "  do i = 1, n").unwrap();
+                writeln!(out, "    c(i, j) = c(i, j) + w(i) * 0.5").unwrap();
+                writeln!(out, "  enddo").unwrap();
+                writeln!(out, "  w(n) = w(1) + b(j)").unwrap();
+                writeln!(out, "enddo").unwrap();
+            }
             // Privatizable temporary.
             _ => {
                 writeln!(out, "do i = 1, n").unwrap();
@@ -136,6 +165,29 @@ mod tests {
                 .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
             assert_eq!(r.printed.len(), 1);
         }
+    }
+
+    #[test]
+    fn workspace_and_trap_shapes_are_emitted() {
+        // Across a few seeds with many loops both section shapes must
+        // appear: the fully-overwritten workspace and the partial-kill
+        // trap (recognizable by its off-by-one inner bound).
+        let mut saw_kill = false;
+        let mut saw_trap = false;
+        for seed in 1..=6 {
+            let src = gen_source(GenConfig {
+                seed,
+                extent: 8,
+                loops_per_unit: 10,
+                ..GenConfig::default()
+            });
+            saw_kill |= src.contains("w(i) = a(i) *");
+            saw_trap |= src.contains("do i = 1, n - 1");
+            ped_fortran::parse_program(&src).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            ped_runtime::interp::run_source(&src, ped_runtime::ExecConfig::default())
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+        assert!(saw_kill && saw_trap, "kill={saw_kill} trap={saw_trap}");
     }
 
     #[test]

@@ -138,8 +138,11 @@ fn arc3d_symbolic_and_kill_behavior() {
     assert!(!ped.parallelizable(fu, loops[1].0).unwrap());
     let g = ped.graph(fu, loops[1].0).unwrap();
     assert!(g.blocking().iter().all(|d| d.proven), "symbolic terms must cancel exactly");
-    // The k-sweep in the main program: blocked without interprocedural
-    // array kill, exactly as the paper reports for arc3d.
+    // The k-sweep in the main program: plain parallelization is blocked
+    // (the shared workspace carries real anti/output conflicts — the
+    // paper's arc3d finding), but the interprocedural section kill
+    // through `sweep` proves `work` privatizable, and ArrayPrivatize
+    // converts the loop.
     let main = ped.unit_index("arc3d").unwrap();
     let ksweep = ped
         .loops(main)
@@ -155,8 +158,22 @@ fn arc3d_symbolic_and_kill_behavior() {
         .expect("sweep loop exists");
     assert!(
         !ped.parallelizable(main, ksweep).unwrap(),
-        "work array conflicts require array kill analysis (unimplemented, as in Ped)"
+        "plain parallelize must stay blocked on the shared workspace"
     );
+    let work = ped.program().units[main].symbols.lookup("work").unwrap();
+    let g = ped.graph(main, ksweep).unwrap();
+    assert!(
+        g.array_classes.get(&work).is_some_and(|c| c.privatizable),
+        "interprocedural kill through sweep must prove work privatizable: {:?}",
+        g.array_classes.get(&work)
+    );
+    ped.apply(main, ksweep, &ped_transform::Xform::ArrayPrivatize { var: work }).unwrap();
+    let src = ped.source();
+    let header = src
+        .lines()
+        .find(|l| l.contains("parallel do") && l.contains("private(") && l.contains("work"))
+        .unwrap_or_else(|| panic!("k-sweep must become parallel with work private:\n{src}"));
+    assert!(header.contains("work"), "{header}");
 }
 
 /// Whole-workflow session: open spec77, navigate to the hottest loop,

@@ -71,6 +71,9 @@ fn profile_report_contents_match_session() {
     // The run's loop profiles were folded in.
     assert_eq!(report.loop_profiles.len(), run.profile.len());
 
+    // The v7 sections block counts the arrays each graph build classified.
+    assert!(report.sections.arrays_classified > 0, "{:?}", report.sections);
+
     // Re-requesting a cached graph bumps the reuse counter.
     let before = report.cache.graphs_reused;
     let h = ped.loops(0)[0].0;

@@ -258,6 +258,74 @@ fn shadow_log_agrees_between_serial_and_threads_across_suite() {
     }
 }
 
+/// Property: programs whose loops parallelize via `ArrayPrivatize` print
+/// bit-identical output across both engines, serial and 1/2/4-thread
+/// execution, and every schedule — the per-worker private array copies
+/// must be invisible to the program. slab2d (the motivating workspace
+/// program) plus generated workspace-kill programs are the subjects.
+#[test]
+fn array_privatized_loops_are_bit_identical_across_engines_modes_schedules() {
+    use ped_runtime::{Engine, Schedule};
+    let mut subjects: Vec<(String, String)> = Vec::new();
+
+    let slab = ped_workloads::program_by_name("slab2d").unwrap();
+    let ped = parallelized("slab2d", slab.source);
+    let src = ped.source();
+    let clause = src.lines().find(|l| l.contains("private(")).unwrap_or("");
+    assert!(
+        clause.contains('w'),
+        "slab2d's workspace array must land in a private clause: {src}"
+    );
+    subjects.push(("slab2d".into(), src));
+
+    for seed in [1u64, 3, 5] {
+        let gsrc = gen_source(GenConfig {
+            seed,
+            extent: 12,
+            units: 2,
+            loops_per_unit: 6,
+            stmts_per_loop: 2,
+        });
+        let mut ped = Ped::open(&gsrc).unwrap();
+        parallelize_everything(&mut ped);
+        subjects.push((format!("gen-{seed}"), ped.source()));
+    }
+    assert!(
+        subjects.iter().any(|(_, s)| {
+            s.lines().any(|l| l.contains("private(") && l.contains('w'))
+        }),
+        "at least one subject must privatize the workspace array"
+    );
+
+    for (name, src) in &subjects {
+        let base = ped_runtime::interp::run_source(src, ExecConfig::default())
+            .unwrap()
+            .printed;
+        for engine in [Engine::Bytecode, Engine::Tree] {
+            for mode in [
+                ParallelMode::Serial,
+                ParallelMode::Threads(1),
+                ParallelMode::Threads(2),
+                ParallelMode::Threads(4),
+            ] {
+                for schedule in [Schedule::Static, Schedule::Dynamic(3), Schedule::Guided] {
+                    let cfg = ExecConfig {
+                        mode,
+                        engine,
+                        schedule,
+                        ..ExecConfig::default()
+                    };
+                    let r = ped_runtime::interp::run_source(src, cfg).unwrap();
+                    assert_eq!(
+                        base, r.printed,
+                        "{name}: output diverged under {engine:?}/{mode:?}/{schedule:?}"
+                    );
+                }
+            }
+        }
+    }
+}
+
 /// Shadow-off runs carry no log and behave identically: same printed
 /// output as a shadow-on run (the logger must be observation-only).
 #[test]
