@@ -71,64 +71,12 @@ pub fn apply_suite_assertions(ped: &mut Ped, name: &str) -> usize {
 /// (outermost-first, skipping loops nested inside an already-parallel
 /// one). Loops blocked only by dependences on section-privatizable arrays
 /// convert via `ArrayPrivatize`. Returns how many loops were converted.
+///
+/// This is [`ped_core::autoparallelize`] — one policy shared with the
+/// `ped --autopar` CLI and the campaign engine, re-exported here so the
+/// experiment binaries keep their historical name.
 pub fn parallelize_everything(ped: &mut Ped) -> usize {
-    let mut converted = 0;
-    for ui in 0..ped.program().units.len() {
-        let loops: Vec<(StmtId, usize)> = ped.loops(ui);
-        let mut covered: Vec<StmtId> = Vec::new();
-        for (h, _) in loops {
-            if covered.contains(&h) {
-                continue;
-            }
-            let done = (ped.parallelizable(ui, h).unwrap_or(false)
-                && ped.apply(ui, h, &ped_transform::Xform::Parallelize).is_ok())
-                || try_array_privatize(ped, ui, h);
-            if done {
-                converted += 1;
-                // Don't double-parallelize inner loops.
-                let unit = &ped.program().units[ui];
-                if unit.is_loop(h) {
-                    let mut nested = Vec::new();
-                    ped_fortran::visit::for_each_stmt(unit, &unit.loop_of(h).body, &mut |s| {
-                        if unit.is_loop(s) {
-                            nested.push(s);
-                        }
-                    });
-                    covered.extend(nested);
-                }
-            }
-        }
-    }
-    converted
-}
-
-/// Parallelize-via-privatization fallback (mirrors the `ped --autopar`
-/// policy): when every blocking dependence of the loop sits on arrays the
-/// section analysis proved privatizable, apply `ArrayPrivatize` to each —
-/// the first application promotes the loop to `PARALLEL DO` with full
-/// scalar clauses. Returns whether the loop converted.
-fn try_array_privatize(ped: &mut Ped, ui: usize, h: StmtId) -> bool {
-    let Ok(g) = ped.graph(ui, h) else { return false };
-    let mut needed: Vec<ped_fortran::SymId> = Vec::new();
-    for d in g.deps.iter().filter(|d| d.blocks_parallel()) {
-        let Some(v) = d.var else { return false };
-        if !g.array_classes.get(&v).is_some_and(|c| c.privatizable) {
-            return false;
-        }
-        if !needed.contains(&v) {
-            needed.push(v);
-        }
-    }
-    if needed.is_empty() {
-        return false; // nothing blocked: plain Parallelize covers it
-    }
-    needed.sort();
-    for v in needed {
-        if ped.apply(ui, h, &ped_transform::Xform::ArrayPrivatize { var: v }).is_err() {
-            return false;
-        }
-    }
-    true
+    ped_core::autoparallelize(ped)
 }
 
 /// Parallelize only loops the static estimator predicts profitable — the

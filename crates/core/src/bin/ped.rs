@@ -32,14 +32,32 @@
 //! converts every provably-safe loop to `PARALLEL DO` (outermost-first),
 //! so `--batch --autopar --check` is the push-button
 //! analyze→parallelize→validate pipeline.
+//!
+//! `--campaign <seeds>` runs the differential-fuzzing campaign engine
+//! (E17): generate `<seeds>` programs and push each through
+//! generate→analyze→autopar→check→bit-equality on a pipelined worker
+//! pool with a shared pair cache and recycled sessions. Discrepancies
+//! are delta-debugged to minimized reproducers (written under
+//! `--repro-dir`) and make the exit status nonzero. `--mutate <clause>`
+//! strips that clause kind from every `PARALLEL DO` after autopar — a
+//! seeded-fault mode where a *clean* run means the checker failed.
+//! `--json` prints the machine-readable campaign summary; `--profile`
+//! prints a schema-v8 profile report with the `campaign` section filled;
+//! `--naive` is the unshared single-worker baseline the E17 speedup is
+//! measured against.
 
-use ped_core::{render, Assertion, DepFilter, Mark, Ped, ProfileReport, SourceFilter};
+use ped_core::{
+    autoparallelize, render, Assertion, CampaignConfig, DepFilter, Mark, Ped, ProfileReport,
+    SourceFilter,
+};
 use ped_runtime::{Engine, ExecConfig, Machine, ParallelMode, Schedule};
 use ped_transform::Xform;
 use std::io::{BufRead, Write};
 
 const USAGE: &str = "usage: ped [--batch] [--profile] [--autopar] [--check] [--threads <N>] [--schedule <spec>] [--engine <bytecode|tree>] <file.f>\n\
        ped [--batch] [--profile] [--autopar] [--check] [--threads <N>] [--schedule <spec>] [--engine <bytecode|tree>] --workload <name>\n\
+       ped --campaign <seeds> [--seed-start <N>] [--workers <N>] [--mutate <clause>] [--repro-dir <dir>] [--naive] [--json | --profile]\n\
+           [--gen-units <N>] [--gen-loops <N>] [--gen-stmts <N>] [--gen-extent <N>]\n\
        ped serve [--listen <addr>] [--store <dir>]\n\
        ped --validate-profile <report.json>";
 
@@ -68,6 +86,8 @@ fn main() {
     let mut defaults = RunDefaults::default();
     let mut workload: Option<String> = None;
     let mut path: Option<String> = None;
+    let mut campaign: Option<CampaignConfig> = None;
+    let mut json = false;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -75,6 +95,49 @@ fn main() {
             "--profile" => profile = true,
             "--check" => check = true,
             "--autopar" => autopar = true,
+            "--json" => json = true,
+            "--campaign" => match it.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n > 0 => {
+                    campaign.get_or_insert_with(CampaignConfig::default).seeds = n;
+                }
+                _ => exit_usage("--campaign needs a positive seed count"),
+            },
+            "--seed-start" => match it.next().and_then(|n| n.parse::<u64>().ok()) {
+                Some(n) => campaign.get_or_insert_with(CampaignConfig::default).seed_start = n,
+                None => exit_usage("--seed-start needs a number"),
+            },
+            "--workers" => match it.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) => campaign.get_or_insert_with(CampaignConfig::default).workers = n,
+                None => exit_usage("--workers needs a count"),
+            },
+            "--mutate" => match it.next() {
+                Some(kind) if ["private", "lastprivate", "reduction"].contains(&kind.as_str()) => {
+                    campaign.get_or_insert_with(CampaignConfig::default).mutate = Some(kind);
+                }
+                _ => exit_usage("--mutate needs private | lastprivate | reduction"),
+            },
+            "--repro-dir" => match it.next() {
+                Some(dir) => {
+                    campaign.get_or_insert_with(CampaignConfig::default).repro_dir =
+                        Some(dir.into());
+                }
+                None => exit_usage("--repro-dir needs a directory"),
+            },
+            "--naive" => campaign.get_or_insert_with(CampaignConfig::default).naive = true,
+            "--gen-units" | "--gen-loops" | "--gen-stmts" | "--gen-extent" => {
+                let Some(n) = it.next().and_then(|n| n.parse::<usize>().ok()).filter(|&n| n > 0)
+                else {
+                    exit_usage(&format!("{a} needs a positive number"));
+                    unreachable!()
+                };
+                let gen = &mut campaign.get_or_insert_with(CampaignConfig::default).gen;
+                match a.as_str() {
+                    "--gen-units" => gen.units = n,
+                    "--gen-loops" => gen.loops_per_unit = n,
+                    "--gen-stmts" => gen.stmts_per_loop = n,
+                    _ => gen.extent = n,
+                }
+            }
             "--threads" => match it.next().and_then(|n| n.parse::<usize>().ok()) {
                 Some(n) if n > 0 => defaults.threads = Some(n),
                 _ => exit_usage("--threads needs a positive count"),
@@ -104,6 +167,10 @@ fn main() {
             other if !other.starts_with('-') && path.is_none() => path = Some(a),
             other => exit_usage(&format!("unknown argument {other}")),
         }
+    }
+    if let Some(cfg) = campaign {
+        campaign_main(&cfg, json, profile);
+        return;
     }
     let src = match (&workload, &path) {
         (Some(name), None) => match ped_workloads_source(name) {
@@ -252,6 +319,72 @@ fn serve_main(args: &[String]) {
     }
 }
 
+/// `ped --campaign <seeds> …`: run the differential-fuzzing campaign and
+/// report. Human-readable summary on stderr; `--json` puts the campaign
+/// summary on stdout, `--profile` a schema-v8 profile report with the
+/// `campaign` section (and the campaign-wide pair-cache counters) filled.
+/// Exits 1 when any discrepancy survived minimization.
+fn campaign_main(cfg: &CampaignConfig, json: bool, profile: bool) {
+    let out = ped_core::run_campaign(cfg);
+    let mut err = std::io::stderr();
+    let pps = out.stage_programs_per_cpu_sec();
+    writeln!(
+        err,
+        "campaign: {} seed(s) on {} worker(s) in {:.2}s — {:.1} programs/sec end-to-end",
+        out.seeds,
+        out.workers,
+        out.elapsed_ns as f64 / 1e9,
+        out.programs_per_sec()
+    )
+    .ok();
+    writeln!(
+        err,
+        "  {} loop(s) seen, {} parallelized; pair cache {:.1}% hit ({} hits / {} misses)",
+        out.loops_total,
+        out.loops_parallelized,
+        out.cache.hit_rate() * 100.0,
+        out.cache.hits,
+        out.cache.misses
+    )
+    .ok();
+    for (i, name) in ped_core::campaign::STAGE_NAMES.iter().enumerate() {
+        writeln!(
+            err,
+            "  stage {name:12} {:>10.1} programs/cpu-sec",
+            pps[i]
+        )
+        .ok();
+    }
+    for d in &out.discrepancies {
+        writeln!(
+            err,
+            "  DISCREPANCY seed {}: {} — {} (minimized {} → {} lines{})",
+            d.seed,
+            d.class,
+            d.detail,
+            d.source.lines().count(),
+            d.minimized.lines().count(),
+            match &d.repro_path {
+                Some(p) => format!(", {p}"),
+                None => String::new(),
+            }
+        )
+        .ok();
+    }
+    if profile {
+        let mut rep = ProfileReport::empty();
+        rep.campaign = out.campaign_report();
+        rep.cache.pair_hits = out.cache.hits;
+        rep.cache.pair_misses = out.cache.misses;
+        println!("{}", rep.to_json().to_string_pretty());
+    } else if json {
+        println!("{}", out.to_json().to_string_pretty());
+    }
+    if !out.clean() {
+        std::process::exit(1);
+    }
+}
+
 fn exit_usage(msg: &str) {
     eprintln!("{msg}\n{USAGE}");
     std::process::exit(2);
@@ -325,65 +458,6 @@ fn batch_run_threads(ped: &Ped, defaults: RunDefaults, quiet: bool) {
             std::process::exit(1);
         }
     }
-}
-
-/// Convert every provably-parallelizable loop into a `PARALLEL DO`,
-/// outermost-first, skipping loops nested inside an already-parallel one
-/// (the same policy the benchmark suite uses). Loops blocked only by
-/// dependences on section-privatizable workspace arrays are parallelized
-/// through [`Xform::ArrayPrivatize`] instead.
-fn autoparallelize(ped: &mut Ped) -> usize {
-    let mut converted = 0;
-    for ui in 0..ped.program().units.len() {
-        let loops = ped.loops(ui);
-        let mut covered: Vec<ped_fortran::StmtId> = Vec::new();
-        for (h, _) in loops {
-            if covered.contains(&h) {
-                continue;
-            }
-            let done = (ped.parallelizable(ui, h).unwrap_or(false)
-                && ped.apply(ui, h, &Xform::Parallelize).is_ok())
-                || try_array_privatize(ped, ui, h);
-            if done {
-                converted += 1;
-                let unit = &ped.program().units[ui];
-                ped_fortran::visit::for_each_stmt(unit, &unit.loop_of(h).body, &mut |s| {
-                    if unit.is_loop(s) {
-                        covered.push(s);
-                    }
-                });
-            }
-        }
-    }
-    converted
-}
-
-/// Parallelize-via-privatization fallback: when every blocking dependence
-/// of the loop sits on arrays the section analysis proved privatizable,
-/// apply [`Xform::ArrayPrivatize`] to each (the first promotes the loop to
-/// `PARALLEL DO` with full clauses). Returns whether the loop converted.
-fn try_array_privatize(ped: &mut Ped, ui: usize, h: ped_fortran::StmtId) -> bool {
-    let Ok(g) = ped.graph(ui, h) else { return false };
-    let mut needed: Vec<ped_fortran::SymId> = Vec::new();
-    for d in g.deps.iter().filter(|d| d.blocks_parallel()) {
-        let Some(v) = d.var else { return false };
-        if !g.array_classes.get(&v).is_some_and(|c| c.privatizable) {
-            return false;
-        }
-        if !needed.contains(&v) {
-            needed.push(v);
-        }
-    }
-    if needed.is_empty() {
-        return false; // nothing blocked: plain Parallelize covers it
-    }
-    needed.sort();
-    for v in needed {
-        if ped.apply(ui, h, &Xform::ArrayPrivatize { var: v }).is_err() {
-            return false;
-        }
-    }
-    true
 }
 
 /// Build the execution config the batch-mode defaults describe.

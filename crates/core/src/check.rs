@@ -233,11 +233,26 @@ impl Ped {
     /// into the session's profile (the report's `validation` section) when
     /// profiling is enabled.
     pub fn check(&mut self, config: ExecConfig) -> Result<ValidationReport, PedError> {
+        self.check_logged(config).map(|(report, _, _)| report)
+    }
+
+    /// [`Ped::check`], but also returning the instrumented run's printed
+    /// output and final main-unit memory. Shadow logging observes without
+    /// perturbing results, so a serial-mode check run doubles as the
+    /// bit-equality reference — the campaign engine validates and gets its
+    /// reference execution from one run instead of two.
+    #[allow(clippy::type_complexity)]
+    pub fn check_logged(
+        &mut self,
+        config: ExecConfig,
+    ) -> Result<(ValidationReport, ped_runtime::RunResult, ped_runtime::MemorySnapshot), PedError>
+    {
         let mut cfg = config;
         cfg.shadow = true;
-        let result = self.run(cfg)?;
+        let (mut result, memory) = self.run_with_memory(cfg)?;
         let log = result
             .shadow
+            .take()
             .ok_or_else(|| PedError("shadow log missing from instrumented run".into()))?;
         let report = self.validate_log(&log)?;
         self.obs().record_validation(&ValidationSample {
@@ -248,7 +263,7 @@ impl Ped {
             static_unobserved: report.static_unobserved as u64,
             validated_deletions: report.validated_deletions as u64,
         });
-        Ok(report)
+        Ok((report, result, memory))
     }
 
     /// Cross-check an already-collected shadow log (so tests and benches

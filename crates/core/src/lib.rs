@@ -13,6 +13,8 @@
 //! marking/filtering/steering behave*, all of which [`render`] and
 //! [`session`] expose as data and text.
 
+pub mod autopar;
+pub mod campaign;
 pub mod check;
 pub mod equiv;
 pub mod filters;
@@ -21,6 +23,8 @@ pub mod serve;
 pub mod session;
 pub mod store;
 
+pub use autopar::autoparallelize;
+pub use campaign::{classify, run_campaign, CampaignConfig, CampaignOutcome, Discrepancy};
 pub use check::{LoopValidation, RaceFinding, RaceVerdict, ValidationReport};
 pub use filters::{DepFilter, SourceFilter};
 pub use ped_obs::{IncrementalReport, ProfileReport, PROFILE_SCHEMA_VERSION};

@@ -269,6 +269,31 @@ impl Ped {
         }
     }
 
+    /// Re-point the session at a new program, keeping everything worth
+    /// keeping across programs: the shared pair cache (content-addressed,
+    /// so cross-program reuse is sound), the instrumentation registry, the
+    /// lifetime counters, and the container capacity of the per-program
+    /// state (maps are cleared, not dropped). Campaign workers call this
+    /// once per seed instead of building a fresh session, so thousands of
+    /// seeds amortize one session's allocations.
+    pub fn reopen(&mut self, src: &str) -> Result<(), PedError> {
+        let program = {
+            let _t = PhaseTimer::start(Some(&self.obs), Phase::Parse);
+            parse_program(src).map_err(|e| PedError(format!("parse: {e}")))?
+        };
+        self.program = program;
+        self.ip = None;
+        self.vis_fps.clear();
+        self.graphs.clear();
+        self.retired.clear();
+        self.marks.clear();
+        self.assertions.clear();
+        self.undo.clear();
+        self.redo.clear();
+        self.reanalysis_count = 0;
+        Ok(())
+    }
+
     /// Turn instrumentation on or off mid-session.
     pub fn set_profiling(&self, on: bool) {
         self.obs.set_enabled(on);
@@ -1135,6 +1160,23 @@ impl Ped {
             });
         }
         Ok(result)
+    }
+
+    /// Like [`Ped::run`], but also captures the main unit's final memory —
+    /// the campaign engine's bit-equality oracle compares it across
+    /// engines and execution modes.
+    pub fn run_with_memory(
+        &self,
+        config: ped_runtime::ExecConfig,
+    ) -> Result<(ped_runtime::RunResult, ped_runtime::MemorySnapshot), PedError> {
+        self.last_run_tree.store(
+            config.effective_engine() == ped_runtime::Engine::Tree,
+            std::sync::atomic::Ordering::Relaxed,
+        );
+        let _t = PhaseTimer::start(self.obs_ref(), Phase::Interpret);
+        let interp = ped_runtime::Interp::new(&self.program, config)
+            .map_err(|e| PedError(e.message.clone()))?;
+        interp.run_with_memory().map_err(|e| PedError(e.message))
     }
 }
 

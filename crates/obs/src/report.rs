@@ -37,15 +37,41 @@ pub struct SectionsReport {
     pub privatizable: u64,
 }
 
+/// Campaign-mode throughput counters (schema v8). All zero in reports
+/// parsed from pre-v8 JSON or from sessions that never ran `--campaign`.
+/// Like [`ServeReport`], the registry knows nothing about campaigns; the
+/// campaign engine fills this in from its own counters before emitting.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CampaignReport {
+    /// Seeds pushed through the full pipeline.
+    pub seeds: u64,
+    /// Loops converted to `PARALLEL DO` across all seeds.
+    pub loops_parallelized: u64,
+    /// Discrepancies found (race verdicts, bit divergence, panics).
+    pub discrepancies: u64,
+    /// Minimized reproducers written to disk.
+    pub reproducers: u64,
+    /// Wall-clock nanoseconds summed across workers, per pipeline stage.
+    pub generate_ns: u64,
+    /// Parse + whole-program analysis stage, summed worker nanoseconds.
+    pub analyze_ns: u64,
+    /// Autopar (transform application) stage, summed worker nanoseconds.
+    pub autopar_ns: u64,
+    /// Shadow `--check` stage, summed worker nanoseconds.
+    pub check_ns: u64,
+    /// Cross-engine/mode bit-equality stage, summed worker nanoseconds.
+    pub equivalence_ns: u64,
+}
+
 /// Version stamped into every emitted report. Parsing accepts this version
 /// and every earlier one it knows how to upgrade (v1 reports lack the
 /// `incremental` section, v1/v2 reports lack the `scheduler` section,
 /// v1–v3 reports lack the `validation` section, v1–v5 reports lack the
-/// `serve` section, v1–v6 reports lack the `sections` section; all default
-/// to all-zero. v1–v4 reports lack the `engine` field, which defaults to
-/// `"tree"` — the only engine that existed before v5); later or unknown
-/// versions are rejected.
-pub const PROFILE_SCHEMA_VERSION: u64 = 7;
+/// `serve` section, v1–v6 reports lack the `sections` section, v1–v7
+/// reports lack the `campaign` section; all default to all-zero. v1–v4
+/// reports lack the `engine` field, which defaults to `"tree"` — the only
+/// engine that existed before v5); later or unknown versions are rejected.
+pub const PROFILE_SCHEMA_VERSION: u64 = 8;
 
 /// Oldest schema version [`ProfileReport::from_json`] still accepts.
 pub const PROFILE_SCHEMA_MIN_VERSION: u64 = 1;
@@ -248,6 +274,9 @@ pub struct ProfileReport {
     /// Regular-section analysis counters (all zero when parsed from
     /// pre-v7 JSON).
     pub sections: SectionsReport,
+    /// Campaign-mode throughput counters (all zero when parsed from
+    /// pre-v8 JSON; filled by `ped --campaign`, zero otherwise).
+    pub campaign: CampaignReport,
     /// Per-unit graph-build timings.
     pub units: Vec<UnitStat>,
     /// Loop profiles from runs, if any.
@@ -269,6 +298,7 @@ impl ProfileReport {
             validation: ValidationSummary::default(),
             serve: ServeReport::default(),
             sections: SectionsReport::default(),
+            campaign: CampaignReport::default(),
             units: Vec::new(),
             loop_profiles: Vec::new(),
         }
@@ -332,6 +362,8 @@ impl ProfileReport {
                 exposed_bottom: snap.sections.exposed_bottom,
                 privatizable: snap.sections.privatizable,
             },
+            // Like `serve`: filled by the campaign engine before emitting.
+            campaign: CampaignReport::default(),
             units: snap
                 .units
                 .iter()
@@ -475,6 +507,20 @@ impl ProfileReport {
                     ("arrays_classified", Json::int(self.sections.arrays_classified)),
                     ("exposed_bottom", Json::int(self.sections.exposed_bottom)),
                     ("privatizable", Json::int(self.sections.privatizable)),
+                ]),
+            ),
+            (
+                "campaign",
+                Json::obj(vec![
+                    ("seeds", Json::int(self.campaign.seeds)),
+                    ("loops_parallelized", Json::int(self.campaign.loops_parallelized)),
+                    ("discrepancies", Json::int(self.campaign.discrepancies)),
+                    ("reproducers", Json::int(self.campaign.reproducers)),
+                    ("generate_ns", Json::int(self.campaign.generate_ns)),
+                    ("analyze_ns", Json::int(self.campaign.analyze_ns)),
+                    ("autopar_ns", Json::int(self.campaign.autopar_ns)),
+                    ("check_ns", Json::int(self.campaign.check_ns)),
+                    ("equivalence_ns", Json::int(self.campaign.equivalence_ns)),
                 ]),
             ),
             (
@@ -679,6 +725,24 @@ impl ProfileReport {
             },
         };
 
+        // v1–v7 reports predate campaign mode; the section defaults to
+        // all-zero. From v8 on it is required.
+        let campaign = match v.get("campaign") {
+            None if schema_version < 8 => CampaignReport::default(),
+            None => return Err("missing field 'campaign'".to_string()),
+            Some(s) => CampaignReport {
+                seeds: need_u64(s, "seeds")?,
+                loops_parallelized: need_u64(s, "loops_parallelized")?,
+                discrepancies: need_u64(s, "discrepancies")?,
+                reproducers: need_u64(s, "reproducers")?,
+                generate_ns: need_u64(s, "generate_ns")?,
+                analyze_ns: need_u64(s, "analyze_ns")?,
+                autopar_ns: need_u64(s, "autopar_ns")?,
+                check_ns: need_u64(s, "check_ns")?,
+                equivalence_ns: need_u64(s, "equivalence_ns")?,
+            },
+        };
+
         let mut units = Vec::new();
         for u in need_arr(v, "units")? {
             units.push(UnitStat {
@@ -714,6 +778,7 @@ impl ProfileReport {
             validation,
             serve,
             sections,
+            campaign,
             units,
             loop_profiles,
         })
@@ -823,6 +888,23 @@ impl ProfileReport {
                 fmt_ns(srv.max_request_ns)
             ));
         }
+        let camp = &self.campaign;
+        if *camp != CampaignReport::default() {
+            out.push_str(&format!(
+                "campaign: {} seeds, {} loops parallelized, {} discrepancies \
+                 ({} reproducers); stages gen {} / analyze {} / autopar {} / \
+                 check {} / equiv {}\n",
+                camp.seeds,
+                camp.loops_parallelized,
+                camp.discrepancies,
+                camp.reproducers,
+                fmt_ns(camp.generate_ns),
+                fmt_ns(camp.analyze_ns),
+                fmt_ns(camp.autopar_ns),
+                fmt_ns(camp.check_ns),
+                fmt_ns(camp.equivalence_ns)
+            ));
+        }
         if !self.units.is_empty() {
             out.push_str("per-unit analysis:\n");
             for u in &self.units {
@@ -929,6 +1011,17 @@ mod tests {
             graphs_persisted: 5,
             total_request_ns: 87_000,
             max_request_ns: 30_000,
+        };
+        r.campaign = CampaignReport {
+            seeds: 200,
+            loops_parallelized: 410,
+            discrepancies: 1,
+            reproducers: 1,
+            generate_ns: 5_000,
+            analyze_ns: 90_000,
+            autopar_ns: 15_000,
+            check_ns: 70_000,
+            equivalence_ns: 120_000,
         };
         r
     }
@@ -1103,6 +1196,39 @@ mod tests {
         strip_section(&mut v, "sections");
         let err = ProfileReport::from_json_str(&v).unwrap_err();
         assert!(err.contains("sections"), "{err}");
+    }
+
+    #[test]
+    fn v7_report_accepts_missing_campaign_section() {
+        let r = sample_report();
+        let mut v = r.to_json().to_string_compact();
+        v = v.replacen(
+            &format!("\"schema_version\":{PROFILE_SCHEMA_VERSION}"),
+            "\"schema_version\":7",
+            1,
+        );
+        strip_section(&mut v, "campaign");
+        let back = ProfileReport::from_json_str(&v).unwrap();
+        assert_eq!(back.schema_version, 7);
+        assert_eq!(back.campaign, CampaignReport::default());
+        assert_eq!(back.sections, r.sections);
+    }
+
+    #[test]
+    fn v8_report_requires_campaign_section() {
+        let r = sample_report();
+        let mut v = r.to_json().to_string_compact();
+        strip_section(&mut v, "campaign");
+        let err = ProfileReport::from_json_str(&v).unwrap_err();
+        assert!(err.contains("campaign"), "{err}");
+    }
+
+    #[test]
+    fn campaign_counters_survive_round_trip() {
+        let r = sample_report();
+        let back = ProfileReport::from_json_str(&r.to_json().to_string_compact()).unwrap();
+        assert_eq!(back.campaign, r.campaign);
+        assert!(r.render_text().contains("campaign: 200 seeds"), "{}", r.render_text());
     }
 
     #[test]

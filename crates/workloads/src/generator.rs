@@ -1,18 +1,32 @@
-//! Parameterized program generator for scalability experiments.
+//! Parameterized program generator for scalability experiments and
+//! differential-fuzzing campaigns.
 //!
 //! Builds syntactically valid programs of controlled size with a mix of
-//! loop shapes (copies, stencils/recurrences, reductions, 2-nests, calls,
-//! workspace arrays needing the section kill analysis, and partial-kill
-//! traps that must NOT privatize) so E10/E11 can sweep analysis time
-//! against program size. Deterministic per seed.
+//! loop shapes (copies, stencils/recurrences, reductions, 2-nests,
+//! workspace arrays needing the section kill analysis, partial-kill traps
+//! that must NOT privatize, COMMON-block aliasing through a helper call,
+//! non-affine `mod` subscripts, and deep call chains inside loops) so
+//! E10/E11 can sweep analysis time against program size and E17 can fuzz
+//! the analyzer at corpus scale.
+//!
+//! ## Reproducibility
+//!
+//! Generation is a pure function of [`GenConfig`]: the same config (seed
+//! included) yields **byte-identical** source on every platform, build,
+//! and run. The only randomness source is the SplitMix64 [`Rng`], whose
+//! output sequence is fixed by its published algorithm; no iteration
+//! order, hash seed, pointer value, or host property feeds the output.
+//! `genconfig_seed_is_byte_reproducible` pins checksums of generated
+//! corpora so any accidental format or RNG change fails loudly.
 
 use crate::rng::Rng;
 use std::fmt::Write;
 
-/// Generator parameters.
+/// Generator parameters. Generation is deterministic: equal configs
+/// produce byte-identical source (see the module docs).
 #[derive(Debug, Clone, Copy)]
 pub struct GenConfig {
-    /// Number of subroutine units (plus one main).
+    /// Number of subroutine units (plus one main and four fixed helpers).
     pub units: usize,
     /// Loops per unit.
     pub loops_per_unit: usize,
@@ -30,10 +44,48 @@ impl Default for GenConfig {
     }
 }
 
+/// Fixed extent of the `/gbuf/` COMMON array shared by the aliasing shape
+/// and its helper (independent of [`GenConfig::extent`]).
+pub const COMMON_EXTENT: usize = 32;
+
 /// Generate a complete program.
 pub fn gen_source(cfg: GenConfig) -> String {
-    let mut rng = Rng::seed_from_u64(cfg.seed);
     let mut out = String::new();
+    gen_source_into(&mut out, cfg);
+    out
+}
+
+/// Generate into a caller-owned buffer (cleared first), so campaign
+/// workers can recycle one allocation across thousands of seeds.
+pub fn gen_source_into(out: &mut String, cfg: GenConfig) {
+    out.clear();
+    let mut rng = Rng::seed_from_u64(cfg.seed);
+    gen_main_open(out, cfg);
+    gen_calls(out, cfg, "");
+    gen_main_close(out);
+    gen_units(out, cfg, "", &mut rng);
+}
+
+/// Concatenated-unit mode: `copies` independently-seeded program bodies
+/// (copy `k` uses seed `cfg.seed + k`) namespaced `p{k}` and fused under
+/// one main that calls them all. This is the parse/analysis scale stress:
+/// with a large `copies` the output reaches millions of lines while every
+/// unit stays independently analyzable.
+pub fn gen_concat_source(cfg: GenConfig, copies: usize) -> String {
+    let mut out = String::new();
+    gen_main_open(&mut out, cfg);
+    for k in 0..copies {
+        gen_calls(&mut out, cfg, &format!("p{k}"));
+    }
+    gen_main_close(&mut out);
+    for k in 0..copies {
+        let mut rng = Rng::seed_from_u64(cfg.seed.wrapping_add(k as u64));
+        gen_units(&mut out, cfg, &format!("p{k}"), &mut rng);
+    }
+    out
+}
+
+fn gen_main_open(out: &mut String, cfg: GenConfig) {
     let n = cfg.extent;
     writeln!(out, "program gen").unwrap();
     writeln!(out, "integer n").unwrap();
@@ -44,28 +96,42 @@ pub fn gen_source(cfg: GenConfig) -> String {
     writeln!(out, "  a(i) = 0.1 * i").unwrap();
     writeln!(out, "  b(i) = 0.2 * i").unwrap();
     writeln!(out, "enddo").unwrap();
+}
+
+fn gen_calls(out: &mut String, cfg: GenConfig, prefix: &str) {
     for u in 0..cfg.units {
-        writeln!(out, "call work{u}(a, b, c, n)").unwrap();
+        writeln!(out, "call {prefix}work{u}(a, b, c, n)").unwrap();
     }
+}
+
+fn gen_main_close(out: &mut String) {
     writeln!(out, "s = 0.0").unwrap();
     writeln!(out, "do i = 1, n").unwrap();
     writeln!(out, "  s = s + a(i) + b(i)").unwrap();
     writeln!(out, "enddo").unwrap();
     writeln!(out, "print *, s").unwrap();
     writeln!(out, "end").unwrap();
-    for u in 0..cfg.units {
-        gen_unit(&mut out, u, cfg, &mut rng);
-    }
-    out
 }
 
-fn gen_unit(out: &mut String, u: usize, cfg: GenConfig, rng: &mut Rng) {
-    writeln!(out, "subroutine work{u}(a, b, c, n)").unwrap();
+/// Emit the work units plus the four fixed helpers (`mixg` for the
+/// COMMON aliasing shape, `chain1`..`chain3` for the deep-call shape).
+/// Helpers are always present so unit count is config-determined.
+fn gen_units(out: &mut String, cfg: GenConfig, prefix: &str, rng: &mut Rng) {
+    for u in 0..cfg.units {
+        gen_unit(out, u, cfg, prefix, rng);
+    }
+    gen_helpers(out, prefix);
+}
+
+fn gen_unit(out: &mut String, u: usize, cfg: GenConfig, prefix: &str, rng: &mut Rng) {
+    let ge = COMMON_EXTENT;
+    writeln!(out, "subroutine {prefix}work{u}(a, b, c, n)").unwrap();
     writeln!(out, "integer n").unwrap();
     writeln!(out, "real a(n), b(n), c(n, n)").unwrap();
     writeln!(out, "real t, s, w(n)").unwrap();
+    writeln!(out, "common /{prefix}gbuf/ g({ge})").unwrap();
     for l in 0..cfg.loops_per_unit {
-        match rng.range(0, 7) {
+        match rng.range(0, 10) {
             // Parallel copy loop.
             0 => {
                 writeln!(out, "do i = 1, n").unwrap();
@@ -134,6 +200,41 @@ fn gen_unit(out: &mut String, u: usize, cfg: GenConfig, rng: &mut Rng) {
                 writeln!(out, "  w(n) = w(1) + b(j)").unwrap();
                 writeln!(out, "enddo").unwrap();
             }
+            // COMMON-block aliasing: fill the shared buffer, mutate it
+            // through a helper that sees it under another name, then read
+            // it back with a wrapped subscript. Any unsoundness in the
+            // interprocedural COMMON MOD/REF story shows up here.
+            7 => {
+                let c1 = rng.range(1, 9);
+                writeln!(out, "do i = 1, {ge}").unwrap();
+                writeln!(out, "  g(i) = b(1) + 0.{c1} * i").unwrap();
+                writeln!(out, "enddo").unwrap();
+                writeln!(out, "call {prefix}mixg(a, n)").unwrap();
+                writeln!(out, "do i = 1, n").unwrap();
+                writeln!(out, "  a(i) = a(i) + g(1 + mod(i - 1, {ge})) * 0.125").unwrap();
+                writeln!(out, "enddo").unwrap();
+            }
+            // Non-affine subscript: mod(i*i, n) defeats every affine
+            // dependence test, so the analyzer must assume the write can
+            // collide and keep the loop serial — parallelizing it would
+            // be a real (order-visible) write/write race.
+            8 => {
+                let c1 = rng.range(1, 9);
+                writeln!(out, "do i = 1, n").unwrap();
+                writeln!(out, "  a(1 + mod(i * i, n)) = b(i) + {c1}.0").unwrap();
+                for _ in 1..cfg.stmts_per_loop.min(3) {
+                    writeln!(out, "  b(i) = b(i) * 0.5 + {c1}.0").unwrap();
+                }
+                writeln!(out, "enddo").unwrap();
+            }
+            // Deep call chain inside a loop: parallelizability of the j
+            // loop depends on MOD/REF summaries propagated through three
+            // levels of calls down to chain3's single-column update.
+            9 => {
+                writeln!(out, "do j = 1, n").unwrap();
+                writeln!(out, "  call {prefix}chain1(a, b, n, j)").unwrap();
+                writeln!(out, "enddo").unwrap();
+            }
             // Privatizable temporary.
             _ => {
                 writeln!(out, "do i = 1, n").unwrap();
@@ -150,17 +251,52 @@ fn gen_unit(out: &mut String, u: usize, cfg: GenConfig, rng: &mut Rng) {
     writeln!(out, "end").unwrap();
 }
 
+fn gen_helpers(out: &mut String, prefix: &str) {
+    let ge = COMMON_EXTENT;
+    // COMMON aliasing helper: sees /gbuf/ under a different member name.
+    writeln!(out, "subroutine {prefix}mixg(a, n)").unwrap();
+    writeln!(out, "integer n").unwrap();
+    writeln!(out, "real a(n)").unwrap();
+    writeln!(out, "common /{prefix}gbuf/ h({ge})").unwrap();
+    writeln!(out, "do i = 1, {ge}").unwrap();
+    writeln!(out, "  h(i) = h(i) * 0.5").unwrap();
+    writeln!(out, "enddo").unwrap();
+    writeln!(out, "a(1) = a(1) + h(1)").unwrap();
+    writeln!(out, "return").unwrap();
+    writeln!(out, "end").unwrap();
+    // Deep call chain: chain1 → chain2 → chain3, bottom touches only
+    // column j so a summary-precise analysis can still parallelize the
+    // calling loop while a whole-array one stays conservative.
+    for d in 1..=3 {
+        writeln!(out, "subroutine {prefix}chain{d}(a, b, n, j)").unwrap();
+        writeln!(out, "integer n, j").unwrap();
+        writeln!(out, "real a(n), b(n)").unwrap();
+        if d < 3 {
+            writeln!(out, "call {prefix}chain{}(a, b, n, j)", d + 1).unwrap();
+        } else {
+            writeln!(out, "b(j) = b(j) + a(j) * 0.0625").unwrap();
+        }
+        writeln!(out, "return").unwrap();
+        writeln!(out, "end").unwrap();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    /// Units a generated program always contains beyond `cfg.units`:
+    /// main + mixg + chain1..chain3.
+    const FIXED_UNITS: usize = 5;
+
     #[test]
     fn generated_programs_parse_and_run() {
         for seed in [1, 2, 3] {
-            let src = gen_source(GenConfig { seed, extent: 16, ..GenConfig::default() });
+            let cfg = GenConfig { seed, extent: 16, ..GenConfig::default() };
+            let src = gen_source(cfg);
             let p = ped_fortran::parse_program(&src)
                 .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{src}"));
-            assert_eq!(p.units.len(), 5);
+            assert_eq!(p.units.len(), cfg.units + FIXED_UNITS);
             let r = ped_runtime::interp::run_source(&src, ped_runtime::ExecConfig::default())
                 .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
             assert_eq!(r.printed.len(), 1);
@@ -169,12 +305,14 @@ mod tests {
 
     #[test]
     fn workspace_and_trap_shapes_are_emitted() {
-        // Across a few seeds with many loops both section shapes must
-        // appear: the fully-overwritten workspace and the partial-kill
-        // trap (recognizable by its off-by-one inner bound).
+        // Across a few seeds with many loops the section shapes and the
+        // new campaign shapes must all appear.
         let mut saw_kill = false;
         let mut saw_trap = false;
-        for seed in 1..=6 {
+        let mut saw_common = false;
+        let mut saw_nonaffine = false;
+        let mut saw_chain = false;
+        for seed in 1..=8 {
             let src = gen_source(GenConfig {
                 seed,
                 extent: 8,
@@ -183,11 +321,18 @@ mod tests {
             });
             saw_kill |= src.contains("w(i) = a(i) *");
             saw_trap |= src.contains("do i = 1, n - 1");
+            saw_common |= src.contains("call mixg(a, n)");
+            saw_nonaffine |= src.contains("mod(i * i, n)");
+            saw_chain |= src.contains("call chain1(a, b, n, j)");
             ped_fortran::parse_program(&src).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
             ped_runtime::interp::run_source(&src, ped_runtime::ExecConfig::default())
                 .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
         }
-        assert!(saw_kill && saw_trap, "kill={saw_kill} trap={saw_trap}");
+        assert!(
+            saw_kill && saw_trap && saw_common && saw_nonaffine && saw_chain,
+            "kill={saw_kill} trap={saw_trap} common={saw_common} \
+             nonaffine={saw_nonaffine} chain={saw_chain}"
+        );
     }
 
     #[test]
@@ -195,6 +340,71 @@ mod tests {
         let a = gen_source(GenConfig::default());
         let b = gen_source(GenConfig::default());
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn gen_source_into_recycles_buffer() {
+        let mut buf = String::from("stale contents");
+        gen_source_into(&mut buf, GenConfig::default());
+        assert_eq!(buf, gen_source(GenConfig::default()));
+    }
+
+    /// The reproducibility contract (module docs): `GenConfig { seed, .. }`
+    /// yields byte-identical source across platforms, builds, and runs.
+    /// FNV-1a checksums pinned here; regenerate them only for a deliberate
+    /// format change (and say so in the commit).
+    #[test]
+    fn genconfig_seed_is_byte_reproducible() {
+        fn fnv1a(bytes: &[u8]) -> u64 {
+            let mut h: u64 = 0xcbf29ce484222325;
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+            h
+        }
+        let mut drift = Vec::new();
+        for (cfg, want) in [
+            (GenConfig::default(), 0x317cbb6910ef5898u64),
+            (
+                GenConfig { units: 2, loops_per_unit: 3, seed: 42, ..GenConfig::default() },
+                0x4a2c3c7aa48b2638,
+            ),
+            (GenConfig { extent: 8, seed: 1234, ..GenConfig::default() }, 0x1e7adecf8e91a7e0),
+        ] {
+            let got = fnv1a(gen_source(cfg).as_bytes());
+            if got != want {
+                drift.push(format!("{cfg:?}: got {got:#x}, pinned {want:#x}"));
+            }
+        }
+        assert!(drift.is_empty(), "checksum drift:\n{}", drift.join("\n"));
+    }
+
+    #[test]
+    fn concat_mode_namespaces_and_runs() {
+        let cfg = GenConfig { units: 2, loops_per_unit: 3, extent: 8, seed: 5, ..Default::default() };
+        let src = gen_concat_source(cfg, 3);
+        let p = ped_fortran::parse_program(&src).unwrap_or_else(|e| panic!("{e}\n{src}"));
+        // main + 3 copies × (2 work units + 4 helpers)
+        assert_eq!(p.units.len(), 1 + 3 * (cfg.units + 4));
+        assert!(src.contains("call p0work0(a, b, c, n)"));
+        assert!(src.contains("subroutine p2mixg(a, n)"));
+        let r = ped_runtime::interp::run_source(&src, ped_runtime::ExecConfig::default())
+            .unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(r.printed.len(), 1);
+        // Copies are independently seeded, so their bodies differ.
+        assert_ne!(
+            gen_concat_source(cfg, 2),
+            gen_concat_source(GenConfig { seed: cfg.seed + 1, ..cfg }, 2)
+        );
+    }
+
+    #[test]
+    fn concat_mode_scales_lines() {
+        let cfg = GenConfig { units: 2, loops_per_unit: 3, extent: 8, seed: 5, ..Default::default() };
+        let one = gen_concat_source(cfg, 1).lines().count();
+        let ten = gen_concat_source(cfg, 10).lines().count();
+        assert!(ten > 8 * one, "{one} lines × 10 copies → {ten}");
     }
 
     #[test]
