@@ -47,16 +47,16 @@
 //! measured against.
 
 use ped_core::{
-    autoparallelize, render, Assertion, CampaignConfig, DepFilter, Mark, Ped, ProfileReport,
-    SourceFilter,
+    autoparallelize, autopilot, render, render_suggest, suggest, Assertion, AutopilotConfig,
+    CampaignConfig, DepFilter, Mark, Ped, ProfileReport, SourceFilter,
 };
 use ped_runtime::{Engine, ExecConfig, Machine, ParallelMode, Schedule};
 use ped_transform::Xform;
 use std::io::{BufRead, Write};
 
-const USAGE: &str = "usage: ped [--batch] [--profile] [--autopar] [--check] [--threads <N>] [--schedule <spec>] [--engine <bytecode|tree>] <file.f>\n\
-       ped [--batch] [--profile] [--autopar] [--check] [--threads <N>] [--schedule <spec>] [--engine <bytecode|tree>] --workload <name>\n\
-       ped --campaign <seeds> [--seed-start <N>] [--workers <N>] [--mutate <clause>] [--repro-dir <dir>] [--naive] [--json | --profile]\n\
+const USAGE: &str = "usage: ped [--batch] [--profile] [--autopar|--autopilot] [--check] [--threads <N>] [--schedule <spec>] [--engine <bytecode|tree>] <file.f>\n\
+       ped [--batch] [--profile] [--autopar|--autopilot] [--check] [--threads <N>] [--schedule <spec>] [--engine <bytecode|tree>] --workload <name>\n\
+       ped --campaign <seeds> [--seed-start <N>] [--workers <N>] [--mutate <clause>] [--autopilot] [--repro-dir <dir>] [--naive] [--json | --profile]\n\
            [--gen-units <N>] [--gen-loops <N>] [--gen-stmts <N>] [--gen-extent <N>]\n\
        ped serve [--listen <addr>] [--store <dir>]\n\
        ped --validate-profile <report.json>";
@@ -83,6 +83,7 @@ fn main() {
     let mut profile = false;
     let mut check = false;
     let mut autopar = false;
+    let mut autopilot_flag = false;
     let mut defaults = RunDefaults::default();
     let mut workload: Option<String> = None;
     let mut path: Option<String> = None;
@@ -95,6 +96,7 @@ fn main() {
             "--profile" => profile = true,
             "--check" => check = true,
             "--autopar" => autopar = true,
+            "--autopilot" => autopilot_flag = true,
             "--json" => json = true,
             "--campaign" => match it.next().and_then(|n| n.parse::<usize>().ok()) {
                 Some(n) if n > 0 => {
@@ -168,7 +170,8 @@ fn main() {
             other => exit_usage(&format!("unknown argument {other}")),
         }
     }
-    if let Some(cfg) = campaign {
+    if let Some(mut cfg) = campaign {
+        cfg.autopilot = autopilot_flag;
         campaign_main(&cfg, json, profile);
         return;
     }
@@ -205,6 +208,28 @@ fn main() {
             let n = autoparallelize(&mut ped);
             eprintln!("auto-parallelized {n} loop(s)");
         }
+        let mut ap_report = None;
+        if autopilot_flag {
+            let out = autopilot(&mut ped, &AutopilotConfig::default());
+            eprintln!("{}", out.summary());
+            for note in &out.notes {
+                eprintln!("  note: {note}");
+            }
+            for p in &out.plans {
+                eprintln!(
+                    "  {} {}: {} — predicted {:.2}x — {}",
+                    p.plan.unit_name,
+                    p.plan.header,
+                    ped_core::autopilot::plan_text(
+                        &ped.program().units[p.plan.unit],
+                        &p.plan.steps
+                    ),
+                    p.plan.predicted,
+                    p.verdict
+                );
+            }
+            ap_report = Some(out.report());
+        }
         let mut clean = true;
         if profile {
             // Human-readable batch summary on stderr; the machine-readable
@@ -221,7 +246,11 @@ fn main() {
             if check {
                 clean = batch_check(&mut ped, defaults, true);
             }
-            println!("{}", ped.profile_report().to_json().to_string_pretty());
+            let mut rep = ped.profile_report();
+            if let Some(ap) = ap_report {
+                rep.autopilot = ap;
+            }
+            println!("{}", rep.to_json().to_string_pretty());
         } else {
             print_batch_report(&mut ped);
             if defaults.threads.is_some() {
@@ -545,6 +574,8 @@ diagnose <stmt> <xform>       advice for: parallelize interchange distribute
                               reverse stripmine:<n> unroll:<n> skew:<n>
                               expand:<scalar> ivsub:<scalar> privatize:<array>
 apply <stmt> <xform>          apply a transformation
+suggest                       autopilot advisory: ranked transform plan per
+                              nest with predicted speedup and safety verdict
 undo / redo
 source                        print the regenerated source
 run [serial|sim <P>|threads <N>] [check]
@@ -646,6 +677,12 @@ quit"
                 let a = ped.apply(*cur_unit, h, &xform).map_err(|e| e.to_string())?;
                 println!("applied: {}", a.description);
             }
+            Ok(false)
+        }
+        ["suggest"] => {
+            let cfg = AutopilotConfig::default();
+            let s = suggest(ped, &cfg);
+            print!("{}", render_suggest(ped, &s, cfg.machine.procs));
             Ok(false)
         }
         ["undo"] => {

@@ -63,6 +63,11 @@ pub struct CampaignConfig {
     /// recycling, no pipelining. What a shell loop over `ped --batch`
     /// would do.
     pub naive: bool,
+    /// Replace the push-button autopar stage with the autopilot planner:
+    /// cost-model-driven transform search per nest (verification is left
+    /// to the campaign's own check and equivalence stages, which cross-
+    /// check whatever the planner applied).
+    pub autopilot: bool,
     /// Oracle-call budget per minimization (ddmin candidates tried).
     pub minimize_budget: usize,
 }
@@ -77,6 +82,7 @@ impl Default for CampaignConfig {
             mutate: None,
             repro_dir: None,
             naive: false,
+            autopilot: false,
             minimize_budget: 300,
         }
     }
@@ -364,8 +370,16 @@ fn run_seed(
     gen_source_into(buf, GenConfig { seed, ..cfg.gen });
     stage_ns[0] = t.elapsed().as_nanos() as u64;
 
-    let result =
-        pipeline(buf, cfg.mutate.as_deref(), true, cfg.naive, shared, session, &mut stage_ns);
+    let result = pipeline(
+        buf,
+        cfg.mutate.as_deref(),
+        true,
+        cfg.autopilot,
+        cfg.naive,
+        shared,
+        session,
+        &mut stage_ns,
+    );
     let (counts, discrepancy) = match result {
         Ok(counts) => (counts, None),
         Err((class, detail, source)) => {
@@ -391,10 +405,12 @@ fn run_seed(
 /// parallelizer would regenerate the very clauses a seeded mutation
 /// stripped, healing the reproducer.
 #[allow(clippy::type_complexity)]
+#[allow(clippy::too_many_arguments)]
 fn pipeline(
     src: &str,
     mutate: Option<&str>,
     autopar: bool,
+    autopilot: bool,
     text_level: bool,
     shared: Option<&Arc<PairCache>>,
     session: &mut Option<Ped>,
@@ -434,7 +450,24 @@ fn pipeline(
     // Autopar: convert every provably-safe loop.
     let t = Instant::now();
     let ped = session.as_mut().expect("session is open");
-    let converted = if autopar {
+    let converted = if autopar && autopilot {
+        // Planner-driven stage: search, score, apply. Verification is
+        // deliberately off — the campaign's own check and equivalence
+        // stages cross-check whatever the planner applied, which is the
+        // whole point of fuzzing the autopilot.
+        let cfg = crate::autopilot::AutopilotConfig {
+            verify: false,
+            measure: false,
+            ..crate::autopilot::AutopilotConfig::default()
+        };
+        match catch_unwind(AssertUnwindSafe(|| crate::autopilot::autopilot(ped, &cfg))) {
+            Err(panic) => {
+                *session = None;
+                return Err(("analyzer-panic".into(), panic_text(panic), src.to_string()));
+            }
+            Ok(out) => out.stats.plans_applied as usize,
+        }
+    } else if autopar {
         match catch_unwind(AssertUnwindSafe(|| autoparallelize(ped))) {
             Err(panic) => {
                 *session = None;
@@ -514,7 +547,7 @@ fn pipeline(
 pub fn classify(src: &str) -> Option<(String, String)> {
     let mut session = None;
     let mut ns = [0u64; 5];
-    match pipeline(src, None, false, false, None, &mut session, &mut ns) {
+    match pipeline(src, None, false, false, false, None, &mut session, &mut ns) {
         Err((class, detail, _)) => Some((class, detail)),
         Ok(_) => None,
     }
@@ -646,7 +679,7 @@ fn diff_runs(
 /// Scalars of the main unit that are `private` (but not `lastprivate`) in
 /// some parallel loop: their post-loop value is unspecified by the
 /// dialect, so the memory comparison excludes them.
-fn unspecified_privates(program: &Program) -> Vec<String> {
+pub(crate) fn unspecified_privates(program: &Program) -> Vec<String> {
     let Some(main) = program.main() else { return Vec::new() };
     let mut names = Vec::new();
     for stmt in &main.stmts {
@@ -692,7 +725,7 @@ fn minimize_and_record(
         // parallelized program leaves the marked loops alone.
         let mut session = None;
         let mut ns = [0u64; 5];
-        match pipeline(candidate, None, false, false, shared, &mut session, &mut ns) {
+        match pipeline(candidate, None, false, false, false, shared, &mut session, &mut ns) {
             Err((c, _, _)) => Some(c),
             Ok(_) => None,
         }
@@ -821,7 +854,7 @@ mod tests {
             let mut session = None;
             let mut ns = [0u64; 5];
             let replay =
-                pipeline(&d.minimized, None, false, false, None, &mut session, &mut ns);
+                pipeline(&d.minimized, None, false, false, false, None, &mut session, &mut ns);
             assert_eq!(
                 replay.as_ref().err().map(|(c, _, _)| c.as_str()),
                 Some(d.class.as_str()),
@@ -866,6 +899,18 @@ mod tests {
         assert_eq!(out.workers, 1);
         assert!(out.clean(), "{:?}", out.discrepancies);
         assert_eq!(out.cache, CacheStats { hits: 0, misses: 0 });
+    }
+
+    #[test]
+    fn autopilot_stage_stays_clean_under_the_oracle() {
+        // The planner replaces the autopar stage; the campaign's own
+        // check and equivalence stages must still find nothing wrong
+        // with whatever plans it applied.
+        let cfg = CampaignConfig { autopilot: true, ..tiny_cfg(12) };
+        let out = run_campaign(&cfg);
+        assert_eq!(out.seeds, 12);
+        assert!(out.clean(), "autopilot discrepancies: {:?}", out.discrepancies);
+        assert!(out.loops_total > 0);
     }
 
     #[test]

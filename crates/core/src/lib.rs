@@ -14,6 +14,7 @@
 //! [`session`] expose as data and text.
 
 pub mod autopar;
+pub mod autopilot;
 pub mod campaign;
 pub mod check;
 pub mod equiv;
@@ -24,6 +25,10 @@ pub mod session;
 pub mod store;
 
 pub use autopar::autoparallelize;
+pub use autopilot::{
+    autopilot, render_suggest, suggest, AutopilotConfig, AutopilotOutcome, NestPlan,
+    NestSuggestion, PlanOutcome, PlanStep, SearchStats, Suggestions,
+};
 pub use campaign::{classify, run_campaign, CampaignConfig, CampaignOutcome, Discrepancy};
 pub use check::{LoopValidation, RaceFinding, RaceVerdict, ValidationReport};
 pub use filters::{DepFilter, SourceFilter};

@@ -283,6 +283,43 @@ impl Daemon {
                     ("observed_deps", Json::int(r.observed_deps as u64)),
                 ])
             }),
+            "suggest" => self.with_session(v, |ped| {
+                let cfg = crate::autopilot::AutopilotConfig::default();
+                let s = crate::autopilot::suggest(ped, &cfg);
+                let nests: Vec<Json> = s
+                    .nests
+                    .iter()
+                    .map(|n| {
+                        let mut fields = vec![
+                            ("unit", Json::str(&n.unit_name)),
+                            ("header", Json::int(u64::from(n.header.0))),
+                            ("var", Json::str(&n.var)),
+                            ("est_serial_ops", Json::Num(n.baseline_serial)),
+                            ("safe", Json::Bool(n.plan.is_some())),
+                        ];
+                        match &n.plan {
+                            Some(p) => {
+                                fields.push((
+                                    "plan",
+                                    Json::str(&crate::autopilot::plan_text(
+                                        &ped.program().units[n.unit],
+                                        &p.steps,
+                                    )),
+                                ));
+                                fields.push(("predicted_speedup", Json::Num(p.predicted)));
+                            }
+                            None => fields.push(("blocked", Json::str(&n.blocked))),
+                        }
+                        Json::obj(fields)
+                    })
+                    .collect();
+                Ok(vec![
+                    ("nests", Json::Arr(nests)),
+                    ("candidates", Json::int(s.stats.candidates)),
+                    ("pruned_unsafe", Json::int(s.stats.pruned_unsafe)),
+                    ("pruned_unprofitable", Json::int(s.stats.pruned_unprofitable)),
+                ])
+            }),
             "profile" => self.with_session(v, |ped| {
                 let mut report = ped.profile_report();
                 report.serve = self.stats.snapshot();
@@ -633,6 +670,49 @@ mod tests {
         let v = json::parse(&resp.text).unwrap();
         assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
         assert_eq!(d.session_count(), 0);
+    }
+
+    #[test]
+    fn suggest_verb_ranks_nests_and_leaves_session_untouched() {
+        let d = Daemon::new(None);
+        let hot = "\
+          program hot\n\
+          integer i\n\
+          real a(50000)\n\
+          do 10 i = 1, 50000\n\
+          a(i) = a(i) + 1.0\n\
+       10 continue\n\
+          end\n";
+        let req = Json::obj(vec![
+            ("id", Json::int(1)),
+            ("verb", Json::str("open")),
+            ("source", Json::str(hot)),
+        ])
+        .to_string_compact();
+        let v = json::parse(&d.handle_line(STDIO_OWNER, &req).text).unwrap();
+        let s = v.get("session").and_then(Json::as_u64).unwrap();
+        let resp = d.handle_line(
+            STDIO_OWNER,
+            &format!("{{\"id\":2,\"verb\":\"suggest\",\"session\":{s}}}"),
+        );
+        let v = json::parse(&resp.text).unwrap();
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true), "{}", resp.text);
+        let nests = match v.get("nests") {
+            Some(Json::Arr(n)) => n,
+            other => panic!("nests must be an array, got {other:?}"),
+        };
+        assert_eq!(nests.len(), 1);
+        let n = &nests[0];
+        assert_eq!(n.get("safe").and_then(Json::as_bool), Some(true));
+        assert_eq!(n.get("plan").and_then(Json::as_str), Some("parallelize"));
+        assert!(n.get("predicted_speedup").and_then(Json::as_f64).unwrap() > 1.0);
+        // Advisory only: a follow-up undo has nothing to undo.
+        let resp = d.handle_line(
+            STDIO_OWNER,
+            &format!("{{\"id\":3,\"verb\":\"undo\",\"session\":{s}}}"),
+        );
+        let v = json::parse(&resp.text).unwrap();
+        assert_eq!(v.get("applied").and_then(Json::as_bool), Some(false));
     }
 
     #[test]

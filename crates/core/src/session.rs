@@ -1048,6 +1048,25 @@ impl Ped {
         true
     }
 
+    /// Roll back the last `n` successful applications *without leaving
+    /// redo history*: undo each one and drop the redo entry the undo
+    /// produced. This is the autopilot planner's trial-rollback — a
+    /// rejected candidate plan must leave the journal exactly as it found
+    /// it, so a later user `redo` can never resurrect a plan the planner
+    /// decided against. Returns how many changes were rolled back (fewer
+    /// than `n` only when the undo stack runs dry).
+    pub fn abandon(&mut self, n: usize) -> usize {
+        let mut undone = 0;
+        for _ in 0..n {
+            if !self.undo() {
+                break;
+            }
+            self.redo.pop();
+            undone += 1;
+        }
+        undone
+    }
+
     /// Journal delta capturing the current state of one unit and the marks
     /// that refer to it.
     fn delta_of(&self, unit_idx: usize) -> Delta {

@@ -21,9 +21,9 @@ pub mod json;
 pub mod report;
 
 pub use report::{
-    CacheReport, CampaignReport, DepTestStat, IncrementalReport, LoopProfileStat, PhaseStat,
-    ProfileReport, SchedulerReport, ServeReport, UnitStat, ValidationSummary,
-    PROFILE_SCHEMA_MIN_VERSION, PROFILE_SCHEMA_VERSION,
+    AutopilotReport, CacheReport, CampaignReport, DepTestStat, IncrementalReport,
+    LoopProfileStat, PhaseStat, ProfileReport, SchedulerReport, ServeReport, UnitStat,
+    ValidationSummary, PROFILE_SCHEMA_MIN_VERSION, PROFILE_SCHEMA_VERSION,
 };
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};

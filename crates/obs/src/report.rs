@@ -63,15 +63,42 @@ pub struct CampaignReport {
     pub equivalence_ns: u64,
 }
 
+/// Autopilot planner counters (schema v9). All zero in reports parsed
+/// from pre-v9 JSON or from sessions that never ran the planner. Like
+/// [`CampaignReport`], the registry knows nothing about the planner; the
+/// autopilot driver fills this in from its search outcome before emitting.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AutopilotReport {
+    /// Candidate plans enumerated across all nests.
+    pub candidates: u64,
+    /// Candidates pruned by the dependence machinery (unsafe or
+    /// inapplicable).
+    pub pruned_unsafe: u64,
+    /// Candidates that survived safety but scored below the
+    /// profitability floor.
+    pub pruned_unprofitable: u64,
+    /// Winning plans applied and kept.
+    pub plans_applied: u64,
+    /// Winning plans rolled back after failing execution verification.
+    pub plans_rejected: u64,
+    /// Worst predicted-vs-measured speedup ratio before calibration
+    /// (1.0 when nothing was measured).
+    pub calibration_before: f64,
+    /// Worst ratio after the learned correction (1.0 when nothing was
+    /// measured; never exceeds `calibration_before`).
+    pub calibration_after: f64,
+}
+
 /// Version stamped into every emitted report. Parsing accepts this version
 /// and every earlier one it knows how to upgrade (v1 reports lack the
 /// `incremental` section, v1/v2 reports lack the `scheduler` section,
 /// v1–v3 reports lack the `validation` section, v1–v5 reports lack the
 /// `serve` section, v1–v6 reports lack the `sections` section, v1–v7
-/// reports lack the `campaign` section; all default to all-zero. v1–v4
-/// reports lack the `engine` field, which defaults to `"tree"` — the only
-/// engine that existed before v5); later or unknown versions are rejected.
-pub const PROFILE_SCHEMA_VERSION: u64 = 8;
+/// reports lack the `campaign` section, v1–v8 reports lack the
+/// `autopilot` section; all default to all-zero. v1–v4 reports lack the
+/// `engine` field, which defaults to `"tree"` — the only engine that
+/// existed before v5); later or unknown versions are rejected.
+pub const PROFILE_SCHEMA_VERSION: u64 = 9;
 
 /// Oldest schema version [`ProfileReport::from_json`] still accepts.
 pub const PROFILE_SCHEMA_MIN_VERSION: u64 = 1;
@@ -277,6 +304,9 @@ pub struct ProfileReport {
     /// Campaign-mode throughput counters (all zero when parsed from
     /// pre-v8 JSON; filled by `ped --campaign`, zero otherwise).
     pub campaign: CampaignReport,
+    /// Autopilot planner counters (all zero when parsed from pre-v9 JSON;
+    /// filled by `ped --autopilot`, zero otherwise).
+    pub autopilot: AutopilotReport,
     /// Per-unit graph-build timings.
     pub units: Vec<UnitStat>,
     /// Loop profiles from runs, if any.
@@ -299,6 +329,7 @@ impl ProfileReport {
             serve: ServeReport::default(),
             sections: SectionsReport::default(),
             campaign: CampaignReport::default(),
+            autopilot: AutopilotReport::default(),
             units: Vec::new(),
             loop_profiles: Vec::new(),
         }
@@ -364,6 +395,8 @@ impl ProfileReport {
             },
             // Like `serve`: filled by the campaign engine before emitting.
             campaign: CampaignReport::default(),
+            // Filled by the autopilot driver before emitting.
+            autopilot: AutopilotReport::default(),
             units: snap
                 .units
                 .iter()
@@ -521,6 +554,27 @@ impl ProfileReport {
                     ("autopar_ns", Json::int(self.campaign.autopar_ns)),
                     ("check_ns", Json::int(self.campaign.check_ns)),
                     ("equivalence_ns", Json::int(self.campaign.equivalence_ns)),
+                ]),
+            ),
+            (
+                "autopilot",
+                Json::obj(vec![
+                    ("candidates", Json::int(self.autopilot.candidates)),
+                    ("pruned_unsafe", Json::int(self.autopilot.pruned_unsafe)),
+                    (
+                        "pruned_unprofitable",
+                        Json::int(self.autopilot.pruned_unprofitable),
+                    ),
+                    ("plans_applied", Json::int(self.autopilot.plans_applied)),
+                    ("plans_rejected", Json::int(self.autopilot.plans_rejected)),
+                    (
+                        "calibration_before",
+                        Json::Num(self.autopilot.calibration_before),
+                    ),
+                    (
+                        "calibration_after",
+                        Json::Num(self.autopilot.calibration_after),
+                    ),
                 ]),
             ),
             (
@@ -743,6 +797,28 @@ impl ProfileReport {
             },
         };
 
+        // v1–v8 reports predate the autopilot planner; the section
+        // defaults to all-zero. From v9 on it is required.
+        let autopilot = match v.get("autopilot") {
+            None if schema_version < 9 => AutopilotReport::default(),
+            None => return Err("missing field 'autopilot'".to_string()),
+            Some(s) => AutopilotReport {
+                candidates: need_u64(s, "candidates")?,
+                pruned_unsafe: need_u64(s, "pruned_unsafe")?,
+                pruned_unprofitable: need_u64(s, "pruned_unprofitable")?,
+                plans_applied: need_u64(s, "plans_applied")?,
+                plans_rejected: need_u64(s, "plans_rejected")?,
+                calibration_before: s
+                    .get("calibration_before")
+                    .and_then(Json::as_f64)
+                    .ok_or("missing or non-number field 'calibration_before'")?,
+                calibration_after: s
+                    .get("calibration_after")
+                    .and_then(Json::as_f64)
+                    .ok_or("missing or non-number field 'calibration_after'")?,
+            },
+        };
+
         let mut units = Vec::new();
         for u in need_arr(v, "units")? {
             units.push(UnitStat {
@@ -779,6 +855,7 @@ impl ProfileReport {
             serve,
             sections,
             campaign,
+            autopilot,
             units,
             loop_profiles,
         })
@@ -905,6 +982,20 @@ impl ProfileReport {
                 fmt_ns(camp.equivalence_ns)
             ));
         }
+        let ap = &self.autopilot;
+        if *ap != AutopilotReport::default() {
+            out.push_str(&format!(
+                "autopilot: {} candidates ({} unsafe, {} unprofitable pruned), \
+                 {} plans applied / {} rejected; calibration {:.2} -> {:.2}\n",
+                ap.candidates,
+                ap.pruned_unsafe,
+                ap.pruned_unprofitable,
+                ap.plans_applied,
+                ap.plans_rejected,
+                ap.calibration_before,
+                ap.calibration_after
+            ));
+        }
         if !self.units.is_empty() {
             out.push_str("per-unit analysis:\n");
             for u in &self.units {
@@ -1022,6 +1113,15 @@ mod tests {
             autopar_ns: 15_000,
             check_ns: 70_000,
             equivalence_ns: 120_000,
+        };
+        r.autopilot = AutopilotReport {
+            candidates: 18,
+            pruned_unsafe: 5,
+            pruned_unprofitable: 4,
+            plans_applied: 3,
+            plans_rejected: 1,
+            calibration_before: 2.5,
+            calibration_after: 1.25,
         };
         r
     }
@@ -1221,6 +1321,43 @@ mod tests {
         strip_section(&mut v, "campaign");
         let err = ProfileReport::from_json_str(&v).unwrap_err();
         assert!(err.contains("campaign"), "{err}");
+    }
+
+    #[test]
+    fn v8_report_accepts_missing_autopilot_section() {
+        let r = sample_report();
+        let mut v = r.to_json().to_string_compact();
+        v = v.replacen(
+            &format!("\"schema_version\":{PROFILE_SCHEMA_VERSION}"),
+            "\"schema_version\":8",
+            1,
+        );
+        strip_section(&mut v, "autopilot");
+        let back = ProfileReport::from_json_str(&v).unwrap();
+        assert_eq!(back.schema_version, 8);
+        assert_eq!(back.autopilot, AutopilotReport::default());
+        assert_eq!(back.campaign, r.campaign);
+    }
+
+    #[test]
+    fn v9_report_requires_autopilot_section() {
+        let r = sample_report();
+        let mut v = r.to_json().to_string_compact();
+        strip_section(&mut v, "autopilot");
+        let err = ProfileReport::from_json_str(&v).unwrap_err();
+        assert!(err.contains("autopilot"), "{err}");
+    }
+
+    #[test]
+    fn autopilot_counters_survive_round_trip() {
+        let r = sample_report();
+        let back = ProfileReport::from_json_str(&r.to_json().to_string_compact()).unwrap();
+        assert_eq!(back.autopilot, r.autopilot);
+        assert!(
+            r.render_text().contains("autopilot: 18 candidates"),
+            "{}",
+            r.render_text()
+        );
     }
 
     #[test]

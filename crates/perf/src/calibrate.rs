@@ -1,0 +1,174 @@
+//! # Calibration — tightening predictions against measurements
+//!
+//! The autopilot planner predicts each plan's speedup with the static
+//! estimator, then *measures* the applied plans under the E14 harness.
+//! This module closes the loop: a [`CalibrationState`] collects
+//! `(predicted, measured)` speedup pairs over a run and derives one
+//! multiplicative correction for the estimator's systematic bias, so the
+//! worst predicted-vs-measured ratio provably shrinks as measurements
+//! accumulate.
+//!
+//! The correction is the log-space midpoint (minimax) of the observed
+//! `measured / predicted` factors rather than their geometric mean.
+//! With `r_i = measured_i / predicted_i`, `A = max r_i`, `B = min r_i`,
+//! the corrected worst ratio is `sqrt(A / B)`, and
+//! `sqrt(A / B) ≤ max(A, 1/B)` for every A ≥ B (both cases `AB ≥ 1` and
+//! `AB ≤ 1` reduce to the same inequality) — so
+//! [`CalibrationState::ratio_after`] never exceeds
+//! [`CalibrationState::ratio_before`]: calibration can only tighten.
+
+/// One predicted-vs-measured speedup observation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sample {
+    /// Speedup the estimator predicted for the plan.
+    pub predicted: f64,
+    /// Speedup actually measured after applying it.
+    pub measured: f64,
+}
+
+/// Accumulated predicted-vs-measured observations and the bias correction
+/// they imply.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CalibrationState {
+    samples: Vec<Sample>,
+}
+
+impl CalibrationState {
+    /// Empty state: no samples, identity correction.
+    pub fn new() -> CalibrationState {
+        CalibrationState::default()
+    }
+
+    /// Record one observation. Non-finite or non-positive values are
+    /// discarded — a plan whose loop never executed measures zero, which
+    /// carries no calibration signal.
+    pub fn record(&mut self, predicted: f64, measured: f64) {
+        if predicted.is_finite() && predicted > 0.0 && measured.is_finite() && measured > 0.0 {
+            self.samples.push(Sample { predicted, measured });
+        }
+    }
+
+    /// The recorded observations, in insertion order.
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// Number of recorded observations.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Symmetric predicted-vs-measured discrepancy: `max(p/m, m/p)`,
+    /// always ≥ 1, 1.0 at perfect agreement (E14's flag metric).
+    pub fn ratio(predicted: f64, measured: f64) -> f64 {
+        let p = predicted.max(1e-12);
+        let m = measured.max(1e-12);
+        (p / m).max(m / p)
+    }
+
+    /// The multiplicative correction: log-midpoint of the observed
+    /// `measured / predicted` factors (identity with no samples). See the
+    /// module docs for why midpoint (minimax) beats the geometric mean
+    /// here: it guarantees the corrected worst ratio never exceeds the
+    /// uncorrected one.
+    pub fn correction(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 1.0;
+        }
+        let logs: Vec<f64> =
+            self.samples.iter().map(|s| (s.measured / s.predicted).ln()).collect();
+        let lo = logs.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = logs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        ((lo + hi) / 2.0).exp()
+    }
+
+    /// A raw prediction after applying the learned correction.
+    pub fn calibrated(&self, predicted: f64) -> f64 {
+        predicted * self.correction()
+    }
+
+    /// Worst symmetric ratio over the samples with no correction applied
+    /// (1.0 when empty).
+    pub fn ratio_before(&self) -> f64 {
+        self.samples
+            .iter()
+            .map(|s| Self::ratio(s.predicted, s.measured))
+            .fold(1.0, f64::max)
+    }
+
+    /// Worst symmetric ratio after applying [`Self::correction`] to every
+    /// prediction. Never exceeds [`Self::ratio_before`].
+    pub fn ratio_after(&self) -> f64 {
+        let c = self.correction();
+        self.samples
+            .iter()
+            .map(|s| Self::ratio(s.predicted * c, s.measured))
+            .fold(1.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_state_is_identity() {
+        let c = CalibrationState::new();
+        assert!(c.is_empty());
+        assert_eq!(c.correction(), 1.0);
+        assert_eq!(c.calibrated(3.5), 3.5);
+        assert_eq!(c.ratio_before(), 1.0);
+        assert_eq!(c.ratio_after(), 1.0);
+    }
+
+    #[test]
+    fn systematic_bias_corrects_to_one() {
+        // The estimator over-predicts every plan by exactly 2×: the
+        // correction halves predictions and the post-calibration ratio
+        // collapses to 1.
+        let mut c = CalibrationState::new();
+        c.record(4.0, 2.0);
+        c.record(6.0, 3.0);
+        c.record(1.0, 0.5);
+        assert!((c.correction() - 0.5).abs() < 1e-12);
+        assert!((c.ratio_before() - 2.0).abs() < 1e-12);
+        assert!(c.ratio_after() < 1.0 + 1e-12, "after {}", c.ratio_after());
+    }
+
+    #[test]
+    fn calibration_never_loosens() {
+        // Mixed over- and under-prediction: the corrected worst ratio is
+        // sqrt(spread), which must not exceed the uncorrected worst.
+        let mut c = CalibrationState::new();
+        c.record(4.0, 2.0); // over by 2
+        c.record(2.0, 3.0); // under by 1.5
+        c.record(5.0, 5.0); // exact
+        assert!(c.ratio_after() <= c.ratio_before() + 1e-12);
+        // spread = 2 × 1.5 = 3 → corrected worst = sqrt(3).
+        assert!((c.ratio_after() - 3f64.sqrt()).abs() < 1e-9, "after {}", c.ratio_after());
+    }
+
+    #[test]
+    fn degenerate_samples_are_discarded() {
+        let mut c = CalibrationState::new();
+        c.record(3.0, 0.0);
+        c.record(0.0, 2.0);
+        c.record(f64::NAN, 1.0);
+        c.record(1.0, f64::INFINITY);
+        assert!(c.is_empty());
+        c.record(2.0, 1.0);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn symmetric_ratio() {
+        assert!((CalibrationState::ratio(4.0, 2.0) - 2.0).abs() < 1e-12);
+        assert!((CalibrationState::ratio(2.0, 4.0) - 2.0).abs() < 1e-12);
+        assert!((CalibrationState::ratio(3.0, 3.0) - 1.0).abs() < 1e-12);
+    }
+}

@@ -9,6 +9,10 @@
 //! trip count for loops whose bounds it cannot resolve, and predicts the
 //! parallel charge of a loop under a [`ped_runtime::Machine`].
 
+pub mod calibrate;
+
+pub use calibrate::{CalibrationState, Sample};
+
 use ped_analysis::constants::{eval, Facts};
 use ped_fortran::symbols::Const;
 use ped_fortran::visit::{for_each_stmt, loop_tree};
@@ -91,6 +95,27 @@ impl<'p> Estimator<'p> {
         let parallel_cost =
             self.machine.parallel_charge_uniform(iter_cost, trip.max(0) as usize);
         LoopEstimate { trip, trip_known, iter_cost, serial_cost, parallel_cost }
+    }
+
+    /// Composed-nest charge for a candidate transformation plan: the cost
+    /// of the loops the plan leaves behind, charged on the *transformed*
+    /// program — parallel charge for loops the plan made parallel, serial
+    /// cost for the rest. Scoring a sequence this way, rather than summing
+    /// per-step estimates taken against the original nest, is what lets
+    /// interchange-then-parallelize rank on the post-interchange trip
+    /// counts (the autopilot's plan-composition rule).
+    pub fn nest_cost(&mut self, unit_idx: usize, loops: &[(StmtId, bool)]) -> f64 {
+        loops
+            .iter()
+            .map(|&(header, parallel)| {
+                let e = self.estimate_loop(unit_idx, header);
+                if parallel {
+                    e.parallel_cost
+                } else {
+                    e.serial_cost
+                }
+            })
+            .sum()
     }
 
     /// Estimate the per-call cost of a whole unit body.
@@ -409,6 +434,25 @@ mod tests {
         let e = est.estimate_loop(0, first_loop(&p, 0));
         // 10 iterations × (call + ~10-iteration callee loop) ≫ 100 ops.
         assert!(e.serial_cost > 300.0, "cost {}", e.serial_cost);
+    }
+
+    #[test]
+    fn nest_cost_charges_parallel_loops_as_parallel() {
+        let p = parse_program(
+            "program t\nreal a(1000), b(1000)\ndo i = 1, 1000\na(i) = 1.0\nenddo\n\
+             do i = 1, 1000\nb(i) = 2.0\nenddo\nend\n",
+        )
+        .unwrap();
+        let mut est = Estimator::new(&p, Machine::alliant8());
+        let l1 = p.units[0].body[0];
+        let l2 = p.units[0].body[1];
+        let serial_both = est.nest_cost(0, &[(l1, false), (l2, false)]);
+        let par_first = est.nest_cost(0, &[(l1, true), (l2, false)]);
+        let e1 = est.estimate_loop(0, l1);
+        let e2 = est.estimate_loop(0, l2);
+        assert_eq!(serial_both, e1.serial_cost + e2.serial_cost);
+        assert_eq!(par_first, e1.parallel_cost + e2.serial_cost);
+        assert!(par_first < serial_both);
     }
 
     #[test]

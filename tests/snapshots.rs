@@ -13,7 +13,7 @@
 //! rewrites the files; commit the diff together with the change that caused
 //! it.
 
-use ped_core::{render, DepFilter, Ped, SourceFilter};
+use ped_core::{render, AutopilotConfig, DepFilter, Ped, SourceFilter};
 use ped_workloads::all_programs;
 use std::path::{Path, PathBuf};
 
@@ -105,4 +105,50 @@ fn pane_renders_are_deterministic() {
             w.name
         );
     }
+}
+
+/// The autopilot `suggest` pane: ranked plan per nest with predicted
+/// speedup and safety verdict.
+fn render_suggest_pane(source: &str) -> String {
+    let mut ped = Ped::open(source).unwrap();
+    let cfg = AutopilotConfig::default();
+    let s = ped_core::suggest(&mut ped, &cfg);
+    ped_core::render_suggest(&ped, &s, cfg.machine.procs)
+}
+
+/// Golden snapshots of the `suggest` pane over the nine-program suite
+/// (`tests/snapshots/<name>.suggest.txt`), blessed through the same
+/// `UPDATE_SNAPSHOTS=1` flow. These pin the planner's verdicts: which
+/// nest gets which plan, the predicted speedup, and the blocking
+/// dependence shown for unsafe nests.
+#[test]
+fn suggest_pane_matches_snapshots() {
+    let dir = snapshot_dir();
+    let mut failures = Vec::new();
+    for w in all_programs() {
+        let got = render_suggest_pane(w.source);
+        assert!(got.contains("autopilot"), "{}: no pane header", w.name);
+        assert!(got.contains("searched"), "{}: no search footer", w.name);
+        let path = dir.join(format!("{}.suggest.txt", w.name));
+        if blessing() {
+            std::fs::create_dir_all(&dir).unwrap();
+            std::fs::write(&path, &got).unwrap();
+            continue;
+        }
+        let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "missing snapshot {} ({e}); bless with UPDATE_SNAPSHOTS=1",
+                path.display()
+            )
+        });
+        if got != want {
+            failures.push(format!("{}: {}", w.name, first_diff(&got, &want)));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "suggest panes diverged from snapshots (re-bless with UPDATE_SNAPSHOTS=1 \
+         if the change is intended):\n{}",
+        failures.join("\n")
+    );
 }
